@@ -1,0 +1,338 @@
+package netsmith
+
+// Benchmark harness: one benchmark per paper table/figure (regenerating
+// the same rows/series, at fast fidelity) plus ablation benches for the
+// design choices called out in DESIGN.md and micro-benchmarks of the
+// core kernels. Run:
+//
+//	go test -bench=. -benchmem
+//
+// For paper-formatted output use cmd/netbench.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"netsmith/internal/bitgraph"
+	"netsmith/internal/exp"
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+	"netsmith/internal/route"
+	"netsmith/internal/synth"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *exp.Suite
+)
+
+func benchSuite() *exp.Suite {
+	suiteOnce.Do(func() { suite = exp.NewSuite(true) })
+	return suite
+}
+
+// BenchmarkTable2 regenerates Table II (topology metrics, 20 and 30
+// routers).
+func BenchmarkTable2(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintTable2(io.Discard, rows)
+			for _, r := range rows {
+				if r.Topology == "NS-LatOp-medium" && r.Routers == 20 {
+					b.ReportMetric(r.AvgHops, "NS-medium-avghops")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates the latency-vs-saturation scatter.
+func BenchmarkFig1(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		pts, err := s.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintFig1(io.Discard, pts)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the solver-progress traces.
+func BenchmarkFig5(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		traces, err := s.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintFig5(io.Discard, traces)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the synthetic-traffic curves (coherence and
+// memory, 20 routers).
+func BenchmarkFig6(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		curves, err := s.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintFig6(io.Discard, curves)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the topology-vs-routing isolation study.
+func BenchmarkFig7(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintFig7(io.Discard, rows)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the PARSEC full-system study.
+func BenchmarkFig8(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintFig8(io.Discard, rows)
+			for _, r := range rows {
+				if r.Benchmark == "geomean" && r.Topology == "NS-LatOp-large" {
+					b.ReportMetric(r.Speedup, "NS-large-geomean-speedup")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the power/area analysis.
+func BenchmarkFig9(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintFig9(io.Discard, rows)
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates the shuffle-pattern study.
+func BenchmarkFig10(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		curves, err := s.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintFig10(io.Discard, curves)
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates the 48-router scalability study.
+func BenchmarkFig11(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		curves, err := s.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintFig11(io.Discard, curves)
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------
+
+// BenchmarkAblationSymmetry quantifies the cost of forcing symmetric
+// links (paper: <3% latency loss, no bandwidth loss).
+func BenchmarkAblationSymmetry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := synth.Config{Grid: layout.Grid4x5, Class: layout.Medium,
+			Objective: synth.LatOp, Seed: 42, Iterations: 20000, Restarts: 2}
+		asym, err := synth.Generate(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		symCfg := base
+		symCfg.Symmetric = true
+		sym, err := synth.Generate(symCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(asym.Topology.AverageHops(), "asym-avghops")
+			b.ReportMetric(sym.Topology.AverageHops(), "sym-avghops")
+		}
+	}
+}
+
+// BenchmarkAblationDiameter measures the effect of the optional C8
+// diameter bound on solution quality at a fixed budget.
+func BenchmarkAblationDiameter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := synth.Config{Grid: layout.Grid4x5, Class: layout.Large,
+			Objective: synth.LatOp, Seed: 42, Iterations: 12000, Restarts: 2}
+		free, err := synth.Generate(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bounded := base
+		bounded.MaxDiameter = 4
+		bnd, err := synth.Generate(bounded)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(free.Gap, "unbounded-gap")
+			b.ReportMetric(bnd.Gap, "bounded-gap")
+		}
+	}
+}
+
+// BenchmarkAblationCutPool compares SCOp with the lazy cut pool against
+// a dense random pool of the same search budget.
+func BenchmarkAblationCutPool(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := synth.Config{Grid: layout.Grid4x5, Class: layout.Medium,
+			Objective: synth.SCOp, Seed: 42, Iterations: 12000, Restarts: 2}
+		res, err := synth.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Objective*100, "scop-bandwidth-x100")
+		}
+	}
+}
+
+// BenchmarkAblationRadix checks the paper's observation that a higher
+// radix converges faster (smaller gap at equal budget).
+func BenchmarkAblationRadix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var gaps [2]float64
+		for j, radix := range []int{4, 6} {
+			cfg := synth.Config{Grid: layout.Grid4x5, Class: layout.Medium,
+				Objective: synth.LatOp, Radix: radix, Seed: 42,
+				Iterations: 10000, Restarts: 2}
+			res, err := synth.Generate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gaps[j] = res.Gap
+		}
+		if i == 0 {
+			b.ReportMetric(gaps[0], "radix4-gap")
+			b.ReportMetric(gaps[1], "radix6-gap")
+		}
+	}
+}
+
+// --- Micro-benchmarks of the core kernels ---------------------------
+
+// BenchmarkBitgraphAPSP measures the bitmask all-pairs BFS on a
+// 20-router topology (the annealer's inner loop).
+func BenchmarkBitgraphAPSP(b *testing.B) {
+	t := expert.Mesh(layout.Grid4x5)
+	g := bitgraph.New(20)
+	for _, l := range t.Links() {
+		g.Add(l.From, l.To)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HopStats()
+	}
+}
+
+// BenchmarkSparsestCutExact measures exhaustive sparsest-cut evaluation
+// at 20 routers (2^19 partitions).
+func BenchmarkSparsestCutExact(b *testing.B) {
+	t := expert.Mesh(layout.Grid4x5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh := t.Clone()
+		fresh.SparsestCut()
+	}
+}
+
+// BenchmarkMCLB20 measures MCLB path selection on a 20-router Kite.
+func BenchmarkMCLB20(b *testing.B) {
+	t, err := expert.Get(expert.NameKiteMedium, layout.Grid4x5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := route.MCLB(t, route.MCLBOptions{Seed: int64(i), Restarts: 2, Sweeps: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesisIteration measures annealing throughput
+// (iterations/second) via a fixed-iteration LatOp run.
+func BenchmarkSynthesisIteration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := synth.Generate(synth.Config{Grid: layout.Grid4x5, Class: layout.Medium,
+			Objective: synth.LatOp, Seed: int64(i), Iterations: 5000, Restarts: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactLatOpTiny measures the branch-and-bound optimality
+// certification on a small instance.
+func BenchmarkExactLatOpTiny(b *testing.B) {
+	cfg := synth.Config{Grid: layout.NewGrid(1, 4), Class: layout.Large, Radix: 2,
+		Objective: synth.LatOp, Seed: 3, Iterations: 2000, Restarts: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.ExactLatOp(cfg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopologyMetrics measures the static Table II metric kernel.
+func BenchmarkTopologyMetrics(b *testing.B) {
+	t, err := expert.Get(expert.NameKiteLarge, layout.Grid4x5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh := t.Clone()
+		_ = fresh.AverageHops()
+		_ = fresh.Diameter()
+		_ = fresh.BisectionBandwidth()
+	}
+}

@@ -1,0 +1,144 @@
+// Command netbench regenerates the paper's tables and figures. Each
+// experiment prints the same rows/series the paper reports; absolute
+// numbers differ from the authors' gem5 testbed but the comparative
+// shapes hold (see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	netbench -exp table2            # one experiment
+//	netbench -exp all -full         # everything at full fidelity
+//
+// Experiments: fig1, table2, fig5, fig6, fig7, fig8, fig9, fig10,
+// fig11, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"netsmith/internal/exp"
+)
+
+func main() {
+	expName := flag.String("exp", "all", "experiment to run (fig1, table2, fig5..fig11, all)")
+	full := flag.Bool("full", false, "full fidelity (slower, tighter numbers)")
+	csvDir := flag.String("csv", "", "also write <dir>/<experiment>.csv data files")
+	flag.Parse()
+
+	s := exp.NewSuite(!*full)
+	w := os.Stdout
+	csvOut := func(name string, write func(io.Writer) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return write(f)
+	}
+
+	runners := []struct {
+		name string
+		run  func() error
+	}{
+		{"table2", func() error {
+			rows, err := s.Table2()
+			if err != nil {
+				return err
+			}
+			exp.PrintTable2(w, rows)
+			return csvOut("table2", func(f io.Writer) error { return exp.Table2CSV(f, rows) })
+		}},
+		{"fig1", func() error {
+			pts, err := s.Fig1()
+			if err != nil {
+				return err
+			}
+			exp.PrintFig1(w, pts)
+			return csvOut("fig1", func(f io.Writer) error { return exp.Fig1CSV(f, pts) })
+		}},
+		{"fig5", func() error {
+			traces, err := s.Fig5()
+			if err != nil {
+				return err
+			}
+			exp.PrintFig5(w, traces)
+			return csvOut("fig5", func(f io.Writer) error { return exp.Fig5CSV(f, traces) })
+		}},
+		{"fig6", func() error {
+			curves, err := s.Fig6()
+			if err != nil {
+				return err
+			}
+			exp.PrintFig6(w, curves)
+			return csvOut("fig6", func(f io.Writer) error { return exp.Fig6CSV(f, curves) })
+		}},
+		{"fig7", func() error {
+			rows, err := s.Fig7()
+			if err != nil {
+				return err
+			}
+			exp.PrintFig7(w, rows)
+			return csvOut("fig7", func(f io.Writer) error { return exp.Fig7CSV(f, rows) })
+		}},
+		{"fig8", func() error {
+			rows, err := s.Fig8()
+			if err != nil {
+				return err
+			}
+			exp.PrintFig8(w, rows)
+			return csvOut("fig8", func(f io.Writer) error { return exp.Fig8CSV(f, rows) })
+		}},
+		{"fig9", func() error {
+			rows, err := s.Fig9()
+			if err != nil {
+				return err
+			}
+			exp.PrintFig9(w, rows)
+			return csvOut("fig9", func(f io.Writer) error { return exp.Fig9CSV(f, rows) })
+		}},
+		{"fig10", func() error {
+			curves, err := s.Fig10()
+			if err != nil {
+				return err
+			}
+			exp.PrintFig10(w, curves)
+			return csvOut("fig10", func(f io.Writer) error { return exp.Fig10CSV(f, curves) })
+		}},
+		{"fig11", func() error {
+			curves, err := s.Fig11()
+			if err != nil {
+				return err
+			}
+			exp.PrintFig11(w, curves)
+			return csvOut("fig11", func(f io.Writer) error { return exp.Fig11CSV(f, curves) })
+		}},
+	}
+
+	matched := false
+	for _, r := range runners {
+		if *expName != "all" && *expName != r.name {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		if err := r.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "[%s completed in %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expName)
+		os.Exit(2)
+	}
+}

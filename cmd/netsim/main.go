@@ -1,0 +1,106 @@
+// Command netsim simulates synthetic traffic on a named baseline or a
+// freshly synthesized NetSmith topology and prints the latency-vs-
+// injection curve with the derived saturation throughput.
+//
+// Examples:
+//
+//	netsim -topology Kite-Medium -pattern uniform
+//	netsim -topology NS-LatOp -class large -pattern memory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+	"netsmith/internal/sim"
+	"netsmith/internal/synth"
+	"netsmith/internal/topo"
+	"netsmith/internal/traffic"
+)
+
+func main() {
+	name := flag.String("topology", "Kite-Medium", "baseline name (see -list) or NS-LatOp / NS-SCOp")
+	className := flag.String("class", "medium", "link-length class for NS synthesis")
+	patternName := flag.String("pattern", "uniform", "traffic: uniform, memory, shuffle")
+	rows := flag.Int("rows", 4, "grid rows")
+	cols := flag.Int("cols", 5, "grid columns")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list available baselines and exit")
+	flag.Parse()
+
+	g := layout.NewGrid(*rows, *cols)
+	if *list {
+		for _, n := range expert.Names(g) {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var t *topo.Topology
+	var err error
+	if strings.HasPrefix(*name, "NS-") {
+		class, perr := layout.ParseClass(*className)
+		if perr != nil {
+			fatal(perr)
+		}
+		obj := synth.LatOp
+		if strings.Contains(*name, "SCOp") {
+			obj = synth.SCOp
+		}
+		var res *synth.Result
+		res, err = synth.Generate(synth.Config{Grid: g, Class: class, Objective: obj, Seed: *seed})
+		if err == nil {
+			t = res.Topology
+		}
+	} else {
+		t, err = expert.Get(*name, g)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var pattern traffic.Pattern
+	switch *patternName {
+	case "uniform":
+		pattern = traffic.Uniform{N: t.N()}
+	case "memory":
+		pattern = traffic.NewMemory(g.CoreRouters(), g.MemoryControllerRouters())
+	case "shuffle":
+		pattern = traffic.Shuffle{N: t.N()}
+	default:
+		fatal(fmt.Errorf("unknown pattern %q", *patternName))
+	}
+
+	kind := sim.UseNDBT
+	if strings.HasPrefix(t.Name, "NS-") {
+		kind = sim.UseMCLB
+	}
+	setup, err := sim.Prepare(t, kind, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	sr, err := setup.Curve(pattern, nil, false, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s (%s class) under %s traffic:\n", t.Name, t.Class, pattern.Name())
+	fmt.Printf("%12s %14s %18s %s\n", "offered", "latency(ns)", "accepted(pkt/n/ns)", "")
+	for _, p := range sr.Points {
+		mark := ""
+		if p.Saturated {
+			mark = "  [saturated]"
+		}
+		fmt.Printf("%12.3f %14.2f %18.3f%s\n", p.OfferedRate, p.AvgLatencyNs, p.AcceptedPerNs, mark)
+	}
+	fmt.Printf("zero-load latency %.2f ns, saturation throughput %.3f packets/node/ns\n",
+		sr.ZeroLoadLatencyNs, sr.SaturationPerNs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netsim:", err)
+	os.Exit(1)
+}

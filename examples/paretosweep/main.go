@@ -1,0 +1,59 @@
+// Paretosweep reproduces the Figure 1 story on a smaller budget: it
+// generates latency- and bandwidth-optimized topologies for every
+// link-length class and prints where each lands on the latency /
+// saturation-throughput plane next to the expert designs — the
+// lower-right corner (low latency, high throughput) wins.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netsmith"
+)
+
+func main() {
+	fmt.Printf("%-22s %-7s %12s %18s\n", "Topology", "Class", "Latency(ns)", "SatTput(pkt/n/ns)")
+
+	show := func(t *netsmith.Topology, expertRouting bool) {
+		var net *netsmith.Network
+		var err error
+		if expertRouting {
+			net, err = netsmith.PrepareNDBT(t)
+		} else {
+			net, err = netsmith.Prepare(t)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		sweep, err := netsmith.SweepUniform(net, nil, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %-7s %12.2f %18.3f\n",
+			t.Name, t.Class, sweep.ZeroLoadLatencyNs, sweep.SaturationPerNs)
+	}
+
+	// Expert designs.
+	for _, name := range []string{"Kite-Small", "Folded Torus", "Kite-Medium", "Butter Donut", "Double Butterfly", "Kite-Large"} {
+		t, err := netsmith.Baseline(name, netsmith.Grid4x5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		show(t, true)
+	}
+	// NetSmith per class, both objectives.
+	for _, class := range []netsmith.Class{netsmith.Small, netsmith.Medium, netsmith.Large} {
+		for _, obj := range []netsmith.Objective{netsmith.LatOp, netsmith.SCOp} {
+			res, err := netsmith.Generate(netsmith.Options{
+				Grid: netsmith.Grid4x5, Class: class, Objective: obj,
+				Seed: 42, TimeBudget: 2 * time.Second,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			show(res.Topology, false)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package netsmith
+
+import (
+	"netsmith/internal/fullsys"
+)
+
+// FullSystem is the 64-core, 4-chiplet configuration of the paper's
+// Table IV built around a 20-router (4x5) NoI topology: 4x4 mesh NoCs at
+// 3.8 GHz per chiplet, clock-domain crossings to the NoI, and memory
+// controllers on the NoI edge columns.
+type FullSystem = fullsys.System
+
+// Workload is a trace-parameterized PARSEC benchmark.
+type Workload = fullsys.Benchmark
+
+// WorkloadResult is one benchmark x topology measurement.
+type WorkloadResult = fullsys.WorkloadResult
+
+// PARSECWorkloads returns the 12 modelled PARSEC benchmarks (vips
+// excluded, as in the paper), ordered by L2 miss intensity.
+func PARSECWorkloads() []Workload { return fullsys.Benchmarks() }
+
+// BuildFullSystem assembles the full system around a 4x5 NoI with
+// NetSmith's MCLB routing.
+func BuildFullSystem(noi *Topology, seed int64) (*FullSystem, error) {
+	return fullsys.Build(noi, seed)
+}
+
+// BuildFullSystemExpert is BuildFullSystem with the expert-baseline
+// heuristic routing (NDBT on the NoI segment).
+func BuildFullSystemExpert(noi *Topology, seed int64) (*FullSystem, error) {
+	return fullsys.BuildExpert(noi, seed)
+}
+
+// RunWorkload simulates a PARSEC workload on a full system and applies
+// the execution-time model; fast trades fidelity for runtime.
+func RunWorkload(sys *FullSystem, w Workload, seed int64, fast bool) (*WorkloadResult, error) {
+	return sys.RunWorkload(w, fullsys.DefaultExecModel(), seed, fast)
+}

@@ -1,0 +1,229 @@
+// Package bitgraph provides a compact directed-graph representation for
+// networks of at most 64 routers, with bitmask-based breadth-first search
+// and cut evaluation. It is the shared computational core of the topology
+// synthesizer and the baseline calibration tooling: one BFS level is
+// computed as the union of out-masks of the current frontier, making
+// all-pairs hop statistics cost O(n^2) word operations.
+package bitgraph
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// MaxNodes is the largest supported node count (one uint64 mask).
+const MaxNodes = 64
+
+// Link is a directed edge.
+type Link struct{ A, B int }
+
+// Graph is an incrementally maintained directed graph with degree
+// counters, neighbor bitmasks and an O(1)-sampleable link list.
+type Graph struct {
+	n               int
+	OutMask, InMask []uint64
+	OutDeg, InDeg   []int
+	linkList        []Link
+	linkIndex       map[Link]int
+	full            uint64
+}
+
+// New returns an empty graph over n nodes (n <= MaxNodes).
+func New(n int) *Graph {
+	if n <= 0 || n > MaxNodes {
+		panic(fmt.Sprintf("bitgraph: unsupported node count %d", n))
+	}
+	return &Graph{
+		n:         n,
+		OutMask:   make([]uint64, n),
+		InMask:    make([]uint64, n),
+		OutDeg:    make([]int, n),
+		InDeg:     make([]int, n),
+		linkIndex: make(map[Link]int),
+		full:      uint64(1)<<uint(n) - 1,
+	}
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// Full returns the all-nodes bitmask.
+func (g *Graph) Full() uint64 { return g.full }
+
+// Has reports whether the directed link a->b exists.
+func (g *Graph) Has(a, b int) bool { return g.OutMask[a]&(1<<uint(b)) != 0 }
+
+// NumLinks returns the number of directed links.
+func (g *Graph) NumLinks() int { return len(g.linkList) }
+
+// Links returns the current directed link list; the slice is owned by the
+// graph and must not be mutated.
+func (g *Graph) Links() []Link { return g.linkList }
+
+// LinkAt returns the i-th link (for random sampling).
+func (g *Graph) LinkAt(i int) Link { return g.linkList[i] }
+
+// Add inserts a->b (idempotent).
+func (g *Graph) Add(a, b int) {
+	if g.Has(a, b) {
+		return
+	}
+	g.OutMask[a] |= 1 << uint(b)
+	g.InMask[b] |= 1 << uint(a)
+	g.OutDeg[a]++
+	g.InDeg[b]++
+	g.linkIndex[Link{a, b}] = len(g.linkList)
+	g.linkList = append(g.linkList, Link{a, b})
+}
+
+// Remove deletes a->b (idempotent).
+func (g *Graph) Remove(a, b int) {
+	if !g.Has(a, b) {
+		return
+	}
+	g.OutMask[a] &^= 1 << uint(b)
+	g.InMask[b] &^= 1 << uint(a)
+	g.OutDeg[a]--
+	g.InDeg[b]--
+	idx := g.linkIndex[Link{a, b}]
+	last := g.linkList[len(g.linkList)-1]
+	g.linkList[idx] = last
+	g.linkIndex[last] = idx
+	g.linkList = g.linkList[:len(g.linkList)-1]
+	delete(g.linkIndex, Link{a, b})
+}
+
+// Clone deep-copies the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	copy(c.OutMask, g.OutMask)
+	copy(c.InMask, g.InMask)
+	copy(c.OutDeg, g.OutDeg)
+	copy(c.InDeg, g.InDeg)
+	c.linkList = append(c.linkList, g.linkList...)
+	for k, v := range g.linkIndex {
+		c.linkIndex[k] = v
+	}
+	return c
+}
+
+// HopStats runs one bitmask BFS per source and returns the total hop
+// count over reachable ordered pairs, the number of unreachable ordered
+// pairs and the diameter over reachable pairs.
+func (g *Graph) HopStats() (total int64, unreachable int, diameter int) {
+	n := g.n
+	for src := 0; src < n; src++ {
+		visited := uint64(1) << uint(src)
+		frontier := visited
+		d := 0
+		for frontier != 0 {
+			var next uint64
+			f := frontier
+			for f != 0 {
+				u := bits.TrailingZeros64(f)
+				f &= f - 1
+				next |= g.OutMask[u]
+			}
+			next &^= visited
+			if next == 0 {
+				break
+			}
+			d++
+			total += int64(d) * int64(bits.OnesCount64(next))
+			visited |= next
+			frontier = next
+		}
+		if d > diameter {
+			diameter = d
+		}
+		unreachable += n - bits.OnesCount64(visited)
+	}
+	return total, unreachable, diameter
+}
+
+// WeightedHops returns sum(w[s][d] * dist(s,d)) over reachable pairs plus
+// the count of unreachable ordered pairs with positive weight.
+func (g *Graph) WeightedHops(w [][]float64) (total float64, unreachable int) {
+	n := g.n
+	for src := 0; src < n; src++ {
+		visited := uint64(1) << uint(src)
+		frontier := visited
+		d := 0
+		for frontier != 0 {
+			var next uint64
+			f := frontier
+			for f != 0 {
+				u := bits.TrailingZeros64(f)
+				f &= f - 1
+				next |= g.OutMask[u]
+			}
+			next &^= visited
+			if next == 0 {
+				break
+			}
+			d++
+			nf := next
+			for nf != 0 {
+				v := bits.TrailingZeros64(nf)
+				nf &= nf - 1
+				total += w[src][v] * float64(d)
+			}
+			visited |= next
+			frontier = next
+		}
+		miss := g.full &^ visited
+		for miss != 0 {
+			v := bits.TrailingZeros64(miss)
+			miss &= miss - 1
+			if w[src][v] > 0 {
+				unreachable++
+			}
+		}
+	}
+	return total, unreachable
+}
+
+// CutBandwidth evaluates B(U,V): the min-direction crossing count divided
+// by |U||V|, for the partition given by uMask.
+func (g *Graph) CutBandwidth(uMask uint64) float64 {
+	uMask &= g.full
+	sizeU := bits.OnesCount64(uMask)
+	sizeV := g.n - sizeU
+	if sizeU == 0 || sizeV == 0 {
+		return math.Inf(1)
+	}
+	minCross := g.MinCross(uMask)
+	return float64(minCross) / float64(sizeU*sizeV)
+}
+
+// MinCross returns the smaller of the two directed crossing counts for
+// the partition given by uMask.
+func (g *Graph) MinCross(uMask uint64) int {
+	uMask &= g.full
+	vMask := g.full &^ uMask
+	crossUV, crossVU := 0, 0
+	rem := uMask
+	for rem != 0 {
+		a := bits.TrailingZeros64(rem)
+		rem &= rem - 1
+		crossUV += bits.OnesCount64(g.OutMask[a] & vMask)
+		crossVU += bits.OnesCount64(g.InMask[a] & vMask)
+	}
+	if crossVU < crossUV {
+		return crossVU
+	}
+	return crossUV
+}
+
+// PoolMin returns the minimum CutBandwidth over a pool of partition
+// masks.
+func (g *Graph) PoolMin(pool []uint64) float64 {
+	min := math.Inf(1)
+	for _, m := range pool {
+		if bw := g.CutBandwidth(m); bw < min {
+			min = bw
+		}
+	}
+	return min
+}

@@ -1,0 +1,186 @@
+package bitgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveInvariants(t *testing.T) {
+	g := New(8)
+	g.Add(0, 1)
+	g.Add(1, 2)
+	g.Add(0, 1) // idempotent
+	if g.NumLinks() != 2 {
+		t.Fatalf("links = %d, want 2", g.NumLinks())
+	}
+	if !g.Has(0, 1) || g.Has(1, 0) {
+		t.Fatal("directedness broken")
+	}
+	if g.OutDeg[0] != 1 || g.InDeg[1] != 1 || g.InDeg[2] != 1 {
+		t.Fatal("degree counters wrong")
+	}
+	g.Remove(0, 1)
+	g.Remove(0, 1) // idempotent
+	if g.NumLinks() != 1 || g.Has(0, 1) {
+		t.Fatal("remove broken")
+	}
+	if g.OutDeg[0] != 0 || g.InDeg[1] != 0 {
+		t.Fatal("degree counters not restored")
+	}
+}
+
+func TestNewBounds(t *testing.T) {
+	for _, bad := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) must panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+	g := New(64)
+	if g.Full() != ^uint64(0) {
+		t.Error("64-node full mask wrong")
+	}
+}
+
+func TestHopStatsLine(t *testing.T) {
+	// Directed line 0->1->2->3: total = (1+2+3)+(1+2)+1 = 10 reachable;
+	// unreachable = all backward pairs = 6; diameter 3.
+	g := New(4)
+	g.Add(0, 1)
+	g.Add(1, 2)
+	g.Add(2, 3)
+	total, unreachable, diam := g.HopStats()
+	if total != 10 || unreachable != 6 || diam != 3 {
+		t.Errorf("HopStats = (%d,%d,%d), want (10,6,3)", total, unreachable, diam)
+	}
+}
+
+func TestCutBandwidthDirected(t *testing.T) {
+	// 2 links 0->1 and 1->0 plus 2->... partition {0} vs {1}:
+	g := New(2)
+	g.Add(0, 1)
+	if got := g.CutBandwidth(1); got != 1.0 {
+		// one direction has 1 crossing, the other 0: min = 0.
+		if got != 0 {
+			t.Errorf("one-way cut bandwidth = %v, want 0 (min direction)", got)
+		}
+	}
+	g.Add(1, 0)
+	if got := g.CutBandwidth(1); got != 1.0 {
+		t.Errorf("two-way cut bandwidth = %v, want 1", got)
+	}
+}
+
+func TestPoolMin(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.Add(i, (i+1)%4)
+		g.Add((i+1)%4, i)
+	}
+	// Ring of 4: cut {0,1} crosses 2 each way: B = 2/4 = 0.5.
+	// Cut {0,2} crosses 4 each way: B = 1.
+	pool := []uint64{0b0011, 0b0101}
+	if got := g.PoolMin(pool); got != 0.5 {
+		t.Errorf("pool min = %v, want 0.5", got)
+	}
+	if math.IsInf(g.CutBandwidth(0), 1) != true {
+		t.Error("empty partition must be +Inf")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(4)
+	g.Add(0, 1)
+	c := g.Clone()
+	c.Add(1, 2)
+	c.Remove(0, 1)
+	if !g.Has(0, 1) || g.Has(1, 2) {
+		t.Fatal("clone shares state")
+	}
+}
+
+// Property: HopStats total/unreachable match a reference Floyd-Warshall
+// on random graphs.
+func TestHopStatsMatchesFloydWarshall(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(8)
+		g := New(n)
+		const inf = 1 << 20
+		d := make([][]int, n)
+		for i := range d {
+			d[i] = make([]int, n)
+			for j := range d[i] {
+				if i != j {
+					d[i][j] = inf
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.3 {
+					g.Add(i, j)
+					d[i][j] = 1
+				}
+			}
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if d[i][k]+d[k][j] < d[i][j] {
+						d[i][j] = d[i][k] + d[k][j]
+					}
+				}
+			}
+		}
+		var wantTotal int64
+		wantUnreach, wantDiam := 0, 0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if d[i][j] >= inf {
+					wantUnreach++
+				} else {
+					wantTotal += int64(d[i][j])
+					if d[i][j] > wantDiam {
+						wantDiam = d[i][j]
+					}
+				}
+			}
+		}
+		total, unreach, diam := g.HopStats()
+		return total == wantTotal && unreach == wantUnreach && diam == wantDiam
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinCross symmetry — MinCross(U) == MinCross(complement).
+func TestMinCrossComplement(t *testing.T) {
+	f := func(seed int64, maskRaw uint64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.4 {
+					g.Add(i, j)
+				}
+			}
+		}
+		mask := maskRaw & g.Full()
+		return g.MinCross(mask) == g.MinCross(g.Full()&^mask)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"netsmith/internal/sim"
+	"netsmith/internal/traffic"
+)
+
+// Fig1Point is one topology's position on the latency-vs-saturation
+// scatter of the paper's Figure 1.
+type Fig1Point struct {
+	Topology        string
+	Class           string
+	NetSmith        bool
+	ZeroLoadNs      float64 // average packet latency at low load
+	SaturationPerNs float64 // packets/node/ns
+}
+
+// Fig1 measures average packet latency and saturation throughput for
+// every 20-router topology under uniform random traffic.
+func (s *Suite) Fig1() ([]Fig1Point, error) {
+	set, err := s.twentyRouterSet()
+	if err != nil {
+		return nil, err
+	}
+	var points []Fig1Point
+	for _, t := range set {
+		sr, err := s.curve(t, traffic.Uniform{N: t.N()})
+		if err != nil {
+			return nil, fmt.Errorf("fig1 %s: %w", t.Name, err)
+		}
+		points = append(points, Fig1Point{
+			Topology:        t.Name,
+			Class:           t.Class.String(),
+			NetSmith:        routingFor(t.Name) == sim.UseMCLB,
+			ZeroLoadNs:      sr.ZeroLoadLatencyNs,
+			SaturationPerNs: sr.SaturationPerNs,
+		})
+	}
+	return points, nil
+}
+
+// PrintFig1 renders the scatter as a table (latency down, throughput
+// right: the paper's lower-right corner is best).
+func PrintFig1(w io.Writer, points []Fig1Point) {
+	fmt.Fprintln(w, "Figure 1: average packet latency vs saturation throughput (uniform random, 20 routers)")
+	fmt.Fprintf(w, "%-20s %-7s %12s %18s\n", "Topology", "Class", "Latency(ns)", "SatTput(pkt/n/ns)")
+	for _, p := range points {
+		marker := " "
+		if p.NetSmith {
+			marker = "*" // solid markers in the paper
+		}
+		fmt.Fprintf(w, "%-20s %-7s %12.2f %18.3f %s\n", p.Topology, p.Class, p.ZeroLoadNs, p.SaturationPerNs, marker)
+	}
+	fmt.Fprintln(w, "(* = NetSmith-generated)")
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+	"netsmith/internal/sim"
+	"netsmith/internal/synth"
+	"netsmith/internal/topo"
+	"netsmith/internal/traffic"
+)
+
+// Fig11Curve is one 48-router topology's uniform-random behaviour
+// (Figure 11: the scalability study on the 8x6 layout).
+type Fig11Curve struct {
+	Topology string
+	Class    string
+	Sweep    *sim.SweepResult
+}
+
+// Fig11 evaluates the 48-router (8x6) networks: the expert topologies
+// that scale (Kite-Large and LPBT do not, per the paper) and NetSmith
+// LatOp per class.
+func (s *Suite) Fig11() ([]Fig11Curve, error) {
+	g := layout.Grid8x6
+	var tops []*topo.Topology
+	for _, name := range []string{expert.NameKiteSmall, expert.NameFoldedTorus,
+		expert.NameKiteMedium, expert.NameButterDonut, expert.NameDoubleButterfly} {
+		t, err := expert.Get(name, g)
+		if err != nil {
+			return nil, err
+		}
+		tops = append(tops, t)
+	}
+	for _, c := range layout.Classes() {
+		t, err := s.NS(g, c, synth.LatOp)
+		if err != nil {
+			return nil, err
+		}
+		tops = append(tops, t)
+	}
+	uniform := traffic.Uniform{N: g.N()}
+	var curves []Fig11Curve
+	for _, t := range tops {
+		sr, err := s.curve(t, uniform)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 %s: %w", t.Name, err)
+		}
+		curves = append(curves, Fig11Curve{Topology: t.Name, Class: t.Class.String(), Sweep: sr})
+	}
+	return curves, nil
+}
+
+// PrintFig11 renders the scalability study.
+func PrintFig11(w io.Writer, curves []Fig11Curve) {
+	fmt.Fprintln(w, "Figure 11: synthetic uniform random traffic, 48 (8x6) router NoIs")
+	fmt.Fprintf(w, "%-20s %-7s %12s %18s\n", "Topology", "Class", "ZeroLoad(ns)", "SatTput(pkt/n/ns)")
+	for _, c := range curves {
+		fmt.Fprintf(w, "%-20s %-7s %12.2f %18.3f\n",
+			c.Topology, c.Class, c.Sweep.ZeroLoadLatencyNs, c.Sweep.SaturationPerNs)
+	}
+}

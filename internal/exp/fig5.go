@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"netsmith/internal/layout"
+	"netsmith/internal/synth"
+)
+
+// Fig5Trace is one solver-progress curve: objective-bounds gap vs time
+// for a LatOp synthesis run (the paper's Figure 5).
+type Fig5Trace struct {
+	Grid   string
+	Class  string
+	Points []synth.ProgressPoint
+	// FinalGap is the bounds gap when the budget expired.
+	FinalGap float64
+}
+
+// Fig5 runs LatOp synthesis with progress tracking for the 20-, 30- and
+// 48-router layouts across all three link-length classes. Time budgets
+// scale with Fast (the paper uses minutes to days; the shapes — smaller
+// classes converge faster, larger layouts take longer — reproduce at any
+// budget).
+func (s *Suite) Fig5() ([]Fig5Trace, error) {
+	grids := []*layout.Grid{layout.Grid4x5, layout.Grid6x5, layout.Grid8x6}
+	budget := map[*layout.Grid]time.Duration{
+		layout.Grid4x5: 4 * time.Second,
+		layout.Grid6x5: 8 * time.Second,
+		layout.Grid8x6: 12 * time.Second,
+	}
+	if s.Fast {
+		budget = map[*layout.Grid]time.Duration{
+			layout.Grid4x5: 1 * time.Second,
+			layout.Grid6x5: 2 * time.Second,
+			layout.Grid8x6: 3 * time.Second,
+		}
+	}
+	var traces []Fig5Trace
+	for _, g := range grids {
+		for _, c := range layout.Classes() {
+			var pts []synth.ProgressPoint
+			res, err := synth.Generate(synth.Config{
+				Grid: g, Class: c, Objective: synth.LatOp,
+				Seed: s.Seed, Iterations: 1 << 30, Restarts: 1 << 20,
+				TimeBudget: budget[g],
+				Progress:   func(p synth.ProgressPoint) { pts = append(pts, p) },
+			})
+			if err != nil {
+				return nil, err
+			}
+			traces = append(traces, Fig5Trace{
+				Grid:     fmt.Sprintf("%dx%d", g.Rows, g.Cols),
+				Class:    c.String(),
+				Points:   pts,
+				FinalGap: res.Gap,
+			})
+		}
+	}
+	return traces, nil
+}
+
+// PrintFig5 renders each trace as gap-vs-time samples.
+func PrintFig5(w io.Writer, traces []Fig5Trace) {
+	fmt.Fprintln(w, "Figure 5: solver objective-bounds gap vs time (LatOp)")
+	for _, tr := range traces {
+		fmt.Fprintf(w, "  %s %s: final gap %.1f%%; trace:", tr.Grid, tr.Class, 100*tr.FinalGap)
+		step := len(tr.Points)/6 + 1
+		for i := 0; i < len(tr.Points); i += step {
+			p := tr.Points[i]
+			fmt.Fprintf(w, " (%.2fs, %.0f%%)", p.Elapsed.Seconds(), 100*p.Gap)
+		}
+		if n := len(tr.Points); n > 0 {
+			p := tr.Points[n-1]
+			fmt.Fprintf(w, " (%.2fs, %.0f%%)", p.Elapsed.Seconds(), 100*p.Gap)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"netsmith/internal/layout"
+	"netsmith/internal/sim"
+	"netsmith/internal/traffic"
+)
+
+// Fig6Curve is one latency-vs-injection curve (Figure 6: synthetic
+// traffic on 20-router NoIs; (a) coherence = uniform random, (b)
+// memory = MC request/reply).
+type Fig6Curve struct {
+	Topology string
+	Class    string
+	Pattern  string
+	Sweep    *sim.SweepResult
+}
+
+// Fig6 sweeps every 20-router topology under both traffic types.
+func (s *Suite) Fig6() ([]Fig6Curve, error) {
+	set, err := s.twentyRouterSet()
+	if err != nil {
+		return nil, err
+	}
+	g := layout.Grid4x5
+	patterns := []traffic.Pattern{
+		traffic.Uniform{N: g.N()},
+		traffic.NewMemory(g.CoreRouters(), g.MemoryControllerRouters()),
+	}
+	var curves []Fig6Curve
+	for _, t := range set {
+		for _, p := range patterns {
+			sr, err := s.curve(t, p)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s/%s: %w", t.Name, p.Name(), err)
+			}
+			curves = append(curves, Fig6Curve{
+				Topology: t.Name, Class: t.Class.String(), Pattern: p.Name(), Sweep: sr,
+			})
+		}
+	}
+	return curves, nil
+}
+
+// PrintFig6 renders the curves grouped by pattern.
+func PrintFig6(w io.Writer, curves []Fig6Curve) {
+	fmt.Fprintln(w, "Figure 6: synthetic traffic, 20 (4x5) router NoIs")
+	for _, pattern := range []string{"uniform", "memory"} {
+		label := "(a) coherence traffic"
+		if pattern == "memory" {
+			label = "(b) memory traffic"
+		}
+		fmt.Fprintln(w, label)
+		fmt.Fprintf(w, "  %-20s %-7s %11s %17s\n", "Topology", "Class", "ZeroLoad(ns)", "SatTput(pkt/n/ns)")
+		for _, c := range curves {
+			if c.Pattern != pattern {
+				continue
+			}
+			fmt.Fprintf(w, "  %-20s %-7s %11.2f %17.3f\n",
+				c.Topology, c.Class, c.Sweep.ZeroLoadLatencyNs, c.Sweep.SaturationPerNs)
+		}
+	}
+}

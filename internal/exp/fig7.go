@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+	"netsmith/internal/sim"
+	"netsmith/internal/synth"
+	"netsmith/internal/topo"
+	"netsmith/internal/traffic"
+)
+
+// Fig7Row isolates topology vs routing benefits on large topologies
+// (Figure 7): measured saturation under NDBT vs MCLB routing, plus the
+// analytic cut-based and occupancy-based throughput bounds.
+type Fig7Row struct {
+	Topology string
+	// Measured saturation throughput (packets/node/ns).
+	NDBT, MCLB float64
+	// Analytic upper bounds (packets/node/ns).
+	CutBound, OccupancyBound float64
+}
+
+// throughputBounds computes the analytic bounds in packets/node/ns.
+//
+// Cut bound: for a partition (U, V), uniform traffic of lambda
+// packets/node/cycle loads the cut with lambda*|U||V|/(n-1) packets per
+// cycle, each of avgFlits flits, against a capacity of minCross flits
+// per cycle: lambda <= B(U,V)*(n-1)/avgFlits, minimized at the sparsest
+// cut.
+//
+// Occupancy bound: total flit-hop demand lambda*n*avgHops*avgFlits per
+// cycle cannot exceed the aggregate link capacity E flits/cycle.
+func throughputBounds(t *topo.Topology) (cut, occ float64) {
+	clock := t.Class.ClockGHz()
+	n := float64(t.N())
+	avgFlits := traffic.AvgFlitsPerPacket
+	sc := t.SparsestCut()
+	cut = sc.Bandwidth * (n - 1) / avgFlits * clock
+	e := float64(t.NumDirectedLinks())
+	occ = e / (n * t.AverageHops() * avgFlits) * clock
+	return cut, occ
+}
+
+// Fig7 compares NDBT and MCLB routing on the large 20-router topologies.
+func (s *Suite) Fig7() ([]Fig7Row, error) {
+	g := layout.Grid4x5
+	var tops []*topo.Topology
+	for _, name := range []string{expert.NameButterDonut, expert.NameDoubleButterfly, expert.NameKiteLarge} {
+		t, err := expert.Get(name, g)
+		if err != nil {
+			return nil, err
+		}
+		tops = append(tops, t)
+	}
+	for _, obj := range []synth.Objective{synth.LatOp, synth.SCOp} {
+		t, err := s.NS(g, layout.Large, obj)
+		if err != nil {
+			return nil, err
+		}
+		tops = append(tops, t)
+	}
+	uniform := traffic.Uniform{N: g.N()}
+	var rows []Fig7Row
+	for _, t := range tops {
+		row := Fig7Row{Topology: t.Name}
+		row.CutBound, row.OccupancyBound = throughputBounds(t)
+		for _, kind := range []sim.RoutingKind{sim.UseNDBT, sim.UseMCLB} {
+			st, err := s.Setup(t, kind)
+			if err != nil {
+				return nil, err
+			}
+			sr, err := st.Curve(uniform, s.rates(), s.Fast, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if kind == sim.UseNDBT {
+				row.NDBT = sr.SaturationPerNs
+			} else {
+				row.MCLB = sr.SaturationPerNs
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig7 renders measured throughput against analytic bounds.
+func PrintFig7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintln(w, "Figure 7: isolating topology and routing benefits (large topologies, uniform random)")
+	fmt.Fprintf(w, "%-20s %8s %8s %10s %10s  (pkt/node/ns)\n", "Topology", "NDBT", "MCLB", "CutBound", "OccBound")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %8.3f %8.3f %10.3f %10.3f\n",
+			r.Topology, r.NDBT, r.MCLB, r.CutBound, r.OccupancyBound)
+	}
+}

@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/fullsys"
+	"netsmith/internal/layout"
+	"netsmith/internal/synth"
+	"netsmith/internal/topo"
+)
+
+// Fig8Row is one benchmark x topology cell of the PARSEC study
+// (Figure 8): execution-time speedup and packet-latency reduction, both
+// relative to mesh.
+type Fig8Row struct {
+	Benchmark        string
+	Topology         string
+	Class            string
+	Speedup          float64 // execution time mesh/topology
+	LatencyReduction float64 // 1 - latency/mesh latency
+}
+
+// Fig8Topologies selects the NoIs compared in the full-system study:
+// Kite per class plus NetSmith LatOp per class (the paper additionally
+// shows SCOp, folded torus, LPBT; the full mode includes those too).
+func (s *Suite) fig8Topologies() ([]*topo.Topology, error) {
+	g := layout.Grid4x5
+	names := []string{expert.NameKiteSmall, expert.NameKiteMedium, expert.NameKiteLarge}
+	if !s.Fast {
+		names = append(names, expert.NameFoldedTorus, expert.NameButterDonut,
+			expert.NameDoubleButterfly, expert.NameLPBTHopsMedium)
+	}
+	var out []*topo.Topology
+	for _, n := range names {
+		t, err := expert.Get(n, g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	for _, c := range layout.Classes() {
+		t, err := s.NS(g, c, synth.LatOp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	if !s.Fast {
+		for _, c := range layout.Classes() {
+			t, err := s.NS(g, c, synth.SCOp)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// Fig8 runs the PARSEC workload model on mesh plus the comparison NoIs
+// and reports per-benchmark speedup and latency reduction vs mesh,
+// appending a geometric-mean row per topology.
+func (s *Suite) Fig8() ([]Fig8Row, error) {
+	tops, err := s.fig8Topologies()
+	if err != nil {
+		return nil, err
+	}
+	benchmarks := fullsys.Benchmarks()
+	if s.Fast {
+		// Every third benchmark spans the load range.
+		benchmarks = []fullsys.Benchmark{benchmarks[0], benchmarks[4], benchmarks[7], benchmarks[11]}
+	}
+	model := fullsys.DefaultExecModel()
+
+	type cell struct{ cpi, lat float64 }
+	baseline := map[string]cell{}
+	meshSys, err := fullsys.BuildExpert(expert.Mesh(layout.Grid4x5), s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range benchmarks {
+		res, err := meshSys.RunWorkload(b, model, s.Seed, s.Fast)
+		if err != nil {
+			return nil, err
+		}
+		baseline[b.Name] = cell{cpi: res.CPI, lat: res.AvgPacketNs}
+	}
+
+	var rows []Fig8Row
+	for _, t := range tops {
+		builder := fullsys.BuildExpert
+		if strings.HasPrefix(t.Name, "NS-") {
+			builder = fullsys.Build
+		}
+		sys, err := builder(t, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", t.Name, err)
+		}
+		prodSpeedup := 1.0
+		for _, b := range benchmarks {
+			res, err := sys.RunWorkload(b, model, s.Seed, s.Fast)
+			if err != nil {
+				return nil, err
+			}
+			base := baseline[b.Name]
+			sp := base.cpi / res.CPI
+			rows = append(rows, Fig8Row{
+				Benchmark:        b.Name,
+				Topology:         t.Name,
+				Class:            t.Class.String(),
+				Speedup:          sp,
+				LatencyReduction: 1 - res.AvgPacketNs/base.lat,
+			})
+			prodSpeedup *= sp
+		}
+		rows = append(rows, Fig8Row{
+			Benchmark: "geomean",
+			Topology:  t.Name,
+			Class:     t.Class.String(),
+			Speedup:   math.Pow(prodSpeedup, 1/float64(len(benchmarks))),
+		})
+	}
+	return rows, nil
+}
+
+// PrintFig8 renders the study grouped by benchmark.
+func PrintFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintln(w, "Figure 8: PARSEC speedup and packet latency reduction vs mesh")
+	fmt.Fprintf(w, "%-14s %-20s %-7s %9s %12s\n", "Benchmark", "Topology", "Class", "Speedup", "LatReduction")
+	for _, r := range rows {
+		if r.Benchmark == "geomean" {
+			fmt.Fprintf(w, "%-14s %-20s %-7s %9.3f %12s\n", r.Benchmark, r.Topology, r.Class, r.Speedup, "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-14s %-20s %-7s %9.3f %11.1f%%\n",
+			r.Benchmark, r.Topology, r.Class, r.Speedup, 100*r.LatencyReduction)
+	}
+}

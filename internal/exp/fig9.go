@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+	"netsmith/internal/power"
+	"netsmith/internal/route"
+)
+
+// Fig9Row is one topology's mesh-normalized power and area (Figure 9).
+type Fig9Row struct {
+	Topology string
+	Class    string
+	power.Relative
+}
+
+// fig9Load is the uniform offered load at which activity is evaluated.
+const fig9Load = 0.10
+
+// Fig9 computes DSENT-substitute power and area for the 20-router
+// topologies, normalized to mesh.
+func (s *Suite) Fig9() ([]Fig9Row, error) {
+	mesh := expert.Mesh(layout.Grid4x5)
+	meshRouting, err := route.MCLB(mesh, route.MCLBOptions{Seed: s.Seed, Restarts: 2, Sweeps: 10})
+	if err != nil {
+		return nil, err
+	}
+	model := power.Default22nm()
+	base := power.Analyze(mesh, meshRouting, fig9Load, model)
+
+	set, err := s.twentyRouterSet()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig9Row
+	for _, t := range set {
+		r, err := route.MCLB(t, route.MCLBOptions{Seed: s.Seed, Restarts: 2, Sweeps: 10})
+		if err != nil {
+			return nil, err
+		}
+		rep := power.Analyze(t, r, fig9Load, model)
+		rows = append(rows, Fig9Row{
+			Topology: t.Name,
+			Class:    t.Class.String(),
+			Relative: rep.RelativeTo(base),
+		})
+	}
+	return rows, nil
+}
+
+// PrintFig9 renders the normalized power/area table.
+func PrintFig9(w io.Writer, rows []Fig9Row) {
+	fmt.Fprintln(w, "Figure 9: power and area relative to mesh (lower is better)")
+	fmt.Fprintf(w, "%-20s %-7s %8s %8s %8s %10s %9s %9s\n",
+		"Topology", "Class", "Dynamic", "Leakage", "Total", "RouterArea", "WireArea", "TotalArea")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %-7s %8.2f %8.2f %8.2f %10.2f %9.2f %9.2f\n",
+			r.Topology, r.Class, r.Dynamic, r.Leakage, r.Total,
+			r.RouterAreaR, r.WireAreaR, r.TotalAreaR)
+	}
+}

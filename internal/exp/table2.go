@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+	"netsmith/internal/synth"
+	"netsmith/internal/topo"
+)
+
+// Table2Row mirrors one row of the paper's Table II (topology metrics).
+type Table2Row struct {
+	Routers   int
+	Class     string
+	Topology  string
+	Links     int
+	Diameter  int
+	AvgHops   float64
+	Bisection int
+	// PaperAvgHops/PaperBisection carry the published values where the
+	// paper reports them (0 = not published).
+	PaperAvgHops   float64
+	PaperBisection int
+}
+
+// paperTable2 holds the published metrics for cross-reference.
+var paperTable2 = map[string][2]float64{ // key: "routers/name" -> {avg hops, bisection}
+	"20/Kite-Small":       {2.38, 8},
+	"20/LPBT-Power":       {2.59, 4},
+	"20/LPBT-Hops-Small":  {2.74, 4},
+	"20/NS-LatOp-small":   {2.34, 7},
+	"20/NS-SCOp-small":    {2.38, 8},
+	"20/Folded Torus":     {2.32, 10},
+	"20/Kite-Medium":      {2.25, 8},
+	"20/LPBT-Hops-Medium": {2.33, 7},
+	"20/NS-LatOp-medium":  {2.06, 10},
+	"20/NS-SCOp-medium":   {2.16, 11},
+	"20/Butter Donut":     {2.32, 8},
+	"20/Double Butterfly": {2.59, 8},
+	"20/Kite-Large":       {2.27, 8},
+	"20/NS-LatOp-large":   {1.96, 13},
+	"20/NS-SCOp-large":    {2.03, 14},
+	"30/Kite-Small":       {2.91, 10},
+	"30/NS-LatOp-small":   {2.80, 8},
+	"30/Folded Torus":     {2.79, 10},
+	"30/Kite-Medium":      {2.66, 10},
+	"30/NS-LatOp-medium":  {2.47, 11},
+	"30/Butter Donut":     {3.71, 8},
+	"30/Double Butterfly": {2.90, 8},
+	"30/Kite-Large":       {2.69, 10},
+	"30/NS-LatOp-large":   {2.32, 14},
+}
+
+// Table2 computes the full topology-metrics table for the 20- and
+// 30-router configurations.
+func (s *Suite) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	add := func(t *topo.Topology, routers int) {
+		row := Table2Row{
+			Routers:   routers,
+			Class:     t.Class.String(),
+			Topology:  t.Name,
+			Links:     t.NumLinks(),
+			Diameter:  t.Diameter(),
+			AvgHops:   t.AverageHops(),
+			Bisection: t.BisectionBandwidth(),
+		}
+		if p, ok := paperTable2[fmt.Sprintf("%d/%s", routers, t.Name)]; ok {
+			row.PaperAvgHops = p[0]
+			row.PaperBisection = int(p[1])
+		}
+		rows = append(rows, row)
+	}
+
+	// 20 routers: full comparison set.
+	set20, err := s.twentyRouterSet()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range set20 {
+		add(t, 20)
+	}
+	// 30 routers: experts + NS-LatOp per class (as published).
+	g30 := layout.Grid6x5
+	for _, name := range []string{
+		expert.NameKiteSmall, expert.NameFoldedTorus, expert.NameKiteMedium,
+		expert.NameButterDonut, expert.NameDoubleButterfly, expert.NameKiteLarge,
+	} {
+		t, err := expert.Get(name, g30)
+		if err != nil {
+			return nil, err
+		}
+		add(t, 30)
+	}
+	for _, c := range layout.Classes() {
+		t, err := s.NS(g30, c, synth.LatOp)
+		if err != nil {
+			return nil, err
+		}
+		add(t, 30)
+	}
+	return rows, nil
+}
+
+// PrintTable2 renders rows in the paper's layout, with published values
+// in parentheses where available.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "Table II: topology metrics (paper values in parentheses)\n")
+	fmt.Fprintf(w, "%-8s %-7s %-20s %6s %5s %12s %12s\n",
+		"Routers", "Class", "Topology", "Links", "Diam", "AvgHops", "BisectionBW")
+	for _, r := range rows {
+		avg := fmt.Sprintf("%.2f", r.AvgHops)
+		if r.PaperAvgHops > 0 {
+			avg += fmt.Sprintf("(%.2f)", r.PaperAvgHops)
+		}
+		bis := fmt.Sprintf("%d", r.Bisection)
+		if r.PaperBisection > 0 {
+			bis += fmt.Sprintf("(%d)", r.PaperBisection)
+		}
+		fmt.Fprintf(w, "%-8d %-7s %-20s %6d %5d %12s %12s\n",
+			r.Routers, r.Class, r.Topology, r.Links, r.Diameter, avg, bis)
+	}
+}

@@ -1,0 +1,27 @@
+package expert
+
+import "netsmith/internal/layout"
+
+// frozenKey identifies a calibrated baseline by name and grid size.
+type frozenKey struct {
+	name       string
+	rows, cols int
+}
+
+// frozenTopo is a calibrated, frozen link list (undirected pairs; the
+// topology contains both directions of every pair).
+type frozenTopo struct {
+	class layout.Class
+	pairs [][2]int
+}
+
+// frozen holds the calibrated baseline link lists. The lists are
+// generated once by cmd/calibrate (deterministic seeds, see specs.go) and
+// frozen here so every build and benchmark compares against the exact
+// same baselines.
+var frozen = map[frozenKey]frozenTopo{}
+
+// registerFrozen is called from the generated file frozen_lists.go.
+func registerFrozen(name string, rows, cols int, class layout.Class, pairs [][2]int) {
+	frozen[frozenKey{name: name, rows: rows, cols: cols}] = frozenTopo{class: class, pairs: pairs}
+}

@@ -1,0 +1,244 @@
+// Package fullsys models the paper's full-system configuration (Table
+// IV): 64 out-of-order cores on four chiplets, each chiplet with a 4x4
+// mesh NoC at 3.8 GHz, stacked over a 20-router NoI whose topology is
+// under evaluation, connected through clock-domain crossings (CDCs).
+// Memory controllers attach to the NoI edge-column routers.
+//
+// PARSEC workloads are modelled as trace-parameterized traffic (see
+// parsec.go): per-benchmark L2 miss intensity and coherence/memory mix
+// drive injection into the simulated hierarchical network, and execution
+// time follows a CPI model in which the exposed network latency of
+// misses adds to a base CPI. This is the documented substitution for
+// gem5 full-system simulation (DESIGN.md).
+package fullsys
+
+import (
+	"fmt"
+
+	"netsmith/internal/layout"
+	"netsmith/internal/route"
+	"netsmith/internal/sim"
+	"netsmith/internal/topo"
+	"netsmith/internal/traffic"
+	"netsmith/internal/vc"
+)
+
+// System is a combined NoC+NoI network ready for simulation.
+type System struct {
+	// Net is the combined 84-router network: routers [0, 20) are the NoI
+	// (in the NoI topology's own numbering), routers [20, 84) are NoC
+	// mesh routers, one per core.
+	Net *topo.Topology
+	// NoI is the interposer topology under evaluation.
+	NoI *topo.Topology
+	// CoreRouters lists the 64 NoC router ids; MCRouters the NoI routers
+	// hosting memory controllers.
+	CoreRouters []int
+	MCRouters   []int
+	// NodeRate scales router service rates: NoC routers run at the base
+	// 3.8 GHz, NoI routers at their class clock.
+	NodeRate []float64
+	// ExtraLinkLatency holds the CDC penalty on NoC<->NoI links.
+	ExtraLinkLatency map[[2]int]int
+
+	Routing *route.Routing
+	VC      *vc.Assignment
+}
+
+// NoCClockGHz is the chiplet NoC and core clock (Table IV).
+const NoCClockGHz = 3.8
+
+// CDCLatencyCycles is the clock-domain-crossing penalty per traversal
+// (Table IV: 2-cycle CDC latency).
+const CDCLatencyCycles = 2
+
+const (
+	noiCount  = 20
+	coreCount = 64
+	coreBase  = noiCount // first NoC router id
+)
+
+// coreID returns the combined-network id of the core at global core-grid
+// position (row, col) in the 8x8 arrangement (4 chiplets of 4x4).
+func coreID(row, col int) int { return coreBase + row*8 + col }
+
+// noiColumnsToCoreCols maps a NoI column to the core-grid columns it
+// serves: edge NoI columns serve one core column (plus two MCs), middle
+// columns serve two.
+func noiColumnsToCoreCols(c int) []int {
+	switch c {
+	case 0:
+		return []int{0}
+	case 1:
+		return []int{1, 2}
+	case 2:
+		return []int{3, 4}
+	case 3:
+		return []int{5, 6}
+	case 4:
+		return []int{7}
+	default:
+		panic("fullsys: NoI column out of range")
+	}
+}
+
+// Build assembles the full system around a 20-router (4x5) NoI topology
+// and prepares MCLB routing (with the CDC double-back filter) and a
+// verified deadlock-free VC assignment. NetSmith topologies use MCLB;
+// use BuildExpert for the baseline heuristic.
+func Build(noi *topo.Topology, seed int64) (*System, error) {
+	return build(noi, seed, false)
+}
+
+// BuildExpert is Build with the expert-topology routing heuristic:
+// random selection among CDC-filtered shortest paths whose NoI segment
+// obeys the no-double-back-turns rule.
+func BuildExpert(noi *topo.Topology, seed int64) (*System, error) {
+	return build(noi, seed, true)
+}
+
+func build(noi *topo.Topology, seed int64, expertHeuristic bool) (*System, error) {
+	if noi.Grid.Rows != 4 || noi.Grid.Cols != 5 {
+		return nil, fmt.Errorf("fullsys: NoI must be 4x5, got %s", noi.Grid)
+	}
+	// The combined network lives on a synthetic grid (positions are not
+	// meaningful; link-length constraints do not apply here).
+	g := layout.NewGrid(7, 12)
+	net := topo.New(noi.Name+"+fullsys", g, layout.Large)
+
+	// NoI links carry over with the same ids.
+	for _, l := range noi.Links() {
+		net.AddLink(l.From, l.To)
+	}
+	// Four chiplets of 4x4 mesh over the 8x8 core grid. Chiplet
+	// boundaries fall between rows 3/4 and cols 3/4: mesh links do not
+	// cross them (chiplets are separate dies).
+	for row := 0; row < 8; row++ {
+		for col := 0; col < 8; col++ {
+			if col+1 < 8 && col != 3 {
+				net.AddLink(coreID(row, col), coreID(row, col+1))
+				net.AddLink(coreID(row, col+1), coreID(row, col))
+			}
+			if row+1 < 8 && row != 3 {
+				net.AddLink(coreID(row, col), coreID(row+1, col))
+				net.AddLink(coreID(row+1, col), coreID(row, col))
+			}
+		}
+	}
+	sys := &System{
+		NoI:              noi,
+		Net:              net,
+		NodeRate:         make([]float64, noiCount+coreCount),
+		ExtraLinkLatency: map[[2]int]int{},
+	}
+	// CDC links: each core's NoC router connects to its NoI router.
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			noiRouter := noi.Grid.Router(r, c)
+			for _, coreCol := range noiColumnsToCoreCols(c) {
+				for _, coreRow := range []int{2 * r, 2*r + 1} {
+					core := coreID(coreRow, coreCol)
+					net.AddLink(core, noiRouter)
+					net.AddLink(noiRouter, core)
+					sys.ExtraLinkLatency[[2]int{core, noiRouter}] = CDCLatencyCycles
+					sys.ExtraLinkLatency[[2]int{noiRouter, core}] = CDCLatencyCycles
+				}
+			}
+		}
+	}
+	for i := 0; i < noiCount; i++ {
+		sys.NodeRate[i] = noi.Class.ClockGHz() / NoCClockGHz
+	}
+	for i := coreBase; i < coreBase+coreCount; i++ {
+		sys.NodeRate[i] = 1.0
+		sys.CoreRouters = append(sys.CoreRouters, i)
+	}
+	sys.MCRouters = noi.Grid.MemoryControllerRouters()
+
+	// Routing: shortest paths filtered to those that do not double back
+	// between NoC and NoI (minimizing CDC crossings), then MCLB.
+	ps, err := route.AllShortestPaths(net, 0)
+	if err != nil {
+		return nil, err
+	}
+	filtered, _ := ps.Filter(noCDCDoubleBack)
+	if expertHeuristic {
+		// Expert baselines: NDBT on the NoI segment, random choice among
+		// the remaining shortest paths (the paper's baseline routing).
+		ndbtFiltered, _ := filtered.Filter(func(p route.Path) bool {
+			return noiSegmentMonotoneX(noi, p)
+		})
+		sys.Routing = route.RandomSelection("NDBT", ndbtFiltered, seed)
+	} else {
+		sys.Routing = route.MCLBOnPaths(filtered, route.MCLBOptions{Seed: seed, Restarts: 2, Sweeps: 10})
+	}
+	if err := sys.Routing.Validate(net); err != nil {
+		return nil, err
+	}
+	sys.VC, err = vc.Assign(sys.Routing, vc.Options{Seed: seed, Tries: 2})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.VC.Verify(sys.Routing); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// noCDCDoubleBack rejects paths that cross between the NoC and NoI
+// domains more than twice (enter + leave), the paper's full-system path
+// constraint.
+func noCDCDoubleBack(p route.Path) bool {
+	transitions := 0
+	for i := 0; i+1 < len(p); i++ {
+		if isNoI(p[i]) != isNoI(p[i+1]) {
+			transitions++
+		}
+	}
+	return transitions <= 2
+}
+
+func isNoI(r int) bool { return r < noiCount }
+
+// noiSegmentMonotoneX reports whether the NoI portion of a combined-
+// network path never reverses its horizontal direction (the expert
+// no-double-back-turns rule applied to interposer hops only).
+func noiSegmentMonotoneX(noi *topo.Topology, p route.Path) bool {
+	dir := 0
+	for i := 0; i+1 < len(p); i++ {
+		if !isNoI(p[i]) || !isNoI(p[i+1]) {
+			continue
+		}
+		_, c0 := noi.Grid.Pos(p[i])
+		_, c1 := noi.Grid.Pos(p[i+1])
+		switch {
+		case c1 > c0:
+			if dir < 0 {
+				return false
+			}
+			dir = 1
+		case c1 < c0:
+			if dir > 0 {
+				return false
+			}
+			dir = -1
+		}
+	}
+	return true
+}
+
+// SimConfig builds a simulator configuration for this system.
+func (s *System) SimConfig(pattern traffic.Pattern, rate float64, seed int64) sim.Config {
+	return sim.Config{
+		Topo:             s.Net,
+		Routing:          s.Routing,
+		VC:               s.VC,
+		NumVCs:           10, // MESI two-level: 10 total VCs (Table IV)
+		Pattern:          pattern,
+		InjectionRate:    rate,
+		ClockGHz:         NoCClockGHz,
+		NodeRate:         s.NodeRate,
+		ExtraLinkLatency: s.ExtraLinkLatency,
+		Seed:             seed,
+	}
+}

@@ -1,0 +1,128 @@
+// Package power is an analytic area/power model for interposer networks,
+// substituting for DSENT's 22nm bulk LVT technology model. It encodes
+// the three effects the paper's Figure 9 depends on: (1) leakage is
+// roughly constant across same-router-count topologies, (2) dynamic
+// power scales with clock frequency and aggregate wire length times
+// activity, and (3) wire area dominates router area. Absolute numbers
+// are calibrated to be plausible for 22nm but only mesh-relative values
+// are reported.
+package power
+
+import (
+	"netsmith/internal/route"
+	"netsmith/internal/topo"
+	"netsmith/internal/traffic"
+)
+
+// Model holds technology constants (22nm bulk LVT flavored).
+type Model struct {
+	// RouterDynPJPerFlit is the energy per flit per router traversal.
+	RouterDynPJPerFlit float64
+	// WireDynPJPerFlitMM is the wire energy per flit per millimetre.
+	WireDynPJPerFlitMM float64
+	// RouterLeakMWPerPort is leakage per router port (buffers + switch).
+	RouterLeakMWPerPort float64
+	// WireLeakMWPerMM is repeater leakage per wire millimetre.
+	WireLeakMWPerMM float64
+	// RouterAreaMM2PerPort approximates router area per port.
+	RouterAreaMM2PerPort float64
+	// WireAreaMM2PerMM is link footprint per millimetre (64 data wires
+	// plus control at interposer metal pitch).
+	WireAreaMM2PerMM float64
+	// LocalPorts counts the non-network ports per router (cores/MCs +
+	// injection/ejection), included in leakage and area.
+	LocalPorts int
+}
+
+// Default22nm returns the calibrated constants.
+func Default22nm() Model {
+	return Model{
+		RouterDynPJPerFlit:   0.60,
+		WireDynPJPerFlitMM:   0.18,
+		RouterLeakMWPerPort:  0.25,
+		WireLeakMWPerMM:      0.15,
+		RouterAreaMM2PerPort: 0.0125,
+		WireAreaMM2PerMM:     0.013,
+		LocalPorts:           4,
+	}
+}
+
+// Report is the absolute power/area estimate for one topology.
+type Report struct {
+	Topology   string
+	DynamicMW  float64
+	LeakageMW  float64
+	TotalMW    float64
+	RouterArea float64 // mm^2
+	WireArea   float64 // mm^2
+	TotalArea  float64 // mm^2
+}
+
+// Analyze estimates power at a uniform offered load of rate packets per
+// node per cycle, with activity derived from the routing's exact channel
+// loads.
+func Analyze(t *topo.Topology, r *route.Routing, rate float64, m Model) Report {
+	n := float64(t.N())
+	clock := t.Class.ClockGHz()
+	// Per-flow packet rate: each node spreads `rate` over n-1 flows.
+	flowRate := rate / (n - 1)
+	flitsPerPkt := traffic.AvgFlitsPerPacket
+
+	var routerDyn, wireDyn float64
+	loads := r.ChannelLoads()
+	for link, load := range loads {
+		// flits per cycle crossing this link.
+		flitRate := float64(load) * flowRate * flitsPerPkt
+		lengthMM := t.Grid.LengthMM(link[0], link[1])
+		// pJ/flit * flits/cycle * Gcycles/s = mW.
+		routerDyn += m.RouterDynPJPerFlit * flitRate * clock
+		wireDyn += m.WireDynPJPerFlitMM * lengthMM * flitRate * clock
+	}
+	// Injection/ejection traversals add one router pass each.
+	injFlits := rate * flitsPerPkt * n
+	routerDyn += 2 * m.RouterDynPJPerFlit * injFlits * clock / 2
+
+	wireMM := t.TotalWireLengthMM()
+	ports := 0
+	for v := 0; v < t.N(); v++ {
+		ports += t.OutDegree(v) + t.InDegree(v) + m.LocalPorts
+	}
+	leak := m.RouterLeakMWPerPort*float64(ports)/2 + m.WireLeakMWPerMM*wireMM
+
+	routerArea := m.RouterAreaMM2PerPort * float64(ports) / 2
+	wireArea := m.WireAreaMM2PerMM * wireMM
+	return Report{
+		Topology:   t.Name,
+		DynamicMW:  routerDyn + wireDyn,
+		LeakageMW:  leak,
+		TotalMW:    routerDyn + wireDyn + leak,
+		RouterArea: routerArea,
+		WireArea:   wireArea,
+		TotalArea:  routerArea + wireArea,
+	}
+}
+
+// Relative is a mesh-normalized report (the paper's Figure 9 axes;
+// lower is better).
+type Relative struct {
+	Topology    string
+	Dynamic     float64
+	Leakage     float64
+	Total       float64
+	RouterAreaR float64
+	WireAreaR   float64
+	TotalAreaR  float64
+}
+
+// RelativeTo normalizes a report against a baseline (typically mesh).
+func (r Report) RelativeTo(base Report) Relative {
+	return Relative{
+		Topology:    r.Topology,
+		Dynamic:     r.DynamicMW / base.DynamicMW,
+		Leakage:     r.LeakageMW / base.LeakageMW,
+		Total:       r.TotalMW / base.TotalMW,
+		RouterAreaR: r.RouterArea / base.RouterArea,
+		WireAreaR:   r.WireArea / base.WireArea,
+		TotalAreaR:  r.TotalArea / base.TotalArea,
+	}
+}

@@ -1,0 +1,94 @@
+package power
+
+import (
+	"testing"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+	"netsmith/internal/route"
+	"netsmith/internal/topo"
+)
+
+func analyzed(t *testing.T, tp *topo.Topology, rate float64) Report {
+	t.Helper()
+	r, err := route.MCLB(tp, route.MCLBOptions{Seed: 1, Restarts: 2, Sweeps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(tp, r, rate, Default22nm())
+}
+
+func TestAnalyzeMeshBasics(t *testing.T) {
+	mesh := expert.Mesh(layout.Grid4x5)
+	rep := analyzed(t, mesh, 0.10)
+	if rep.DynamicMW <= 0 || rep.LeakageMW <= 0 {
+		t.Fatalf("power components must be positive: %+v", rep)
+	}
+	if rep.TotalMW != rep.DynamicMW+rep.LeakageMW {
+		t.Error("total must equal dynamic + leakage")
+	}
+	// Paper: leakage comparable to dynamic power at moderate load.
+	ratio := rep.LeakageMW / rep.DynamicMW
+	if ratio < 0.3 || ratio > 3.0 {
+		t.Errorf("leakage/dynamic ratio %v implausible", ratio)
+	}
+	// Wire area dominates router area (paper Fig. 9 discussion).
+	if rep.WireArea <= rep.RouterArea {
+		t.Errorf("wire area %v must dominate router area %v", rep.WireArea, rep.RouterArea)
+	}
+}
+
+func TestDynamicScalesWithLoad(t *testing.T) {
+	mesh := expert.Mesh(layout.Grid4x5)
+	low := analyzed(t, mesh, 0.02)
+	high := analyzed(t, mesh, 0.20)
+	if high.DynamicMW <= low.DynamicMW {
+		t.Error("dynamic power must grow with load")
+	}
+	if high.LeakageMW != low.LeakageMW {
+		t.Error("leakage must be load independent")
+	}
+}
+
+func TestLeakageComparableAcrossTopologies(t *testing.T) {
+	// Paper: leakage is more or less the same across the 20-router
+	// topologies (same routers, similar link counts).
+	mesh := analyzed(t, expert.Mesh(layout.Grid4x5), 0.10)
+	kite, err := expert.Get(expert.NameKiteMedium, layout.Grid4x5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kiteRep := analyzed(t, kite, 0.10)
+	rel := kiteRep.RelativeTo(mesh)
+	if rel.Leakage < 0.8 || rel.Leakage > 1.6 {
+		t.Errorf("kite leakage %vx mesh, expected near 1x", rel.Leakage)
+	}
+}
+
+func TestSlowerClockLowersDynamic(t *testing.T) {
+	// Same link structure, slower clock => lower dynamic power. Compare
+	// the same mesh labeled medium (3.0GHz) vs small (3.6GHz).
+	meshSmall := expert.Mesh(layout.Grid4x5)
+	meshSlow := meshSmall.Clone()
+	meshSlow.Class = layout.Large
+	fast := analyzed(t, meshSmall, 0.10)
+	slow := analyzed(t, meshSlow, 0.10)
+	want := layout.Large.ClockGHz() / layout.Small.ClockGHz()
+	got := slow.DynamicMW / fast.DynamicMW
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("dynamic ratio %v, want clock ratio %v", got, want)
+	}
+}
+
+func TestRelativeToSelfIsUnity(t *testing.T) {
+	mesh := analyzed(t, expert.Mesh(layout.Grid4x5), 0.10)
+	rel := mesh.RelativeTo(mesh)
+	for name, v := range map[string]float64{
+		"dynamic": rel.Dynamic, "leakage": rel.Leakage, "total": rel.Total,
+		"routerArea": rel.RouterAreaR, "wireArea": rel.WireAreaR, "totalArea": rel.TotalAreaR,
+	} {
+		if v < 0.999 || v > 1.001 {
+			t.Errorf("%s self-relative = %v, want 1", name, v)
+		}
+	}
+}

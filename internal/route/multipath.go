@@ -1,0 +1,205 @@
+package route
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netsmith/internal/mip"
+)
+
+// MultiRouting generalizes Routing to weighted multi-path selection: the
+// paper's Table III notes that the single-path criterion C4 "can be
+// modified to accommodate fractional or multi-path routing". Each flow
+// carries a set of shortest paths with selection probabilities; traffic
+// is split across them, lowering the maximum channel load below the best
+// single-path selection on topologies with path diversity.
+type MultiRouting struct {
+	Name    string
+	N       int
+	Paths   [][][]Path    // [src][dst] -> candidate paths
+	Weights [][][]float64 // matching selection probabilities (sum 1)
+}
+
+// PathFor samples a path for flow (s, d) according to the weights.
+func (m *MultiRouting) PathFor(s, d int, rng *rand.Rand) Path {
+	cands := m.Paths[s][d]
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	x := rng.Float64()
+	acc := 0.0
+	for i, w := range m.Weights[s][d] {
+		acc += w
+		if x < acc {
+			return cands[i]
+		}
+	}
+	return cands[len(cands)-1]
+}
+
+// ExpectedChannelLoads returns the fractional load per directed link
+// under unit demand per flow.
+func (m *MultiRouting) ExpectedChannelLoads() map[[2]int]float64 {
+	loads := make(map[[2]int]float64)
+	for s := range m.Paths {
+		for d := range m.Paths[s] {
+			for i, p := range m.Paths[s][d] {
+				w := m.Weights[s][d][i]
+				if w == 0 {
+					continue
+				}
+				for _, l := range p.Links() {
+					loads[l] += w
+				}
+			}
+		}
+	}
+	return loads
+}
+
+// MaxExpectedChannelLoad is the fractional MCLB objective value.
+func (m *MultiRouting) MaxExpectedChannelLoad() float64 {
+	max := 0.0
+	for _, v := range m.ExpectedChannelLoads() {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Validate checks weights are a probability distribution per flow.
+func (m *MultiRouting) Validate() error {
+	for s := 0; s < m.N; s++ {
+		for d := 0; d < m.N; d++ {
+			if s == d {
+				continue
+			}
+			if len(m.Paths[s][d]) == 0 {
+				return fmt.Errorf("route: flow (%d,%d) has no paths", s, d)
+			}
+			if len(m.Paths[s][d]) != len(m.Weights[s][d]) {
+				return fmt.Errorf("route: flow (%d,%d) weight/path mismatch", s, d)
+			}
+			sum := 0.0
+			for _, w := range m.Weights[s][d] {
+				if w < -1e-9 {
+					return fmt.Errorf("route: flow (%d,%d) negative weight", s, d)
+				}
+				sum += w
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return fmt.Errorf("route: flow (%d,%d) weights sum to %v", s, d, sum)
+			}
+		}
+	}
+	return nil
+}
+
+// MCLBFractional solves the fractional multi-path MCLB exactly as a
+// linear program: per-flow path fractions minimizing the maximum
+// expected channel load. The optimum is a lower bound on (and typically
+// strictly better than) the best single-path selection.
+func MCLBFractional(ps *PathSet, maxPathsPerFlow int) (*MultiRouting, error) {
+	if maxPathsPerFlow <= 0 {
+		maxPathsPerFlow = 8
+	}
+	n := ps.N
+	p := mip.NewProblem()
+	z := p.AddVar(0, math.Inf(1), 1, "z")
+	type ref struct{ s, d, idx int }
+	var vars []ref
+	varOf := map[ref]mip.Var{}
+	linkTerms := make(map[[2]int][]mip.Term)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			cands := ps.Paths[s][d]
+			if len(cands) > maxPathsPerFlow {
+				cands = cands[:maxPathsPerFlow]
+			}
+			var one []mip.Term
+			for idx, path := range cands {
+				v := p.AddVar(0, 1, 0, "f")
+				r := ref{s, d, idx}
+				vars = append(vars, r)
+				varOf[r] = v
+				one = append(one, mip.Term{Var: v, Coeff: 1})
+				for _, l := range path.Links() {
+					linkTerms[l] = append(linkTerms[l], mip.Term{Var: v, Coeff: 1})
+				}
+			}
+			p.AddConstraint(one, mip.EQ, 1)
+		}
+	}
+	for _, terms := range linkTerms {
+		row := append(append([]mip.Term(nil), terms...), mip.Term{Var: z, Coeff: -1})
+		p.AddConstraint(row, mip.LE, 0)
+	}
+	sol, err := p.SolveLP()
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiRouting{Name: "MCLB-fractional", N: n,
+		Paths: make([][][]Path, n), Weights: make([][][]float64, n)}
+	for s := 0; s < n; s++ {
+		m.Paths[s] = make([][]Path, n)
+		m.Weights[s] = make([][]float64, n)
+	}
+	for _, r := range vars {
+		w := sol.Value(varOf[r])
+		if w < 1e-9 {
+			w = 0
+		}
+		m.Paths[r.s][r.d] = append(m.Paths[r.s][r.d], ps.Paths[r.s][r.d][r.idx])
+		m.Weights[r.s][r.d] = append(m.Weights[r.s][r.d], w)
+	}
+	// Renormalize against numerical noise.
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			sum := 0.0
+			for _, w := range m.Weights[s][d] {
+				sum += w
+			}
+			if sum <= 0 {
+				// Degenerate LP corner: fall back to the first path.
+				m.Weights[s][d][0] = 1
+				sum = 1
+			}
+			for i := range m.Weights[s][d] {
+				m.Weights[s][d][i] /= sum
+			}
+		}
+	}
+	return m, nil
+}
+
+// SinglePathFrom rounds a fractional routing to a single-path Routing by
+// keeping each flow's heaviest path (a cheap 2-approximation in
+// practice; MCLB local search remains the production single-path
+// selector).
+func (m *MultiRouting) SinglePathFrom() *Routing {
+	r := &Routing{Name: m.Name + "-rounded", N: m.N, Table: make([][]Path, m.N)}
+	for s := 0; s < m.N; s++ {
+		r.Table[s] = make([]Path, m.N)
+		for d := 0; d < m.N; d++ {
+			if s == d || len(m.Paths[s][d]) == 0 {
+				continue
+			}
+			best, bestW := 0, -1.0
+			for i, w := range m.Weights[s][d] {
+				if w > bestW {
+					best, bestW = i, w
+				}
+			}
+			r.Table[s][d] = m.Paths[s][d][best]
+		}
+	}
+	return r
+}

@@ -1,0 +1,135 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+)
+
+func TestMCLBFractionalOnSmallMesh(t *testing.T) {
+	g := layout.NewGrid(2, 3)
+	m := expert.Mesh(g)
+	ps, err := AllShortestPaths(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, err := MCLBFractional(ps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := frac.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fracMax := frac.MaxExpectedChannelLoad()
+	// Fractional optimum must lower-bound the exact single-path optimum.
+	_, exact, err := MCLBExact(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fracMax > float64(exact)+1e-6 {
+		t.Errorf("fractional %v exceeds single-path optimum %d", fracMax, exact)
+	}
+	// And it must agree with the dedicated LP bound helper.
+	lb, err := MCLBLowerBoundLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fracMax-lb) > 1e-6 {
+		t.Errorf("fractional max %v != LP bound %v", fracMax, lb)
+	}
+}
+
+func TestMultiRoutingSampling(t *testing.T) {
+	g := layout.NewGrid(2, 3)
+	m := expert.Mesh(g)
+	ps, _ := AllShortestPaths(m, 0)
+	frac, err := MCLBFractional(ps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Sampling returns valid shortest paths with the right endpoints.
+	dist := m.ShortestPaths()
+	for trial := 0; trial < 500; trial++ {
+		s := rng.Intn(6)
+		d := rng.Intn(6)
+		if s == d {
+			continue
+		}
+		p := frac.PathFor(s, d, rng)
+		if p[0] != s || p[len(p)-1] != d {
+			t.Fatalf("sampled path endpoints wrong: %v", p)
+		}
+		if p.Hops() != dist[s][d] {
+			t.Fatalf("sampled path not shortest: %v", p)
+		}
+	}
+	// Sampling frequencies track the weights for a diverse flow.
+	var diverse [2]int
+	found := false
+	for s := 0; s < 6 && !found; s++ {
+		for d := 0; d < 6 && !found; d++ {
+			if s != d && len(frac.Paths[s][d]) >= 2 && frac.Weights[s][d][0] > 0.2 && frac.Weights[s][d][0] < 0.8 {
+				diverse = [2]int{s, d}
+				found = true
+			}
+		}
+	}
+	if found {
+		s, d := diverse[0], diverse[1]
+		count := 0
+		const trials = 4000
+		first := frac.Paths[s][d][0]
+		for i := 0; i < trials; i++ {
+			p := frac.PathFor(s, d, rng)
+			if len(p) == len(first) {
+				same := true
+				for j := range p {
+					if p[j] != first[j] {
+						same = false
+						break
+					}
+				}
+				if same {
+					count++
+				}
+			}
+		}
+		got := float64(count) / trials
+		want := frac.Weights[s][d][0]
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("sampling frequency %v far from weight %v", got, want)
+		}
+	}
+}
+
+func TestSinglePathRounding(t *testing.T) {
+	g := layout.NewGrid(2, 3)
+	m := expert.Mesh(g)
+	ps, _ := AllShortestPaths(m, 0)
+	frac, err := MCLBFractional(ps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounded := frac.SinglePathFrom()
+	if err := rounded.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	// Rounded max load is an integer >= the fractional optimum.
+	if float64(rounded.MaxChannelLoad()) < frac.MaxExpectedChannelLoad()-1e-9 {
+		t.Error("rounded load below fractional optimum: impossible")
+	}
+}
+
+func TestMultiRoutingValidateCatchesBadWeights(t *testing.T) {
+	bad := &MultiRouting{N: 2,
+		Paths:   [][][]Path{{nil, {Path{0, 1}}}, {{Path{1, 0}}, nil}},
+		Weights: [][][]float64{{nil, {0.5}}, {{1.0}, nil}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("weights summing to 0.5 must fail validation")
+	}
+}

@@ -1,0 +1,46 @@
+package route
+
+import (
+	"netsmith/internal/topo"
+)
+
+// NDBT implements the expert-topology routing scheme: shortest-path
+// routing restricted by the turn-based deadlock-avoidance rule that no
+// route may "double back" along the horizontal axis (once a path has
+// moved in one X direction it may not later move in the other), with
+// random selection among the remaining valid choices. Flows for which no
+// shortest path satisfies the rule fall back to unrestricted shortest
+// paths (this matches practice: the rule is defined for the semi-regular
+// expert topologies, where such flows do not arise).
+func NDBT(t *topo.Topology, seed int64) (*Routing, error) {
+	ps, err := AllShortestPaths(t, 0)
+	if err != nil {
+		return nil, err
+	}
+	filtered, _ := ps.Filter(func(p Path) bool { return noDoubleBackX(t, p) })
+	r := RandomSelection("NDBT", filtered, seed)
+	return r, nil
+}
+
+// noDoubleBackX reports whether the path never reverses its horizontal
+// direction of travel.
+func noDoubleBackX(t *topo.Topology, p Path) bool {
+	dir := 0 // 0 = undecided, +1 = rightward, -1 = leftward
+	for i := 0; i+1 < len(p); i++ {
+		_, c0 := t.Grid.Pos(p[i])
+		_, c1 := t.Grid.Pos(p[i+1])
+		switch {
+		case c1 > c0:
+			if dir < 0 {
+				return false
+			}
+			dir = 1
+		case c1 < c0:
+			if dir > 0 {
+				return false
+			}
+			dir = -1
+		}
+	}
+	return true
+}

@@ -1,0 +1,87 @@
+package route
+
+import "fmt"
+
+// NextHopTables compiles the routing into the deployable table-based
+// form the paper assumes: for every router r, a table mapping (source,
+// destination) to the output link to take. With single-path routing the
+// per-router table only needs the destination for flows passing through
+// r on their unique path, but source-indexed tables are emitted for
+// generality (distinct flows may cross r toward the same destination via
+// different next hops when their paths diverge earlier).
+//
+// tables[r][s][d] = next router after r for flow (s, d), or -1 when the
+// flow does not traverse r (or terminates at r).
+func (r *Routing) NextHopTables() [][][]int {
+	n := r.N
+	tables := make([][][]int, n)
+	for router := 0; router < n; router++ {
+		tables[router] = make([][]int, n)
+		for s := 0; s < n; s++ {
+			tables[router][s] = make([]int, n)
+			for d := range tables[router][s] {
+				tables[router][s][d] = -1
+			}
+		}
+	}
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d || r.Table[s][d] == nil {
+				continue
+			}
+			p := r.Table[s][d]
+			for i := 0; i+1 < len(p); i++ {
+				tables[p[i]][s][d] = p[i+1]
+			}
+		}
+	}
+	return tables
+}
+
+// DestinationTables compresses the next-hop tables to per-destination
+// form where possible. Returns (tables, ok): tables[r][d] is the single
+// next hop at router r toward destination d; ok is false if any router
+// needs source-dependent routing (two flows to the same destination
+// leaving r on different links), in which case the full NextHopTables
+// must be used.
+func (r *Routing) DestinationTables() ([][]int, bool) {
+	n := r.N
+	tables := make([][]int, n)
+	for router := range tables {
+		tables[router] = make([]int, n)
+		for d := range tables[router] {
+			tables[router][d] = -1
+		}
+	}
+	consistent := true
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d || r.Table[s][d] == nil {
+				continue
+			}
+			p := r.Table[s][d]
+			for i := 0; i+1 < len(p); i++ {
+				at, next := p[i], p[i+1]
+				switch tables[at][d] {
+				case -1:
+					tables[at][d] = next
+				case next:
+				default:
+					consistent = false
+				}
+			}
+		}
+	}
+	return tables, consistent
+}
+
+// FormatTable renders one router's destination table for inspection.
+func FormatTable(router int, destTable []int) string {
+	out := fmt.Sprintf("router %d:", router)
+	for d, next := range destTable {
+		if next >= 0 {
+			out += fmt.Sprintf(" %d->%d", d, next)
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package sim
+
+// deliverArrivals moves in-flight flits that reach their arrival cycle
+// into downstream VC buffers (the slot was reserved at send time).
+func (e *engine) deliverArrivals() {
+	for key, qp := range e.links {
+		q := *qp
+		idx := 0
+		for idx < len(q) && q[idx].arriveAt <= e.cycle {
+			inf := q[idx]
+			e.bufs[key[1]][inf.port][inf.vcIdx].push(inf.f)
+			idx++
+		}
+		if idx > 0 {
+			*qp = q[idx:]
+			if len(*qp) == 0 {
+				// Reset backing array occasionally to bound growth.
+				*qp = (*qp)[:0]
+			}
+		}
+	}
+}
+
+// active reports whether router r has a service slot this cycle
+// (multi-clock domains: slower routers skip base-clock ticks).
+func (e *engine) active(r int) bool {
+	if e.rate[r] >= 1 {
+		return true
+	}
+	e.accRate[r] += e.rate[r]
+	if e.accRate[r] >= 1 {
+		e.accRate[r]--
+		return true
+	}
+	return false
+}
+
+// ejectAndSwitch performs, for each active router, local ejection and
+// output-link switch allocation.
+func (e *engine) ejectAndSwitch(measuring bool) {
+	n := e.n
+	activeNow := make([]bool, n)
+	for r := 0; r < n; r++ {
+		activeNow[r] = e.active(r)
+	}
+	// Ejection first: frees buffer slots for this cycle's switching.
+	for r := 0; r < n; r++ {
+		if !activeNow[r] {
+			continue
+		}
+		e.eject(r, measuring)
+	}
+	// Switch allocation per output link, round-robin across (port, vc).
+	for r := 0; r < n; r++ {
+		if !activeNow[r] {
+			continue
+		}
+		for _, v := range e.cfg.Topo.Out(r) {
+			e.allocateOutput(r, v)
+		}
+	}
+}
+
+// eject drains up to EjectBandwidth flits destined locally at router r.
+func (e *engine) eject(r int, measuring bool) {
+	budget := e.cfg.EjectBandwidth
+	slots := e.numPorts[r] * e.numVCs
+	start := e.rrEject[r]
+	for s := 0; s < slots && budget > 0; s++ {
+		idx := (start + s) % slots
+		port, vcIdx := idx/e.numVCs, idx%e.numVCs
+		buf := &e.bufs[r][port][vcIdx]
+		for budget > 0 && !buf.empty() {
+			h := buf.head()
+			if h.pkt.dst != r || h.pathIdx != len(h.pkt.path)-1 {
+				break
+			}
+			f := buf.pop()
+			e.free[r][port][vcIdx]++
+			e.forwardedThisCycle = true
+			budget--
+			if f.isTail {
+				e.completePacket(f.pkt)
+			}
+		}
+	}
+	e.rrEject[r] = (start + 1) % slots
+}
+
+// completePacket records stats and triggers pattern replies.
+func (e *engine) completePacket(p *packet) {
+	if e.cycle >= int64(e.cfg.WarmupCycles) && e.cycle < int64(e.cfg.WarmupCycles+e.cfg.MeasureCycles) {
+		e.delivered++
+	}
+	if p.measured {
+		e.latencySum += e.cycle - p.injectedAt
+		e.measured++
+		e.measuredInFlight--
+	}
+	if replyDst, replyFlits, ok := e.cfg.Pattern.OnDeliver(p.src, p.dst, e.rng); ok {
+		generating := e.cycle < int64(e.cfg.WarmupCycles+e.cfg.MeasureCycles)
+		if generating {
+			e.enqueuePacket(p.dst, replyDst, replyFlits, false)
+		}
+	}
+}
+
+// allocateOutput picks one (port, vc) whose head flit targets link r->v
+// and forwards it, honoring credits and per-packet VC ownership.
+func (e *engine) allocateOutput(r, v int) {
+	key := [2]int{r, v}
+	downPort := e.portOf[v][r]
+	slots := e.numPorts[r] * e.numVCs
+	start := e.rrOut[key]
+	for s := 0; s < slots; s++ {
+		idx := (start + s) % slots
+		port, vcIdx := idx/e.numVCs, idx%e.numVCs
+		buf := &e.bufs[r][port][vcIdx]
+		if buf.empty() {
+			continue
+		}
+		h := buf.head()
+		// Routed to v?
+		if h.pathIdx+1 >= len(h.pkt.path) || h.pkt.path[h.pathIdx+1] != v {
+			continue
+		}
+		downVC := e.pickDownVC(v, downPort, h)
+		if downVC < 0 {
+			continue
+		}
+		// Forward one flit.
+		f := buf.pop()
+		e.free[r][port][vcIdx]++
+		e.free[v][downPort][downVC]--
+		if f.isHead {
+			e.owner[v][downPort][downVC] = f.pkt
+		}
+		if f.isTail {
+			e.owner[v][downPort][downVC] = nil
+		}
+		lat := int64(e.cfg.LinkLatency)
+		if e.cfg.ExtraLinkLatency != nil {
+			lat += int64(e.cfg.ExtraLinkLatency[key])
+		}
+		f.pathIdx++
+		qp := e.links[key]
+		*qp = append(*qp, inflight{f: f, arriveAt: e.cycle + lat, port: downPort, vcIdx: downVC})
+		e.forwardedThisCycle = true
+		e.rrOut[key] = (idx + 1) % slots
+		return
+	}
+	e.rrOut[key] = (start + 1) % slots
+}
+
+// pickDownVC selects the downstream VC for a flit, Duato-style: the
+// packet's assigned layer is its escape VC (per-layer CDGs are acyclic),
+// while physical VCs beyond the escape layers (indices >= VC.NumVCs) are
+// adaptive and may be claimed by any packet. Heads prefer a free adaptive
+// VC and fall back to their escape layer; body flits must follow the VC
+// their head claimed in this buffer. Returns -1 when blocked.
+func (e *engine) pickDownVC(router, port int, h *flit) int {
+	if !h.isHead {
+		for vcIdx := 0; vcIdx < e.numVCs; vcIdx++ {
+			if e.owner[router][port][vcIdx] == h.pkt {
+				if e.free[router][port][vcIdx] > 0 {
+					return vcIdx
+				}
+				return -1
+			}
+		}
+		return -1 // should not happen: head always precedes body
+	}
+	escape := e.cfg.VC.NumVCs
+	for vcIdx := escape; vcIdx < e.numVCs; vcIdx++ {
+		if e.owner[router][port][vcIdx] == nil && e.free[router][port][vcIdx] > 0 {
+			return vcIdx
+		}
+	}
+	lay := h.pkt.layer
+	if e.owner[router][port][lay] == nil && e.free[router][port][lay] > 0 {
+		return lay
+	}
+	return -1
+}
+
+// inject pushes queued packet flits into each router's injection port.
+func (e *engine) inject() {
+	for r := 0; r < e.n; r++ {
+		budget := e.cfg.InjectBandwidth
+		for budget > 0 && len(e.injectQ[r]) > 0 {
+			p := e.injectQ[r][0]
+			f := flit{
+				pkt:     p,
+				pathIdx: 0,
+				isHead:  p.flitsQueued == 0,
+				isTail:  p.flitsQueued == p.flits-1,
+			}
+			// The injection buffer holds whole packets contiguously,
+			// using the same adaptive/escape VC choice as link traversal.
+			vcIdx := e.pickDownVC(r, 0, &f)
+			if vcIdx < 0 {
+				break
+			}
+			if f.isHead {
+				e.owner[r][0][vcIdx] = p
+			}
+			e.bufs[r][0][vcIdx].push(f)
+			e.free[r][0][vcIdx]--
+			p.flitsQueued++
+			budget--
+			e.forwardedThisCycle = true
+			if f.isTail {
+				e.owner[r][0][vcIdx] = nil
+				e.injectQ[r] = e.injectQ[r][1:]
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"testing"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+	"netsmith/internal/traffic"
+)
+
+// TestFlitConservation checks that after a run with full drain, every
+// measured packet was delivered exactly once: measured-in-flight returns
+// to zero and latency accounting covers all measured packets.
+func TestFlitConservation(t *testing.T) {
+	s, err := Prepare(expert.Mesh(layout.Grid4x5), UseNDBT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := defaulted(Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: traffic.Uniform{N: 20}, InjectionRate: 0.08,
+		WarmupCycles: 800, MeasureCycles: 2500, DrainCycles: 30000, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(cfg)
+	res, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled {
+		t.Fatal("stalled")
+	}
+	if e.measuredInFlight != 0 {
+		t.Errorf("%d measured packets never drained", e.measuredInFlight)
+	}
+	if res.Measured == 0 {
+		t.Fatal("nothing measured")
+	}
+}
+
+// TestCreditConservation verifies that every VC buffer's free-slot
+// counter matches its actual occupancy at end of simulation.
+func TestCreditConservation(t *testing.T) {
+	s, err := Prepare(expert.FoldedTorus(layout.Grid4x5), UseMCLB, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := defaulted(Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: traffic.Uniform{N: 20}, InjectionRate: 0.15,
+		WarmupCycles: 500, MeasureCycles: 1500, DrainCycles: 2000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(cfg)
+	if _, err := e.run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < e.n; r++ {
+		for p := 0; p < e.numPorts[r]; p++ {
+			for v := 0; v < e.numVCs; v++ {
+				inFlightToBuf := 0
+				for key, qp := range e.links {
+					if key[1] != r {
+						continue
+					}
+					for _, inf := range *qp {
+						if inf.port == p && inf.vcIdx == v {
+							inFlightToBuf++
+						}
+					}
+				}
+				occupied := e.bufs[r][p][v].occupancy() + inFlightToBuf
+				if e.free[r][p][v]+occupied != e.bufDepth {
+					t.Fatalf("router %d port %d vc %d: free %d + occupied %d != depth %d",
+						r, p, v, e.free[r][p][v], occupied, e.bufDepth)
+				}
+			}
+		}
+	}
+}
+
+// TestZeroRateRunsClean ensures an idle network terminates immediately
+// with no deliveries and no stall report.
+func TestZeroRateRunsClean(t *testing.T) {
+	s, err := Prepare(expert.Mesh(layout.Grid4x5), UseNDBT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: traffic.Uniform{N: 20}, InjectionRate: 0,
+		WarmupCycles: 200, MeasureCycles: 400, DrainCycles: 400, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled || res.Delivered != 0 || res.Measured != 0 {
+		t.Errorf("idle network misbehaved: %+v", res)
+	}
+}
+
+// TestTwoNodeNetwork exercises the smallest possible topology.
+func TestTwoNodeNetwork(t *testing.T) {
+	g := layout.NewGrid(1, 2)
+	tp := expert.Mesh(g)
+	s, err := Prepare(tp, UseMCLB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: traffic.Uniform{N: 2}, InjectionRate: 0.1,
+		WarmupCycles: 300, MeasureCycles: 1000, DrainCycles: 2000, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled || res.Measured == 0 {
+		t.Fatalf("two-node network failed: %+v", res)
+	}
+	// One hop, link latency 2, plus serialization: latency must be small.
+	if res.AvgLatencyCycles > 20 {
+		t.Errorf("two-node latency %v cycles too high", res.AvgLatencyCycles)
+	}
+}
+
+// TestWormholeContiguity drives heavy multi-flit traffic and relies on
+// the engine's internal consistency: if flits of different packets
+// interleaved within a VC, tail accounting would corrupt measured
+// counts and the drain would hang (caught by measuredInFlight != 0).
+func TestWormholeContiguity(t *testing.T) {
+	s, err := Prepare(expert.Mesh(layout.Grid4x5), UseNDBT, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := defaulted(Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: traffic.Uniform{N: 20}, InjectionRate: 0.30,
+		WarmupCycles: 500, MeasureCycles: 2000, DrainCycles: 60000, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(cfg)
+	res, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled {
+		t.Fatal("stalled under heavy load")
+	}
+	if e.measuredInFlight != 0 {
+		t.Errorf("measured packets lost: %d", e.measuredInFlight)
+	}
+}

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+	"netsmith/internal/traffic"
+)
+
+func meshSetup(t *testing.T) *Setup {
+	t.Helper()
+	s, err := Prepare(expert.Mesh(layout.Grid4x5), UseNDBT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunLowLoadLatency(t *testing.T) {
+	s := meshSetup(t)
+	res, err := Run(Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern:       traffic.Uniform{N: 20},
+		InjectionRate: 0.01,
+		WarmupCycles:  1000, MeasureCycles: 3000, DrainCycles: 4000,
+		Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled {
+		t.Fatal("low-load mesh must not stall")
+	}
+	if res.Measured == 0 {
+		t.Fatal("no packets measured")
+	}
+	// Zero-load latency sanity: avg hops ~3, link latency 2 =>
+	// ~6 cycles network + serialization (avg 5 flits) + injection.
+	if res.AvgLatencyCycles < 5 || res.AvgLatencyCycles > 40 {
+		t.Errorf("low-load latency %v cycles implausible", res.AvgLatencyCycles)
+	}
+	// Accepted should approximate offered at low load (within 20%).
+	if math.Abs(res.AcceptedPerCycle-0.01) > 0.002 {
+		t.Errorf("accepted %v far from offered 0.01", res.AcceptedPerCycle)
+	}
+	// ns conversion: small class clocks at 3.6GHz.
+	wantNs := res.AvgLatencyCycles / 3.6
+	if math.Abs(res.AvgLatencyNs-wantNs) > 1e-9 {
+		t.Errorf("ns conversion wrong: %v vs %v", res.AvgLatencyNs, wantNs)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	s := meshSetup(t)
+	cfg := Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern:       traffic.Uniform{N: 20},
+		InjectionRate: 0.05,
+		WarmupCycles:  500, MeasureCycles: 1500, DrainCycles: 3000,
+		Seed: 7,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgLatencyCycles != b.AvgLatencyCycles || a.Delivered != b.Delivered {
+		t.Errorf("same seed must reproduce: %+v vs %+v", a, b)
+	}
+	cfg.Seed = 8
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Delivered == a.Delivered && c.AvgLatencyCycles == a.AvgLatencyCycles {
+		t.Log("different seed produced identical stats (unlikely but possible)")
+	}
+}
+
+func TestLatencyIncreasesWithLoad(t *testing.T) {
+	s := meshSetup(t)
+	var prev float64
+	for i, rate := range []float64{0.01, 0.10, 0.20} {
+		res, err := Run(Config{
+			Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+			Pattern:       traffic.Uniform{N: 20},
+			InjectionRate: rate,
+			WarmupCycles:  1500, MeasureCycles: 4000, DrainCycles: 8000,
+			Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Measured == 0 {
+			t.Fatalf("rate %v: nothing measured", rate)
+		}
+		if i > 0 && res.AvgLatencyCycles < prev*0.8 {
+			t.Errorf("latency decreased markedly with load: %v -> %v at %v",
+				prev, res.AvgLatencyCycles, rate)
+		}
+		prev = res.AvgLatencyCycles
+	}
+}
+
+func TestMeshSaturatesUnderHeavyLoad(t *testing.T) {
+	s := meshSetup(t)
+	low, err := Run(Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: traffic.Uniform{N: 20}, InjectionRate: 0.01,
+		WarmupCycles: 1000, MeasureCycles: 3000, DrainCycles: 4000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: traffic.Uniform{N: 20}, InjectionRate: 0.45,
+		WarmupCycles: 1000, MeasureCycles: 3000, DrainCycles: 4000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 0.45 pkts/node/cycle a 4x5 mesh is far beyond saturation:
+	// latency must blow up relative to zero load, and accepted
+	// throughput must fall well short of offered.
+	if high.AvgLatencyCycles < 3*low.AvgLatencyCycles {
+		t.Errorf("no saturation signature: %v vs %v cycles", high.AvgLatencyCycles, low.AvgLatencyCycles)
+	}
+	if high.AcceptedPerCycle > 0.40 {
+		t.Errorf("accepted %v implies mesh carries 0.45 uniform load, impossible", high.AcceptedPerCycle)
+	}
+}
+
+func TestNoStallAcrossTopologies(t *testing.T) {
+	// Deadlock-freedom end to end: NetSmith topology with MCLB routing
+	// and VC layering must never wedge, even past saturation.
+	for _, name := range []string{expert.NameKiteSmall, expert.NameFoldedTorus} {
+		tp, err := expert.Get(name, layout.Grid4x5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Prepare(tp, UseMCLB, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := Run(Config{
+			Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+			Pattern: traffic.Uniform{N: 20}, InjectionRate: 0.5,
+			WarmupCycles: 1000, MeasureCycles: 2500, DrainCycles: 3000, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stalled {
+			t.Errorf("%s stalled: deadlock-free assignment violated in sim", name)
+		}
+	}
+}
+
+func TestMemoryTrafficReplies(t *testing.T) {
+	g := layout.Grid4x5
+	s := meshSetup(t)
+	mem := traffic.NewMemory(g.CoreRouters(), g.MemoryControllerRouters())
+	res, err := Run(Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: mem, InjectionRate: 0.02,
+		WarmupCycles: 1000, MeasureCycles: 3000, DrainCycles: 5000, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured == 0 {
+		t.Fatal("memory pattern delivered nothing")
+	}
+	// Replies roughly double deliveries vs requests alone; delivered
+	// counts both. With 12 injecting cores at 0.02, measure window 3000:
+	// ~720 requests + ~720 replies.
+	if res.Delivered < 800 {
+		t.Errorf("delivered %d suggests replies missing", res.Delivered)
+	}
+}
+
+func TestSweepDerivesSaturation(t *testing.T) {
+	s := meshSetup(t)
+	sr, err := s.Curve(traffic.Uniform{N: 20}, []float64{0.01, 0.08, 0.2, 0.4}, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.ZeroLoadLatencyNs <= 0 {
+		t.Fatal("zero-load latency missing")
+	}
+	if sr.SaturationPerNs <= 0 {
+		t.Fatal("saturation throughput missing")
+	}
+	if len(sr.Points) != 4 {
+		t.Fatalf("points %d", len(sr.Points))
+	}
+	// The 0.4 point must be flagged saturated for a mesh.
+	if !sr.Points[3].Saturated {
+		t.Errorf("0.4 offered on mesh should be saturated: %+v", sr.Points[3])
+	}
+}
+
+func TestMultiClockNodeRateSlowsNetwork(t *testing.T) {
+	s := meshSetup(t)
+	fast, err := Run(Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: traffic.Uniform{N: 20}, InjectionRate: 0.02,
+		WarmupCycles: 1000, MeasureCycles: 3000, DrainCycles: 5000, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowRate := make([]float64, 20)
+	for i := range slowRate {
+		slowRate[i] = 0.5
+	}
+	slow, err := Run(Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: traffic.Uniform{N: 20}, InjectionRate: 0.02,
+		WarmupCycles: 1000, MeasureCycles: 3000, DrainCycles: 6000, Seed: 13,
+		NodeRate: slowRate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.AvgLatencyCycles <= fast.AvgLatencyCycles {
+		t.Errorf("half-rate routers should increase latency: %v vs %v",
+			slow.AvgLatencyCycles, fast.AvgLatencyCycles)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := meshSetup(t)
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config must error")
+	}
+	_, err := Run(Config{Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: traffic.Uniform{N: 20}, NumVCs: 1})
+	if err == nil && s.VC.NumVCs > 1 {
+		t.Error("NumVCs below assignment layers must error")
+	}
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"netsmith/internal/route"
+	"netsmith/internal/topo"
+	"netsmith/internal/traffic"
+	"netsmith/internal/vc"
+)
+
+// SweepPoint is one (offered rate, latency, accepted throughput) sample.
+type SweepPoint struct {
+	OfferedRate   float64 // packets/node/cycle
+	AvgLatencyNs  float64
+	AcceptedPerNs float64 // packets/node/ns
+	Saturated     bool
+	Stalled       bool
+}
+
+// SweepResult is a latency-vs-injection curve plus derived summary
+// metrics (the data behind the paper's Figs. 1, 6, 10 and 11).
+type SweepResult struct {
+	Topology string
+	Pattern  string
+	Points   []SweepPoint
+	// ZeroLoadLatencyNs is the latency at the lowest offered rate.
+	ZeroLoadLatencyNs float64
+	// SaturationPerNs is the highest accepted throughput measured before
+	// latency exceeds SaturationFactor x zero-load (packets/node/ns).
+	SaturationPerNs float64
+}
+
+// SaturationFactor defines the latency blow-up treated as saturation.
+const SaturationFactor = 5.0
+
+// SweepConfig drives a saturation sweep for one topology+routing+pattern.
+type SweepConfig struct {
+	Base  Config    // InjectionRate is overridden per point
+	Rates []float64 // offered packets/node/cycle; default DefaultRates()
+}
+
+// DefaultRates returns the standard offered-rate grid.
+func DefaultRates() []float64 {
+	return []float64{0.005, 0.02, 0.05, 0.08, 0.11, 0.14, 0.17, 0.20, 0.24, 0.28, 0.32, 0.38, 0.45}
+}
+
+// Sweep runs the rate grid (in parallel) and derives saturation.
+func Sweep(sc SweepConfig) (*SweepResult, error) {
+	rates := sc.Rates
+	if rates == nil {
+		rates = DefaultRates()
+	}
+	points := make([]SweepPoint, len(rates))
+	errs := make([]error, len(rates))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, rate := range rates {
+		wg.Add(1)
+		go func(i int, rate float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := sc.Base
+			cfg.InjectionRate = rate
+			cfg.Seed = sc.Base.Seed + int64(i)*7919
+			res, err := Run(cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			points[i] = SweepPoint{
+				OfferedRate:   rate,
+				AvgLatencyNs:  res.AvgLatencyNs,
+				AcceptedPerNs: res.AcceptedPerNs,
+				Stalled:       res.Stalled,
+			}
+		}(i, rate)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &SweepResult{
+		Topology: sc.Base.Topo.Name,
+		Pattern:  sc.Base.Pattern.Name(),
+		Points:   points,
+	}
+	if len(points) > 0 {
+		out.ZeroLoadLatencyNs = points[0].AvgLatencyNs
+	}
+	for i := range points {
+		sat := points[i].Stalled ||
+			points[i].AvgLatencyNs > SaturationFactor*out.ZeroLoadLatencyNs ||
+			points[i].Measured() == 0
+		points[i].Saturated = sat
+		if !sat && points[i].AcceptedPerNs > out.SaturationPerNs {
+			out.SaturationPerNs = points[i].AcceptedPerNs
+		}
+	}
+	return out, nil
+}
+
+// Measured reports whether the point produced latency data.
+func (p SweepPoint) Measured() float64 { return p.AvgLatencyNs }
+
+// Setup bundles the standard preparation pipeline: routing (MCLB or
+// NDBT), VC assignment and its deadlock-freedom verification.
+type Setup struct {
+	Topo    *topo.Topology
+	Routing *route.Routing
+	VC      *vc.Assignment
+}
+
+// RoutingKind selects the routing algorithm for Prepare.
+type RoutingKind int
+
+const (
+	// UseMCLB applies NetSmith's minimum-max-channel-load routing.
+	UseMCLB RoutingKind = iota
+	// UseNDBT applies the expert-topology no-double-back-turns
+	// heuristic.
+	UseNDBT
+)
+
+// Prepare builds routing and a verified deadlock-free VC assignment for
+// a topology.
+func Prepare(t *topo.Topology, kind RoutingKind, seed int64) (*Setup, error) {
+	var r *route.Routing
+	var err error
+	switch kind {
+	case UseMCLB:
+		r, err = route.MCLB(t, route.MCLBOptions{Seed: seed})
+	case UseNDBT:
+		r, err = route.NDBT(t, seed)
+	default:
+		return nil, fmt.Errorf("sim: unknown routing kind %d", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Validate(t); err != nil {
+		return nil, err
+	}
+	a, err := vc.Assign(r, vc.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Verify(r); err != nil {
+		return nil, err
+	}
+	return &Setup{Topo: t, Routing: r, VC: a}, nil
+}
+
+// Curve runs a sweep for a prepared setup and pattern with the given
+// fidelity (warmup/measure cycles scale with fast=false).
+func (s *Setup) Curve(p traffic.Pattern, rates []float64, fast bool, seed int64) (*SweepResult, error) {
+	base := Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: p, Seed: seed,
+	}
+	if fast {
+		base.WarmupCycles = 1500
+		base.MeasureCycles = 4000
+		base.DrainCycles = 6000
+	}
+	return Sweep(SweepConfig{Base: base, Rates: rates})
+}

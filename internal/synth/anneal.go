@@ -1,0 +1,364 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netsmith/internal/bitgraph"
+	"netsmith/internal/layout"
+	"netsmith/internal/topo"
+)
+
+// annealer drives the simulated-annealing search with lazy sparsest-cut
+// separation for SCOp.
+type annealer struct {
+	cfg   Config
+	eval  *evaluator
+	valid []layout.Link // candidate directed links (set L)
+	start time.Time
+	trace []ProgressPoint
+	// mu guards the incumbent during parallel time-bounded restarts.
+	mu sync.Mutex
+	// best incumbent across restarts
+	best      *bitgraph.Graph
+	bestScore float64
+	bound     float64 // lower bound (LatOp/Weighted) or upper bound (SCOp)
+}
+
+func newAnnealer(cfg Config) *annealer {
+	return &annealer{
+		cfg:   cfg,
+		eval:  newEvaluator(cfg),
+		valid: cfg.Grid.ValidLinks(cfg.Class),
+	}
+}
+
+func (a *annealer) run() (*Result, error) {
+	a.start = time.Now()
+	switch a.cfg.Objective {
+	case LatOp, Weighted:
+		a.bound = latOpLowerBound(a.cfg)
+	case SCOp:
+		a.bound = scOpUpperBound(a.cfg)
+	}
+	a.bestScore = math.Inf(1)
+	if a.cfg.TimeBudget > 0 {
+		// Time-bounded mode: workers run complete annealing schedules
+		// (bounded per-restart iteration count so the cooling schedule
+		// stays meaningful) until the budget expires. Later restarts
+		// keep improving the incumbent, producing the paper's Figure 5
+		// gap-narrows-over-time behaviour.
+		perRestart := a.cfg.Iterations
+		if perRestart > 60000 {
+			perRestart = 60000
+		}
+		workers := runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+		var wg sync.WaitGroup
+		var next int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !a.expired() {
+					r := atomic.AddInt64(&next, 1) - 1
+					a.annealRestart(r, perRestart)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		// Fixed-restart mode runs sequentially: results are then exactly
+		// reproducible for a given seed regardless of GOMAXPROCS.
+		for r := 0; r < a.cfg.Restarts; r++ {
+			if a.expired() {
+				break
+			}
+			a.annealRestart(int64(r), a.cfg.Iterations)
+		}
+	}
+	if a.best == nil {
+		// Degenerate budget: fall back to the deterministic seed.
+		s := stateFromTopology(seedTopology(a.cfg))
+		a.best = s
+		a.bestScore = a.eval.score(s)
+	}
+	// For SCOp, close the loop with the exact separation oracle: find the
+	// true sparsest cut of the incumbent; if it is sparser than the pool
+	// estimate, add it and re-anneal until the pool is exact on the
+	// incumbent (cut/row generation).
+	if a.cfg.Objective == SCOp {
+		for round := 0; round < 12 && !a.expired(); round++ {
+			t := a.toTopology(a.best)
+			exact := t.SparsestCut()
+			poolBW := a.best.PoolMin(a.eval.cutPool)
+			if exact.Bandwidth >= poolBW-1e-12 {
+				break // pool is tight on the incumbent
+			}
+			a.eval.addCut(exact.UMask)
+			a.bestScore = a.eval.score(a.best)
+			a.annealRestart(int64(1000+round), min(a.cfg.Iterations, 60000))
+		}
+	}
+	return a.finish()
+}
+
+// snapshotBest reads the incumbent score under the lock.
+func (a *annealer) snapshotBest() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.bestScore
+}
+
+func (a *annealer) expired() bool {
+	return a.cfg.TimeBudget > 0 && time.Since(a.start) >= a.cfg.TimeBudget
+}
+
+func stateFromTopology(t *topo.Topology) *bitgraph.Graph {
+	s := bitgraph.New(t.N())
+	for _, l := range t.Links() {
+		s.Add(l.From, l.To)
+	}
+	return s
+}
+
+func (a *annealer) toTopology(s *bitgraph.Graph) *topo.Topology {
+	t := topo.New(nameFor(a.cfg), a.cfg.Grid, a.cfg.Class)
+	for _, l := range s.Links() {
+		t.AddLink(l.A, l.B)
+	}
+	return t
+}
+
+// annealRestart runs one complete annealing schedule of iters steps.
+func (a *annealer) annealRestart(restart int64, iters int) {
+	cfg := a.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed*1000003 + restart))
+	seed := seedTopology(cfg)
+	fillRandomState := stateFromTopology(seed)
+	a.fillRandom(fillRandomState, rng)
+	cur := fillRandomState
+	curScore := a.eval.score(cur)
+	a.record(cur, curScore)
+
+	// Geometric cooling scaled to the initial score magnitude.
+	t0 := math.Max(1, 0.02*math.Abs(curScore))
+	tEnd := math.Max(1e-6, 1e-4*t0)
+	cooling := math.Pow(tEnd/t0, 1/float64(max(1, iters)))
+	temp := t0
+
+	checkEvery := 1024
+	for i := 0; i < iters; i++ {
+		if i%checkEvery == 0 && a.expired() {
+			return
+		}
+		undo, ok := a.mutate(cur, rng)
+		if !ok {
+			continue
+		}
+		newScore := a.eval.score(cur)
+		delta := newScore - curScore
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			curScore = newScore
+			if curScore < a.snapshotBest()-1e-12 {
+				a.record(cur, curScore)
+			}
+		} else {
+			undo()
+		}
+		temp *= cooling
+	}
+}
+
+// record snapshots a new incumbent and emits a progress point. It is
+// safe for concurrent use by parallel restarts.
+func (a *annealer) record(s *bitgraph.Graph, score float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if score >= a.bestScore {
+		return
+	}
+	a.best = s.Clone()
+	a.bestScore = score
+	incumbent, feasible := a.incumbentObjective(s)
+	if !feasible {
+		return
+	}
+	gap := a.gapOf(incumbent)
+	p := ProgressPoint{
+		Elapsed:   time.Since(a.start),
+		Incumbent: incumbent,
+		Bound:     a.bound,
+		Gap:       gap,
+	}
+	a.trace = append(a.trace, p)
+	if a.cfg.Progress != nil {
+		a.cfg.Progress(p)
+	}
+}
+
+// incumbentObjective extracts the raw objective (not the penalized score)
+// and whether the state is feasible.
+func (a *annealer) incumbentObjective(s *bitgraph.Graph) (float64, bool) {
+	total, unreachable, diam := s.HopStats()
+	if unreachable > 0 {
+		return 0, false
+	}
+	if a.cfg.MaxDiameter > 0 && diam > a.cfg.MaxDiameter {
+		return 0, false
+	}
+	switch a.cfg.Objective {
+	case LatOp:
+		return float64(total), true
+	case SCOp:
+		return s.PoolMin(a.eval.cutPool), true
+	case Weighted:
+		wt, wu := s.WeightedHops(a.cfg.Weights)
+		return wt, wu == 0
+	}
+	return 0, false
+}
+
+func (a *annealer) gapOf(incumbent float64) float64 {
+	switch a.cfg.Objective {
+	case LatOp, Weighted:
+		if incumbent <= 0 {
+			return 0
+		}
+		return math.Max(0, (incumbent-a.bound)/incumbent)
+	case SCOp:
+		if a.bound <= 0 {
+			return 0
+		}
+		return math.Max(0, (a.bound-incumbent)/a.bound)
+	}
+	return 0
+}
+
+// mutate applies one random feasible move and returns an undo closure.
+func (a *annealer) mutate(s *bitgraph.Graph, rng *rand.Rand) (func(), bool) {
+	for attempt := 0; attempt < 16; attempt++ {
+		switch rng.Intn(3) {
+		case 0: // add a random valid link
+			l := a.valid[rng.Intn(len(a.valid))]
+			if a.canAdd(s, l.From, l.To) {
+				a.doAdd(s, l.From, l.To)
+				return func() { a.doRemove(s, l.From, l.To) }, true
+			}
+		case 1: // remove a random existing link
+			if s.NumLinks() == 0 {
+				continue
+			}
+			l := s.LinkAt(rng.Intn(s.NumLinks()))
+			if a.cfg.Symmetric && !s.Has(l.B, l.A) {
+				continue
+			}
+			a.doRemove(s, l.A, l.B)
+			la, lb := l.A, l.B
+			return func() { a.doAdd(s, la, lb) }, true
+		default: // swap: remove one, add another
+			if s.NumLinks() == 0 {
+				continue
+			}
+			old := s.LinkAt(rng.Intn(s.NumLinks()))
+			nl := a.valid[rng.Intn(len(a.valid))]
+			if old.A == nl.From && old.B == nl.To {
+				continue
+			}
+			a.doRemove(s, old.A, old.B)
+			if a.canAdd(s, nl.From, nl.To) {
+				a.doAdd(s, nl.From, nl.To)
+				oa, ob := old.A, old.B
+				return func() {
+					a.doRemove(s, nl.From, nl.To)
+					a.doAdd(s, oa, ob)
+				}, true
+			}
+			a.doAdd(s, old.A, old.B) // restore
+		}
+	}
+	return nil, false
+}
+
+func (a *annealer) canAdd(s *bitgraph.Graph, from, to int) bool {
+	if s.Has(from, to) {
+		return false
+	}
+	if s.OutDeg[from] >= a.cfg.Radix || s.InDeg[to] >= a.cfg.Radix {
+		return false
+	}
+	if a.cfg.Symmetric {
+		if s.Has(to, from) {
+			return false
+		}
+		if s.OutDeg[to] >= a.cfg.Radix || s.InDeg[from] >= a.cfg.Radix {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *annealer) doAdd(s *bitgraph.Graph, from, to int) {
+	s.Add(from, to)
+	if a.cfg.Symmetric {
+		s.Add(to, from)
+	}
+}
+
+func (a *annealer) doRemove(s *bitgraph.Graph, from, to int) {
+	s.Remove(from, to)
+	if a.cfg.Symmetric {
+		s.Remove(to, from)
+	}
+}
+
+// fillRandom saturates remaining port budget with random valid links.
+func (a *annealer) fillRandom(s *bitgraph.Graph, rng *rand.Rand) {
+	perm := rng.Perm(len(a.valid))
+	for _, idx := range perm {
+		l := a.valid[idx]
+		if a.canAdd(s, l.From, l.To) {
+			a.doAdd(s, l.From, l.To)
+		}
+	}
+}
+
+// finish converts the incumbent into a Result with exact (not pool-based)
+// objective values.
+func (a *annealer) finish() (*Result, error) {
+	t := a.toTopology(a.best)
+	res := &Result{Topology: t, Trace: a.trace, Bound: a.bound}
+	switch a.cfg.Objective {
+	case LatOp:
+		total, _ := t.TotalHops()
+		res.Objective = float64(total)
+	case SCOp:
+		res.Objective = t.SparsestCut().Bandwidth
+	case Weighted:
+		wt, _ := a.best.WeightedHops(a.cfg.Weights)
+		res.Objective = wt
+	}
+	res.Gap = a.gapOf(res.Objective)
+	res.Optimal = res.Gap <= 1e-9
+	return res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,196 @@
+package synth
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// latOpLowerBound computes a rigorous lower bound on the total hop count
+// achievable under the config's constraints, combining two arguments:
+//
+//  1. Reachability bound: the distance between i and j in any feasible
+//     topology is at least their distance in the "full" graph containing
+//     every valid link (adding links never increases distances).
+//  2. Moore bound: with out-radix r, at most r nodes can be at distance 1
+//     from any source, r^2 more at distance 2, and so on; so the k-th
+//     closest node is at distance >= mooreDist(k).
+//
+// Since both per-source distance sequences are sorted ascending, the k-th
+// smallest true distance must dominate both, and the element-wise max is a
+// valid per-source bound.
+func latOpLowerBound(cfg Config) float64 {
+	n := cfg.Grid.N()
+	dFull := fullValidDistances(cfg)
+	moore := mooreDistances(n, cfg.Radix)
+	var total float64
+	for i := 0; i < n; i++ {
+		ds := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if i != j {
+				ds = append(ds, dFull[i][j])
+			}
+		}
+		sort.Ints(ds)
+		for k, d := range ds {
+			lb := d
+			if moore[k] > lb {
+				lb = moore[k]
+			}
+			total += float64(lb)
+		}
+	}
+	if cfg.Objective == Weighted {
+		// For weighted objectives use the reachability bound only, scaled
+		// by weights (the Moore argument does not directly compose with
+		// arbitrary weights; this remains a valid, if looser, bound).
+		var wtotal float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && cfg.Weights[i][j] > 0 {
+					wtotal += cfg.Weights[i][j] * float64(dFull[i][j])
+				}
+			}
+		}
+		return wtotal
+	}
+	return total
+}
+
+// mooreDistances[k] is the minimum possible distance of the (k+1)-th
+// closest node from any source, given an out-radix r: cumulative capacity
+// within distance d is r + r^2 + ... + r^d.
+func mooreDistances(n, radix int) []int {
+	out := make([]int, n-1)
+	capacity := 0
+	d := 0
+	levelSize := 1
+	for k := 0; k < n-1; k++ {
+		for capacity <= k {
+			d++
+			levelSize *= radix
+			if levelSize > n { // avoid overflow; capacity saturates
+				levelSize = n
+			}
+			capacity += levelSize
+		}
+		out[k] = d
+	}
+	return out
+}
+
+// fullValidDistances runs APSP over the graph containing every candidate
+// link in the class's valid set L.
+func fullValidDistances(cfg Config) [][]int {
+	n := cfg.Grid.N()
+	out := make([]uint64, n)
+	for _, l := range cfg.Grid.ValidLinks(cfg.Class) {
+		out[l.From] |= 1 << uint(l.To)
+	}
+	dist := make([][]int, n)
+	for s := 0; s < n; s++ {
+		row := make([]int, n)
+		for i := range row {
+			row[i] = math.MaxInt32
+		}
+		row[s] = 0
+		visited := uint64(1) << uint(s)
+		frontier := visited
+		d := 0
+		for frontier != 0 {
+			var next uint64
+			f := frontier
+			for f != 0 {
+				u := bits.TrailingZeros64(f)
+				f &= f - 1
+				next |= out[u]
+			}
+			next &^= visited
+			if next == 0 {
+				break
+			}
+			d++
+			nf := next
+			for nf != 0 {
+				v := bits.TrailingZeros64(nf)
+				nf &= nf - 1
+				row[v] = d
+			}
+			visited |= next
+			frontier = next
+		}
+		dist[s] = row
+	}
+	return dist
+}
+
+// scOpUpperBound bounds the best achievable sparsest-cut bandwidth from
+// above: for any partition, the U->V crossing count is at most
+// sum_{a in U} min(radix, |validTargets(a) in V|) and symmetrically at
+// most sum_{b in V} min(radix, |validSources(b) in U|); B(U,V) uses the
+// minimum direction, and the sparsest cut is at most the bound of any
+// single partition. Geometric cuts (row/column prefixes, quadrant) are
+// evaluated — they are the structural bottlenecks of grid layouts.
+func scOpUpperBound(cfg Config) float64 {
+	n := cfg.Grid.N()
+	validOut := make([]uint64, n)
+	validIn := make([]uint64, n)
+	for _, l := range cfg.Grid.ValidLinks(cfg.Class) {
+		validOut[l.From] |= 1 << uint(l.To)
+		validIn[l.To] |= 1 << uint(l.From)
+	}
+	full := uint64(1)<<uint(n) - 1
+	e := newEvaluator(cfg)
+	best := math.Inf(1)
+	for _, uMask := range e.cutPool {
+		uMask &= full
+		vMask := full &^ uMask
+		sizeU := bits.OnesCount64(uMask)
+		sizeV := n - sizeU
+		if sizeU == 0 || sizeV == 0 {
+			continue
+		}
+		maxUV := dirCapacity(uMask, vMask, validOut, validIn, cfg.Radix)
+		maxVU := dirCapacity(vMask, uMask, validOut, validIn, cfg.Radix)
+		m := maxUV
+		if maxVU < m {
+			m = maxVU
+		}
+		bw := float64(m) / float64(sizeU*sizeV)
+		if bw < best {
+			best = bw
+		}
+	}
+	return best
+}
+
+// dirCapacity bounds the number of links that can cross from partition u
+// to partition v given per-router radix and the valid link set.
+func dirCapacity(uMask, vMask uint64, validOut, validIn []uint64, radix int) int {
+	fromSide := 0
+	rem := uMask
+	for rem != 0 {
+		a := bits.TrailingZeros64(rem)
+		rem &= rem - 1
+		c := bits.OnesCount64(validOut[a] & vMask)
+		if c > radix {
+			c = radix
+		}
+		fromSide += c
+	}
+	toSide := 0
+	rem = vMask
+	for rem != 0 {
+		b := bits.TrailingZeros64(rem)
+		rem &= rem - 1
+		c := bits.OnesCount64(validIn[b] & uMask)
+		if c > radix {
+			c = radix
+		}
+		toSide += c
+	}
+	if toSide < fromSide {
+		return toSide
+	}
+	return fromSide
+}

@@ -1,0 +1,71 @@
+package synth
+
+import (
+	"math"
+
+	"netsmith/internal/bitgraph"
+)
+
+// Penalty weights for constraint violations in the scalarized score.
+// Violations dominate any legitimate objective difference so the search
+// always returns to the feasible region.
+const (
+	penaltyDisconnected = 1e7 // per unreachable ordered pair
+	penaltyDiameter     = 1e6 // per hop of diameter excess
+	penaltyMinCut       = 1e9 // per unit of C7 shortfall
+	scopeCutScale       = 1e6 // SCOp: bandwidth dominates hop tiebreak
+)
+
+// score scalarizes the objective plus constraint penalties; lower is
+// better for every objective.
+func (e *evaluator) score(s *bitgraph.Graph) float64 {
+	total, unreachable, diam := s.HopStats()
+	v := float64(unreachable) * penaltyDisconnected
+	if e.cfg.MaxDiameter > 0 && diam > e.cfg.MaxDiameter && unreachable == 0 {
+		v += float64(diam-e.cfg.MaxDiameter) * penaltyDiameter
+	}
+	poolBW := math.Inf(1)
+	if e.cfg.Objective == SCOp || e.cfg.MinCutBW > 0 {
+		poolBW = s.PoolMin(e.cutPool)
+	}
+	if e.cfg.MinCutBW > 0 && poolBW < e.cfg.MinCutBW {
+		v += (e.cfg.MinCutBW - poolBW) * penaltyMinCut
+	}
+	switch e.cfg.Objective {
+	case LatOp:
+		v += float64(total)
+	case SCOp:
+		v += -poolBW*scopeCutScale + float64(total)
+	case Weighted:
+		wt, wUnreach := s.WeightedHops(e.cfg.Weights)
+		v += wt + float64(wUnreach)*penaltyDisconnected
+	}
+	return v
+}
+
+// evaluator bundles the config with the lazy cut pool.
+type evaluator struct {
+	cfg     Config
+	cutPool []uint64
+}
+
+// newEvaluator seeds the cut pool with geometric cuts (row and column
+// prefixes): these are the bottleneck candidates on grid layouts, and the
+// pool grows lazily as the exact separation oracle finds sparser cuts.
+func newEvaluator(cfg Config) *evaluator {
+	e := &evaluator{cfg: cfg}
+	e.cutPool = GeometricCuts(cfg.Grid)
+	return e
+}
+
+// addCut registers a new separating cut if not already present. Returns
+// true if the pool grew.
+func (e *evaluator) addCut(mask uint64) bool {
+	for _, m := range e.cutPool {
+		if m == mask || m == (^mask) {
+			return false
+		}
+	}
+	e.cutPool = append(e.cutPool, mask)
+	return true
+}

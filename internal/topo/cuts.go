@@ -1,0 +1,394 @@
+package topo
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+)
+
+// ExactCutLimit is the largest router count for which cut metrics are
+// computed by exhaustive partition enumeration (2^(n-1) subsets). Beyond
+// this, Kernighan–Lin style local search seeded by a Fiedler-vector sweep
+// is used; the heuristic value is an upper bound on the true minimum.
+const ExactCutLimit = 24
+
+// Cut describes a two-way partition of the routers and its bandwidth.
+type Cut struct {
+	// UMask has bit r set when router r is in partition U; V is the
+	// complement.
+	UMask uint64
+	// CrossUV and CrossVU count directed links from U to V and V to U.
+	CrossUV, CrossVU int
+	// Bandwidth is the paper's B(U,V): min-direction crossings divided by
+	// |U|*|V| (the minimum of the two directions is the true bottleneck
+	// for asymmetric links).
+	Bandwidth float64
+}
+
+// Size returns |U| for an n-router topology.
+func (c Cut) Size(n int) int { return bits.OnesCount64(c.UMask & ((1 << uint(n)) - 1)) }
+
+// outMasks returns, for each router, the bitmask of its out-neighbors.
+func (t *Topology) outMasks() []uint64 {
+	t.refresh()
+	masks := make([]uint64, t.n)
+	for a := 0; a < t.n; a++ {
+		var m uint64
+		for _, b := range t.out[a] {
+			m |= 1 << uint(b)
+		}
+		masks[a] = m
+	}
+	return masks
+}
+
+// inMasks returns, for each router, the bitmask of its in-neighbors.
+func (t *Topology) inMasks() []uint64 {
+	t.refresh()
+	masks := make([]uint64, t.n)
+	for a := 0; a < t.n; a++ {
+		var m uint64
+		for _, b := range t.in[a] {
+			m |= 1 << uint(b)
+		}
+		masks[a] = m
+	}
+	return masks
+}
+
+// EvaluateCut computes the cut defined by uMask (partition U) against its
+// complement.
+func (t *Topology) EvaluateCut(uMask uint64) Cut {
+	n := t.n
+	full := uint64(1)<<uint(n) - 1
+	uMask &= full
+	vMask := full &^ uMask
+	out := t.outMasks()
+	crossUV, crossVU := 0, 0
+	for a := 0; a < n; a++ {
+		bit := uint64(1) << uint(a)
+		if uMask&bit != 0 {
+			crossUV += bits.OnesCount64(out[a] & vMask)
+		} else {
+			crossVU += bits.OnesCount64(out[a] & uMask)
+		}
+	}
+	sizeU := bits.OnesCount64(uMask)
+	sizeV := n - sizeU
+	bw := math.Inf(1)
+	if sizeU > 0 && sizeV > 0 {
+		minCross := crossUV
+		if crossVU < minCross {
+			minCross = crossVU
+		}
+		bw = float64(minCross) / float64(sizeU*sizeV)
+	}
+	return Cut{UMask: uMask, CrossUV: crossUV, CrossVU: crossVU, Bandwidth: bw}
+}
+
+// SparsestCut returns the cut minimizing B(U,V) = minCross/(|U||V|) over
+// all two-way partitions (constraint C6 of Table I). For n <= ExactCutLimit
+// the search is exhaustive (router 0 pinned to U, halving the space); for
+// larger networks a heuristic (see HeuristicSparsestCut) is used and the
+// result is an upper bound on the true minimum.
+func (t *Topology) SparsestCut() Cut {
+	if t.n <= ExactCutLimit {
+		return t.exactSparsestCut()
+	}
+	return t.HeuristicSparsestCut(64, rand.New(rand.NewSource(1)))
+}
+
+func (t *Topology) exactSparsestCut() Cut {
+	n := t.n
+	out := t.outMasks()
+	in := t.inMasks()
+	full := uint64(1)<<uint(n) - 1
+	best := Cut{Bandwidth: math.Inf(1)}
+	// Enumerate subsets S of routers {1..n-1}; U = S | {0}.
+	limit := uint64(1) << uint(n-1)
+	for s := uint64(0); s < limit; s++ {
+		uMask := (s << 1) | 1
+		vMask := full &^ uMask
+		if vMask == 0 {
+			continue
+		}
+		sizeU := bits.OnesCount64(uMask)
+		sizeV := n - sizeU
+		crossUV, crossVU := 0, 0
+		rem := uMask
+		for rem != 0 {
+			a := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			crossUV += bits.OnesCount64(out[a] & vMask)
+			crossVU += bits.OnesCount64(in[a] & vMask)
+		}
+		minCross := crossUV
+		if crossVU < minCross {
+			minCross = crossVU
+		}
+		bw := float64(minCross) / float64(sizeU*sizeV)
+		if bw < best.Bandwidth {
+			best = Cut{UMask: uMask, CrossUV: crossUV, CrossVU: crossVU, Bandwidth: bw}
+		}
+	}
+	return best
+}
+
+// HeuristicSparsestCut searches for a low-bandwidth cut using restarts of
+// greedy single-node moves (Kernighan–Lin style) plus one Fiedler-vector
+// sweep seed. It returns the best cut found; its bandwidth is an upper
+// bound on the true sparsest cut.
+func (t *Topology) HeuristicSparsestCut(restarts int, rng *rand.Rand) Cut {
+	n := t.n
+	best := Cut{Bandwidth: math.Inf(1)}
+	consider := func(mask uint64) {
+		c := t.EvaluateCut(mask)
+		if c.Size(n) == 0 || c.Size(n) == n {
+			return
+		}
+		c = t.localImproveCut(c.UMask)
+		if c.Bandwidth < best.Bandwidth {
+			best = c
+		}
+	}
+	// Fiedler sweep seed: order routers by approximate second Laplacian
+	// eigenvector, try every prefix cut.
+	order := t.fiedlerOrder()
+	var mask uint64
+	for i := 0; i < n-1; i++ {
+		mask |= 1 << uint(order[i])
+		consider(mask)
+	}
+	// Random restarts.
+	for r := 0; r < restarts; r++ {
+		var m uint64
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				m |= 1 << uint(v)
+			}
+		}
+		consider(m)
+	}
+	return best
+}
+
+// localImproveCut greedily moves single routers across the cut while the
+// bandwidth decreases.
+func (t *Topology) localImproveCut(uMask uint64) Cut {
+	n := t.n
+	cur := t.EvaluateCut(uMask)
+	improved := true
+	for improved {
+		improved = false
+		for v := 0; v < n; v++ {
+			next := t.EvaluateCut(cur.UMask ^ (1 << uint(v)))
+			if s := next.Size(n); s == 0 || s == n {
+				continue
+			}
+			if next.Bandwidth < cur.Bandwidth {
+				cur = next
+				improved = true
+			}
+		}
+	}
+	return cur
+}
+
+// fiedlerOrder approximates the Fiedler (second Laplacian eigen-) vector
+// of the symmetrized graph by power iteration with deflation of the
+// all-ones vector, returning routers sorted by component value.
+func (t *Topology) fiedlerOrder() []int {
+	n := t.n
+	// Symmetrized adjacency weights.
+	w := make([][]float64, n)
+	deg := make([]float64, n)
+	for a := 0; a < n; a++ {
+		w[a] = make([]float64, n)
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if t.adj[a][b] || t.adj[b][a] {
+				w[a][b] = 1
+			}
+		}
+	}
+	maxDeg := 0.0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			deg[a] += w[a][b]
+		}
+		if deg[a] > maxDeg {
+			maxDeg = deg[a]
+		}
+	}
+	// Power-iterate on M = (maxDeg+1)I - L, whose dominant eigenvector
+	// after deflating the constant vector is the Fiedler vector.
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i)*1.7 + 0.3) // deterministic non-constant seed
+	}
+	y := make([]float64, n)
+	for iter := 0; iter < 200; iter++ {
+		// Deflate constant component.
+		mean := 0.0
+		for _, v := range x {
+			mean += v
+		}
+		mean /= float64(n)
+		for i := range x {
+			x[i] -= mean
+		}
+		// y = Mx = (maxDeg+1)x - Lx = (maxDeg+1)x - deg*x + Wx
+		for i := 0; i < n; i++ {
+			sum := (maxDeg + 1 - deg[i]) * x[i]
+			for j := 0; j < n; j++ {
+				if w[i][j] != 0 {
+					sum += w[i][j] * x[j]
+				}
+			}
+			y[i] = sum
+		}
+		norm := 0.0
+		for _, v := range y {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			break
+		}
+		for i := range x {
+			x[i] = y[i] / norm
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort by x value
+		for j := i; j > 0 && x[order[j]] < x[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// BisectionBandwidth returns the minimum min-direction crossing count over
+// balanced partitions (|U| = n/2, or (n±1)/2 for odd n), matching Table
+// II's "Bi. BW" column. Exhaustive for n <= ExactCutLimit, heuristic
+// beyond.
+func (t *Topology) BisectionBandwidth() int {
+	_, bw := t.BisectionCut()
+	return bw
+}
+
+// BisectionCut returns a minimizing balanced partition mask along with
+// its min-direction crossing count (the bisection bandwidth).
+func (t *Topology) BisectionCut() (uint64, int) {
+	n := t.n
+	half := n / 2
+	if n <= ExactCutLimit {
+		out := t.outMasks()
+		in := t.inMasks()
+		full := uint64(1)<<uint(n) - 1
+		best := math.MaxInt32
+		var bestMask uint64
+		// Enumerate subsets of {1..n-1} of size half-1 (router 0 in U) and,
+		// for odd n, also size half (|U| = half+1 handled by symmetry of
+		// the complement).
+		var rec func(start, remaining int, mask uint64)
+		rec = func(start, remaining int, mask uint64) {
+			if remaining == 0 {
+				uMask := mask | 1
+				vMask := full &^ uMask
+				crossUV, crossVU := 0, 0
+				rem := uMask
+				for rem != 0 {
+					a := bits.TrailingZeros64(rem)
+					rem &= rem - 1
+					crossUV += bits.OnesCount64(out[a] & vMask)
+					crossVU += bits.OnesCount64(in[a] & vMask)
+				}
+				c := crossUV
+				if crossVU < c {
+					c = crossVU
+				}
+				if c < best {
+					best = c
+					bestMask = uMask
+				}
+				return
+			}
+			for v := start; v < n; v++ {
+				rec(v+1, remaining-1, mask|1<<uint(v))
+			}
+		}
+		rec(1, half-1, 0)
+		if n%2 == 1 {
+			rec(1, half, 0)
+		}
+		return bestMask, best
+	}
+	// Heuristic: balanced KL restarts.
+	rng := rand.New(rand.NewSource(7))
+	best := math.MaxInt32
+	var bestMask uint64
+	order := t.fiedlerOrder()
+	evalBalanced := func(uMask uint64) {
+		c := t.EvaluateCut(uMask)
+		cr := c.CrossUV
+		if c.CrossVU < cr {
+			cr = c.CrossVU
+		}
+		if cr < best {
+			best = cr
+			bestMask = uMask
+		}
+	}
+	var m uint64
+	for i := 0; i < half; i++ {
+		m |= 1 << uint(order[i])
+	}
+	evalBalanced(m)
+	for r := 0; r < 200; r++ {
+		perm := rng.Perm(n)
+		var mask uint64
+		for i := 0; i < half; i++ {
+			mask |= 1 << uint(perm[i])
+		}
+		// Greedy swap improvement preserving balance.
+		cur := mask
+		improved := true
+		for improved {
+			improved = false
+			bestMask, bestVal := cur, crossOf(t, cur)
+			for a := 0; a < n; a++ {
+				if cur&(1<<uint(a)) == 0 {
+					continue
+				}
+				for b := 0; b < n; b++ {
+					if cur&(1<<uint(b)) != 0 {
+						continue
+					}
+					cand := cur ^ (1 << uint(a)) ^ (1 << uint(b))
+					if v := crossOf(t, cand); v < bestVal {
+						bestVal, bestMask = v, cand
+					}
+				}
+			}
+			if bestMask != cur {
+				cur = bestMask
+				improved = true
+			}
+		}
+		evalBalanced(cur)
+	}
+	return bestMask, best
+}
+
+func crossOf(t *Topology, uMask uint64) int {
+	c := t.EvaluateCut(uMask)
+	if c.CrossVU < c.CrossUV {
+		return c.CrossVU
+	}
+	return c.CrossUV
+}

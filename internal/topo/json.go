@@ -1,0 +1,84 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"netsmith/internal/layout"
+)
+
+// jsonTopology is the serialized form: enough to reconstruct the
+// topology and re-derive every metric.
+type jsonTopology struct {
+	Name  string   `json:"name"`
+	Rows  int      `json:"rows"`
+	Cols  int      `json:"cols"`
+	Class string   `json:"class"`
+	Links [][2]int `json:"links"` // directed
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Topology) MarshalJSON() ([]byte, error) {
+	j := jsonTopology{
+		Name:  t.Name,
+		Rows:  t.Grid.Rows,
+		Cols:  t.Grid.Cols,
+		Class: t.Class.String(),
+	}
+	for _, l := range t.Links() {
+		j.Links = append(j.Links, [2]int{l.From, l.To})
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Topology) UnmarshalJSON(data []byte) error {
+	var j jsonTopology
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	class, err := layout.ParseClass(j.Class)
+	if err != nil {
+		return err
+	}
+	if j.Rows <= 0 || j.Cols <= 0 {
+		return fmt.Errorf("topo: invalid grid %dx%d", j.Rows, j.Cols)
+	}
+	g := layout.NewGrid(j.Rows, j.Cols)
+	*t = *New(j.Name, g, class)
+	n := t.N()
+	for _, l := range j.Links {
+		if l[0] < 0 || l[0] >= n || l[1] < 0 || l[1] >= n || l[0] == l[1] {
+			return fmt.Errorf("topo: invalid link %v", l)
+		}
+		t.AddLink(l[0], l[1])
+	}
+	return nil
+}
+
+// DOT renders the topology in Graphviz format (bidirectional pairs as
+// one undirected edge, unidirectional links as directed edges), with
+// routers laid out at their physical grid positions.
+func (t *Topology) DOT() string {
+	out := fmt.Sprintf("digraph %q {\n", t.Name)
+	out += "  layout=neato;\n  node [shape=circle];\n"
+	for r := 0; r < t.n; r++ {
+		row, col := t.Grid.Pos(r)
+		out += fmt.Sprintf("  %d [pos=\"%d,%d!\"];\n", r, col, -row)
+	}
+	for a := 0; a < t.n; a++ {
+		for b := 0; b < t.n; b++ {
+			if !t.adj[a][b] {
+				continue
+			}
+			if t.adj[b][a] {
+				if a < b {
+					out += fmt.Sprintf("  %d -> %d [dir=both];\n", a, b)
+				}
+			} else {
+				out += fmt.Sprintf("  %d -> %d [style=dashed];\n", a, b)
+			}
+		}
+	}
+	return out + "}\n"
+}

@@ -1,0 +1,283 @@
+// Package topo defines the directed network topology representation used
+// throughout NetSmith and the graph metrics the optimizer reasons about:
+// all-pairs shortest-path hop distances, average hops, diameter, bisection
+// bandwidth and sparsest cut.
+//
+// Topologies are directed: NetSmith supports asymmetric links, where the
+// outgoing half of a full-duplex link budget may connect to a different
+// router than the incoming half (as in the SiCortex Kautz networks). A
+// symmetric topology simply contains both directions of every link.
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"netsmith/internal/layout"
+)
+
+// Topology is a directed graph over n routers placed on a physical grid.
+type Topology struct {
+	Name  string
+	Grid  *layout.Grid
+	Class layout.Class
+	n     int
+	adj   [][]bool
+	// out and in cache adjacency lists; rebuilt lazily after mutation.
+	out, in [][]int
+	dirty   bool
+}
+
+// New creates an empty topology over the grid.
+func New(name string, g *layout.Grid, c layout.Class) *Topology {
+	n := g.N()
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	return &Topology{Name: name, Grid: g, Class: c, n: n, adj: adj, dirty: true}
+}
+
+// FromLinks builds a topology from a list of directed links.
+func FromLinks(name string, g *layout.Grid, c layout.Class, links []layout.Link) *Topology {
+	t := New(name, g, c)
+	for _, l := range links {
+		t.AddLink(l.From, l.To)
+	}
+	return t
+}
+
+// FromPairs builds a topology from undirected pairs, adding both
+// directions of each link.
+func FromPairs(name string, g *layout.Grid, c layout.Class, pairs [][2]int) *Topology {
+	t := New(name, g, c)
+	for _, p := range pairs {
+		t.AddLink(p[0], p[1])
+		t.AddLink(p[1], p[0])
+	}
+	return t
+}
+
+// N returns the number of routers.
+func (t *Topology) N() int { return t.n }
+
+// Has reports whether the directed link a->b exists.
+func (t *Topology) Has(a, b int) bool { return t.adj[a][b] }
+
+// AddLink inserts the directed link a->b (idempotent).
+func (t *Topology) AddLink(a, b int) {
+	if a == b {
+		panic(fmt.Sprintf("topo: self link %d->%d", a, b))
+	}
+	if !t.adj[a][b] {
+		t.adj[a][b] = true
+		t.dirty = true
+	}
+}
+
+// RemoveLink deletes the directed link a->b (idempotent).
+func (t *Topology) RemoveLink(a, b int) {
+	if t.adj[a][b] {
+		t.adj[a][b] = false
+		t.dirty = true
+	}
+}
+
+// Clone returns a deep copy, preserving name unless renamed later.
+func (t *Topology) Clone() *Topology {
+	c := New(t.Name, t.Grid, t.Class)
+	for i := 0; i < t.n; i++ {
+		copy(c.adj[i], t.adj[i])
+	}
+	return c
+}
+
+// Links returns all directed links in deterministic order.
+func (t *Topology) Links() []layout.Link {
+	links := make([]layout.Link, 0, t.NumDirectedLinks())
+	for a := 0; a < t.n; a++ {
+		for b := 0; b < t.n; b++ {
+			if t.adj[a][b] {
+				links = append(links, layout.Link{From: a, To: b})
+			}
+		}
+	}
+	return links
+}
+
+// NumDirectedLinks counts directed links.
+func (t *Topology) NumDirectedLinks() int {
+	count := 0
+	for a := 0; a < t.n; a++ {
+		for b := 0; b < t.n; b++ {
+			if t.adj[a][b] {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// NumLinks counts links in the paper's Table II accounting: hardware
+// full-duplex link budgets. Each full-duplex link contributes one outgoing
+// and one incoming wire half; with asymmetric links the two halves may
+// terminate at different routers, so the budget count is the number of
+// directed wires divided by two (rounded up). For symmetric topologies
+// this equals the usual undirected link count.
+func (t *Topology) NumLinks() int {
+	return (t.NumDirectedLinks() + 1) / 2
+}
+
+// refresh rebuilds adjacency lists after mutations.
+func (t *Topology) refresh() {
+	if !t.dirty {
+		return
+	}
+	t.out = make([][]int, t.n)
+	t.in = make([][]int, t.n)
+	for a := 0; a < t.n; a++ {
+		for b := 0; b < t.n; b++ {
+			if t.adj[a][b] {
+				t.out[a] = append(t.out[a], b)
+				t.in[b] = append(t.in[b], a)
+			}
+		}
+	}
+	t.dirty = false
+}
+
+// Out returns the out-neighbors of router a. The returned slice must not
+// be modified.
+func (t *Topology) Out(a int) []int {
+	t.refresh()
+	return t.out[a]
+}
+
+// In returns the in-neighbors of router a. The returned slice must not be
+// modified.
+func (t *Topology) In(a int) []int {
+	t.refresh()
+	return t.in[a]
+}
+
+// OutDegree returns the number of outgoing links at router a.
+func (t *Topology) OutDegree(a int) int { return len(t.Out(a)) }
+
+// InDegree returns the number of incoming links at router a.
+func (t *Topology) InDegree(a int) int { return len(t.In(a)) }
+
+// MaxRadix returns the maximum in- or out-degree over all routers.
+func (t *Topology) MaxRadix() int {
+	max := 0
+	for a := 0; a < t.n; a++ {
+		if d := t.OutDegree(a); d > max {
+			max = d
+		}
+		if d := t.InDegree(a); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// RespectsRadix reports whether every router's in- and out-degree is at
+// most radix (constraint C2 of Table I).
+func (t *Topology) RespectsRadix(radix int) bool {
+	for a := 0; a < t.n; a++ {
+		if t.OutDegree(a) > radix || t.InDegree(a) > radix {
+			return false
+		}
+	}
+	return true
+}
+
+// RespectsLinkLengths reports whether every link is within the topology's
+// link-length class (constraint C3 of Table I).
+func (t *Topology) RespectsLinkLengths() bool {
+	for a := 0; a < t.n; a++ {
+		for b := 0; b < t.n; b++ {
+			if t.adj[a][b] {
+				dx, dy := t.Grid.Span(a, b)
+				if !t.Class.Allows(dx, dy) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// IsSymmetric reports whether every link a->b is paired with b->a
+// (constraint C9 of Table I).
+func (t *Topology) IsSymmetric() bool {
+	for a := 0; a < t.n; a++ {
+		for b := a + 1; b < t.n; b++ {
+			if t.adj[a][b] != t.adj[b][a] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TotalWireLengthMM sums the physical wire length over all directed links
+// (each direction is a separate wire), used by the power/area model.
+func (t *Topology) TotalWireLengthMM() float64 {
+	total := 0.0
+	for a := 0; a < t.n; a++ {
+		for b := 0; b < t.n; b++ {
+			if t.adj[a][b] {
+				total += t.Grid.LengthMM(a, b)
+			}
+		}
+	}
+	return total
+}
+
+// LinkSpanHistogram counts links (Table II style: bidirectional pair = 1)
+// by their Kite span name, e.g. "(1,0)", "(2,1)".
+func (t *Topology) LinkSpanHistogram() map[string]int {
+	hist := make(map[string]int)
+	seen := make(map[[2]int]bool)
+	for a := 0; a < t.n; a++ {
+		for b := 0; b < t.n; b++ {
+			if !t.adj[a][b] {
+				continue
+			}
+			key := [2]int{a, b}
+			if a > b {
+				key = [2]int{b, a}
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			dx, dy := t.Grid.Span(a, b)
+			if dy > dx {
+				dx, dy = dy, dx
+			}
+			hist[fmt.Sprintf("(%d,%d)", dx, dy)]++
+		}
+	}
+	return hist
+}
+
+// String renders a compact description.
+func (t *Topology) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s, %s]: %d links", t.Name, t.Grid, t.Class, t.NumLinks())
+	return b.String()
+}
+
+// CanonicalLinkList renders the link set as a sorted, comparable string
+// (used in tests to detect identical topologies).
+func (t *Topology) CanonicalLinkList() string {
+	links := t.Links()
+	parts := make([]string, len(links))
+	for i, l := range links {
+		parts[i] = fmt.Sprintf("%d>%d", l.From, l.To)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

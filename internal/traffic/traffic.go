@@ -1,0 +1,176 @@
+// Package traffic provides the synthetic traffic patterns used by the
+// paper's evaluation: uniform random (coherence-style all-to-all),
+// shuffle, and memory (core-to-memory-controller request/reply hotspot)
+// traffic, with the 8-byte control / 72-byte data packet mix of the
+// Garnet standalone setup.
+package traffic
+
+import (
+	"math/rand"
+)
+
+// Flit sizes: links are 8 bytes wide, so control packets are 1 flit and
+// data packets ceil(72/8) = 9 flits.
+const (
+	ControlFlits = 1
+	DataFlits    = 9
+)
+
+// AvgFlitsPerPacket is the expected packet size when control and data
+// packets are injected with equal likelihood.
+const AvgFlitsPerPacket = float64(ControlFlits+DataFlits) / 2
+
+// Pattern decides the destination and size of injected packets, and may
+// generate replies on delivery (memory traffic).
+type Pattern interface {
+	// Name identifies the pattern in reports.
+	Name() string
+	// Inject returns the destination and flit count for a new packet
+	// injected at src. ok=false means src does not inject under this
+	// pattern (e.g. memory controllers do not originate requests).
+	Inject(src int, rng *rand.Rand) (dst, flits int, ok bool)
+	// OnDeliver is called when a packet reaches dst; a returned reply
+	// (ok=true) is injected at dst back toward src. Patterns without
+	// replies return ok=false.
+	OnDeliver(src, dst int, rng *rand.Rand) (replyDst, replyFlits int, ok bool)
+}
+
+// mixedSize returns control or data size with equal likelihood.
+func mixedSize(rng *rand.Rand) int {
+	if rng.Intn(2) == 0 {
+		return ControlFlits
+	}
+	return DataFlits
+}
+
+// Uniform is uniform-random all-to-all traffic (the paper's "coherence
+// traffic" proxy): every node sends to every other node with equal
+// probability, 50/50 control/data.
+type Uniform struct{ N int }
+
+// Name implements Pattern.
+func (u Uniform) Name() string { return "uniform" }
+
+// Inject implements Pattern.
+func (u Uniform) Inject(src int, rng *rand.Rand) (int, int, bool) {
+	if u.N < 2 {
+		return 0, 0, false
+	}
+	dst := rng.Intn(u.N - 1)
+	if dst >= src {
+		dst++
+	}
+	return dst, mixedSize(rng), true
+}
+
+// OnDeliver implements Pattern.
+func (u Uniform) OnDeliver(src, dst int, rng *rand.Rand) (int, int, bool) { return 0, 0, false }
+
+// Shuffle is the gem5 shuffle permutation: dst = 2*src for the lower
+// half, (2*src+1) mod n for the upper half (far source-destination
+// pairs). Nodes whose shuffle target is themselves do not inject.
+type Shuffle struct{ N int }
+
+// Name implements Pattern.
+func (s Shuffle) Name() string { return "shuffle" }
+
+// Dest returns the shuffle destination for src.
+func (s Shuffle) Dest(src int) int {
+	if src < s.N/2 {
+		return 2 * src
+	}
+	return (2*src + 1) % s.N
+}
+
+// Inject implements Pattern.
+func (s Shuffle) Inject(src int, rng *rand.Rand) (int, int, bool) {
+	dst := s.Dest(src)
+	if dst == src {
+		return 0, 0, false
+	}
+	return dst, mixedSize(rng), true
+}
+
+// OnDeliver implements Pattern.
+func (s Shuffle) OnDeliver(src, dst int, rng *rand.Rand) (int, int, bool) { return 0, 0, false }
+
+// WeightMatrix returns the demand matrix of the shuffle pattern for
+// pattern-optimized synthesis (NS-ShufOpt).
+func (s Shuffle) WeightMatrix() [][]float64 {
+	w := make([][]float64, s.N)
+	for i := range w {
+		w[i] = make([]float64, s.N)
+	}
+	for src := 0; src < s.N; src++ {
+		if d := s.Dest(src); d != src {
+			w[src][d] = 1
+		}
+	}
+	return w
+}
+
+// Memory models memory traffic: core-attached routers issue 1-flit read
+// requests to uniformly chosen memory-controller routers, which answer
+// with 9-flit data replies. MCs do not originate traffic. The reply
+// hotspot at MCs makes this a tighter bottleneck than the sparsest cut,
+// as the paper observes in Fig. 6(b).
+type Memory struct {
+	Cores []int
+	MCs   []int
+	core  map[int]bool
+}
+
+// NewMemory builds the pattern from core and MC router lists.
+func NewMemory(cores, mcs []int) *Memory {
+	m := &Memory{Cores: cores, MCs: mcs, core: make(map[int]bool)}
+	for _, c := range cores {
+		m.core[c] = true
+	}
+	return m
+}
+
+// Name implements Pattern.
+func (m *Memory) Name() string { return "memory" }
+
+// Inject implements Pattern.
+func (m *Memory) Inject(src int, rng *rand.Rand) (int, int, bool) {
+	if !m.core[src] {
+		return 0, 0, false // MCs only reply
+	}
+	return m.MCs[rng.Intn(len(m.MCs))], ControlFlits, true
+}
+
+// OnDeliver implements Pattern: a request arriving at an MC triggers a
+// data reply to the requesting core.
+func (m *Memory) OnDeliver(src, dst int, rng *rand.Rand) (int, int, bool) {
+	if m.core[dst] {
+		return 0, 0, false // reply delivered; chain ends
+	}
+	return src, DataFlits, true
+}
+
+// Permutation routes each source to a fixed destination given by perm.
+type Permutation struct {
+	Perm []int
+	Tag  string
+}
+
+// Name implements Pattern.
+func (p Permutation) Name() string {
+	if p.Tag != "" {
+		return p.Tag
+	}
+	return "permutation"
+}
+
+// Inject implements Pattern.
+func (p Permutation) Inject(src int, rng *rand.Rand) (int, int, bool) {
+	dst := p.Perm[src]
+	if dst == src {
+		return 0, 0, false
+	}
+	return dst, mixedSize(rng), true
+}
+
+// OnDeliver implements Pattern.
+func (p Permutation) OnDeliver(src, dst int, rng *rand.Rand) (int, int, bool) { return 0, 0, false }

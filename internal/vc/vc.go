@@ -1,0 +1,288 @@
+// Package vc assigns virtual channels (VCs) to routed flows so that each
+// VC layer's channel dependency graph (CDG) is acyclic, which — per Dally
+// and Seitz — suffices for deadlock-free wormhole routing when packets
+// stay within their assigned layer.
+//
+// The assignment follows the paper's adaptation of the DFSSSP idea
+// (Domke et al.): shortest paths are partitioned into layers; paths that
+// would close a cycle in the current layer's CDG are deferred to the
+// next layer. Randomized path orders are tried and the assignment with
+// the fewest layers kept; a final pass balances layers by path-length
+// weighted occupancy without breaking acyclicity.
+package vc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netsmith/internal/route"
+)
+
+// Assignment maps every routed flow to a VC layer.
+type Assignment struct {
+	NumVCs  int
+	LayerOf [][]int // [src][dst] -> layer; -1 on the diagonal
+}
+
+// Layer returns the VC layer of flow (s, d).
+func (a *Assignment) Layer(s, d int) int { return a.LayerOf[s][d] }
+
+// cdg is a channel dependency graph: nodes are directed links (encoded
+// as from*n+to), edges connect consecutive links of some path.
+type cdg struct {
+	n    int
+	succ map[int]map[int]int // edge -> edge -> refcount
+}
+
+func newCDG(n int) *cdg { return &cdg{n: n, succ: make(map[int]map[int]int)} }
+
+func (g *cdg) linkID(a, b int) int { return a*g.n + b }
+
+// pathEdges returns the CDG edges induced by a path.
+func (g *cdg) pathEdges(p route.Path) [][2]int {
+	var out [][2]int
+	for i := 0; i+2 < len(p); i++ {
+		out = append(out, [2]int{g.linkID(p[i], p[i+1]), g.linkID(p[i+1], p[i+2])})
+	}
+	return out
+}
+
+func (g *cdg) add(p route.Path) {
+	for _, e := range g.pathEdges(p) {
+		m := g.succ[e[0]]
+		if m == nil {
+			m = make(map[int]int)
+			g.succ[e[0]] = m
+		}
+		m[e[1]]++
+	}
+}
+
+func (g *cdg) remove(p route.Path) {
+	for _, e := range g.pathEdges(p) {
+		if m := g.succ[e[0]]; m != nil {
+			m[e[1]]--
+			if m[e[1]] <= 0 {
+				delete(m, e[1])
+			}
+			if len(m) == 0 {
+				delete(g.succ, e[0])
+			}
+		}
+	}
+}
+
+// acyclic checks the CDG for cycles with an iterative three-color DFS.
+func (g *cdg) acyclic() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int, len(g.succ))
+	type frame struct {
+		node int
+		iter []int
+	}
+	for start := range g.succ {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: start, iter: keys(g.succ[start])}}
+		color[start] = gray
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if len(top.iter) == 0 {
+				color[top.node] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			next := top.iter[len(top.iter)-1]
+			top.iter = top.iter[:len(top.iter)-1]
+			switch color[next] {
+			case gray:
+				return false
+			case white:
+				color[next] = gray
+				stack = append(stack, frame{node: next, iter: keys(g.succ[next])})
+			}
+		}
+	}
+	return true
+}
+
+func keys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// wouldStayAcyclic reports whether adding path p keeps the CDG acyclic.
+func (g *cdg) wouldStayAcyclic(p route.Path) bool {
+	g.add(p)
+	ok := g.acyclic()
+	g.remove(p)
+	return ok
+}
+
+// Options controls VC assignment.
+type Options struct {
+	Seed   int64
+	Tries  int // randomized orders tried (default 8)
+	MaxVCs int // error if more layers are needed (0 = unlimited)
+}
+
+// Assign partitions the routing's paths into acyclic-CDG layers.
+func Assign(r *route.Routing, opts Options) (*Assignment, error) {
+	if opts.Tries == 0 {
+		opts.Tries = 8
+	}
+	n := r.N
+	type flow struct{ s, d int }
+	var flows []flow
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d && r.Table[s][d] != nil {
+				flows = append(flows, flow{s, d})
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var best *Assignment
+	for try := 0; try < opts.Tries; try++ {
+		order := rng.Perm(len(flows))
+		layerOf := make([][]int, n)
+		for s := range layerOf {
+			layerOf[s] = make([]int, n)
+			for d := range layerOf[s] {
+				layerOf[s][d] = -1
+			}
+		}
+		pending := make([]int, len(order))
+		copy(pending, order)
+		layers := 0
+		for len(pending) > 0 {
+			g := newCDG(n)
+			var deferred []int
+			for _, fi := range pending {
+				f := flows[fi]
+				p := r.Table[f.s][f.d]
+				if g.wouldStayAcyclic(p) {
+					g.add(p)
+					layerOf[f.s][f.d] = layers
+				} else {
+					deferred = append(deferred, fi)
+				}
+			}
+			if len(deferred) == len(pending) {
+				return nil, fmt.Errorf("vc: no progress assigning layer %d", layers)
+			}
+			pending = deferred
+			layers++
+		}
+		if best == nil || layers < best.NumVCs {
+			best = &Assignment{NumVCs: layers, LayerOf: layerOf}
+		}
+	}
+	if opts.MaxVCs > 0 && best.NumVCs > opts.MaxVCs {
+		return nil, fmt.Errorf("vc: %d layers needed, max %d", best.NumVCs, opts.MaxVCs)
+	}
+	balance(r, best)
+	return best, nil
+}
+
+// balance evens out path-length weighted VC occupancy: paths are moved
+// from heavier to lighter layers whenever the move preserves acyclicity.
+func balance(r *route.Routing, a *Assignment) {
+	if a.NumVCs < 2 {
+		return
+	}
+	n := r.N
+	graphs := make([]*cdg, a.NumVCs)
+	weight := make([]int, a.NumVCs)
+	for v := range graphs {
+		graphs[v] = newCDG(n)
+	}
+	type flow struct{ s, d int }
+	var flows []flow
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d || r.Table[s][d] == nil {
+				continue
+			}
+			v := a.LayerOf[s][d]
+			graphs[v].add(r.Table[s][d])
+			weight[v] += r.Table[s][d].Hops()
+			flows = append(flows, flow{s, d})
+		}
+	}
+	for pass := 0; pass < 3; pass++ {
+		moved := false
+		for _, f := range flows {
+			p := r.Table[f.s][f.d]
+			from := a.LayerOf[f.s][f.d]
+			for to := 0; to < a.NumVCs; to++ {
+				if to == from || weight[to]+p.Hops() >= weight[from] {
+					continue
+				}
+				if graphs[to].wouldStayAcyclic(p) {
+					graphs[from].remove(p)
+					graphs[to].add(p)
+					weight[from] -= p.Hops()
+					weight[to] += p.Hops()
+					a.LayerOf[f.s][f.d] = to
+					moved = true
+					break
+				}
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// Verify confirms the assignment is complete and every layer's CDG is
+// acyclic. It is the deadlock-freedom check used by tests and the
+// simulator's setup path.
+func (a *Assignment) Verify(r *route.Routing) error {
+	n := r.N
+	graphs := make([]*cdg, a.NumVCs)
+	for v := range graphs {
+		graphs[v] = newCDG(n)
+	}
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d || r.Table[s][d] == nil {
+				continue
+			}
+			v := a.LayerOf[s][d]
+			if v < 0 || v >= a.NumVCs {
+				return fmt.Errorf("vc: flow (%d,%d) has invalid layer %d", s, d, v)
+			}
+			graphs[v].add(r.Table[s][d])
+		}
+	}
+	for v, g := range graphs {
+		if !g.acyclic() {
+			return fmt.Errorf("vc: layer %d CDG has a cycle", v)
+		}
+	}
+	return nil
+}
+
+// Occupancy returns the path-length weighted occupancy per layer.
+func (a *Assignment) Occupancy(r *route.Routing) []int {
+	w := make([]int, a.NumVCs)
+	for s := 0; s < r.N; s++ {
+		for d := 0; d < r.N; d++ {
+			if s == d || r.Table[s][d] == nil {
+				continue
+			}
+			w[a.LayerOf[s][d]] += r.Table[s][d].Hops()
+		}
+	}
+	return w
+}

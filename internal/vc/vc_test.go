@@ -1,0 +1,198 @@
+package vc
+
+import (
+	"testing"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+	"netsmith/internal/route"
+	"netsmith/internal/synth"
+	"netsmith/internal/topo"
+)
+
+func TestCDGCycleDetection(t *testing.T) {
+	g := newCDG(4)
+	// Paths around a bidirectional ring 0-1-2-3 create a CDG cycle when
+	// all four "turns" exist: (0,1)->(1,2)->(2,3)->(3,0)->(0,1).
+	g.add(route.Path{0, 1, 2})
+	g.add(route.Path{1, 2, 3})
+	g.add(route.Path{2, 3, 0})
+	if !g.acyclic() {
+		t.Fatal("three turns cannot close the cycle")
+	}
+	g.add(route.Path{3, 0, 1})
+	if g.acyclic() {
+		t.Fatal("four turns around a ring must form a CDG cycle")
+	}
+	g.remove(route.Path{3, 0, 1})
+	if !g.acyclic() {
+		t.Fatal("removing the closing path must restore acyclicity")
+	}
+}
+
+func TestCDGRefcounting(t *testing.T) {
+	g := newCDG(4)
+	p := route.Path{0, 1, 2}
+	g.add(p)
+	g.add(p)
+	g.remove(p)
+	// One reference remains: edge still present.
+	if len(g.succ) == 0 {
+		t.Fatal("refcounted edge vanished after single remove")
+	}
+	g.remove(p)
+	if len(g.succ) != 0 {
+		t.Fatal("edges must vanish when refcount reaches zero")
+	}
+}
+
+func TestAssignRing(t *testing.T) {
+	// Unidirectional ring: all-to-all shortest paths wrap around and the
+	// single-layer CDG is cyclic, so at least 2 VCs are required.
+	g := layout.NewGrid(1, 6)
+	tp := topo.New("ring", g, layout.Large)
+	for i := 0; i < 6; i++ {
+		tp.AddLink(i, (i+1)%6)
+	}
+	ps, err := route.AllShortestPaths(tp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := route.RandomSelection("ring", ps, 1)
+	a, err := Assign(r, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumVCs < 2 {
+		t.Errorf("ring requires >= 2 VCs, got %d", a.NumVCs)
+	}
+	if err := a.Verify(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignMeshXY(t *testing.T) {
+	// A mesh with XY-like (monotone) routing should need very few VCs.
+	m := expert.Mesh(layout.Grid4x5)
+	r, err := route.NDBT(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assign(r, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(r); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumVCs > 3 {
+		t.Errorf("mesh NDBT needs %d VCs, expected <= 3", a.NumVCs)
+	}
+}
+
+func TestAssignKiteAndNetSmith(t *testing.T) {
+	// The paper: 4 VCs suffice for all 20-router configurations.
+	cases := []*topo.Topology{}
+	kite, err := expert.Get(expert.NameKiteSmall, layout.Grid4x5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, kite)
+	res, err := synth.Generate(synth.Config{Grid: layout.Grid4x5, Class: layout.Medium,
+		Objective: synth.LatOp, Seed: 1, Iterations: 8000, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, res.Topology)
+	for _, tp := range cases {
+		r, err := route.MCLB(tp, route.MCLBOptions{Seed: 2, Restarts: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Assign(r, Options{Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", tp.Name, err)
+		}
+		if err := a.Verify(r); err != nil {
+			t.Fatalf("%s: %v", tp.Name, err)
+		}
+		if a.NumVCs > 4 {
+			t.Errorf("%s: %d VCs needed, paper reports <= 4 for 20-router configs", tp.Name, a.NumVCs)
+		}
+	}
+}
+
+func TestMaxVCsEnforced(t *testing.T) {
+	g := layout.NewGrid(1, 6)
+	tp := topo.New("ring", g, layout.Large)
+	for i := 0; i < 6; i++ {
+		tp.AddLink(i, (i+1)%6)
+	}
+	ps, _ := route.AllShortestPaths(tp, 0)
+	r := route.RandomSelection("ring", ps, 1)
+	if _, err := Assign(r, Options{Seed: 1, MaxVCs: 1}); err == nil {
+		t.Error("MaxVCs=1 must fail on a unidirectional ring")
+	}
+}
+
+func TestOccupancyBalanced(t *testing.T) {
+	m := expert.Mesh(layout.Grid4x5)
+	ps, _ := route.AllShortestPaths(m, 0)
+	r := route.RandomSelection("mesh", ps, 11)
+	a, err := Assign(r, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := a.Occupancy(r)
+	total := 0
+	for _, w := range occ {
+		total += w
+	}
+	sumHops := 0
+	for s := 0; s < 20; s++ {
+		for d := 0; d < 20; d++ {
+			if s != d {
+				sumHops += r.Table[s][d].Hops()
+			}
+		}
+	}
+	if total != sumHops {
+		t.Errorf("occupancy sums to %d, want %d", total, sumHops)
+	}
+	if a.NumVCs >= 2 {
+		// Balancing should keep the heaviest layer under 85% of total.
+		max := 0
+		for _, w := range occ {
+			if w > max {
+				max = w
+			}
+		}
+		if float64(max) > 0.85*float64(total) {
+			t.Errorf("unbalanced layers: %v", occ)
+		}
+	}
+}
+
+func TestVerifyCatchesBadAssignment(t *testing.T) {
+	g := layout.NewGrid(1, 4)
+	tp := topo.New("ring", g, layout.Large)
+	for i := 0; i < 4; i++ {
+		tp.AddLink(i, (i+1)%4)
+	}
+	ps, _ := route.AllShortestPaths(tp, 0)
+	r := route.RandomSelection("ring", ps, 1)
+	// Force everything into one layer: wrap-around flows close the CDG
+	// cycle.
+	bad := &Assignment{NumVCs: 1, LayerOf: make([][]int, 4)}
+	for s := range bad.LayerOf {
+		bad.LayerOf[s] = make([]int, 4)
+		for d := range bad.LayerOf[s] {
+			if s == d {
+				bad.LayerOf[s][d] = -1
+			}
+		}
+	}
+	if err := bad.Verify(r); err == nil {
+		t.Error("Verify must reject a cyclic single-layer assignment")
+	}
+}

@@ -1,0 +1,197 @@
+// Package netsmith is an optimization framework for machine-discovered
+// network topologies, reproducing Green and Thottethodi, "NetSmith: An
+// Optimization Framework for Machine-Discovered Network Topologies"
+// (ICPP 2024).
+//
+// Given the physical layout of interposer routers, a link-length budget
+// and a router radix, NetSmith discovers network-on-interposer (NoI)
+// topologies that minimize average hop count (LatOp) or maximize
+// sparsest-cut bandwidth (SCOp), complete with minimum-max-channel-load
+// (MCLB) shortest-path routing tables and deadlock-free virtual-channel
+// assignments. Expert-designed baselines (Mesh, Folded Torus, the Kite
+// family, Butter Donut, Double Butterfly, LPBT) and a flit-level network
+// simulator are included for evaluation.
+//
+// Quick start:
+//
+//	res, err := netsmith.Generate(netsmith.Options{
+//		Grid:      netsmith.Grid4x5,
+//		Class:     netsmith.Medium,
+//		Objective: netsmith.LatOp,
+//	})
+//	// res.Topology has the discovered network.
+//	net, err := netsmith.Prepare(res.Topology)          // MCLB + VCs
+//	curve, err := netsmith.SweepUniform(net, nil, 1)    // latency curve
+package netsmith
+
+import (
+	"time"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+	"netsmith/internal/route"
+	"netsmith/internal/sim"
+	"netsmith/internal/synth"
+	"netsmith/internal/topo"
+	"netsmith/internal/traffic"
+	"netsmith/internal/vc"
+)
+
+// Re-exported core types. These aliases form the public API surface;
+// the implementation lives in internal packages.
+type (
+	// Grid is a physical router placement.
+	Grid = layout.Grid
+	// Class is a Kite-taxonomy link-length budget.
+	Class = layout.Class
+	// Topology is a directed NoI topology.
+	Topology = topo.Topology
+	// Cut is a two-way partition with its bandwidth.
+	Cut = topo.Cut
+	// Result is a synthesis outcome (topology + bound + gap).
+	Result = synth.Result
+	// ProgressPoint samples solver progress (Figure 5 style).
+	ProgressPoint = synth.ProgressPoint
+	// Routing is a per-flow shortest-path table.
+	Routing = route.Routing
+	// VCAssignment maps flows to deadlock-free VC layers.
+	VCAssignment = vc.Assignment
+	// Network bundles topology, routing and VCs, ready to simulate.
+	Network = sim.Setup
+	// SweepResult is a latency-vs-injection curve with saturation.
+	SweepResult = sim.SweepResult
+	// Pattern is a synthetic traffic pattern.
+	Pattern = traffic.Pattern
+	// Objective selects what Generate optimizes.
+	Objective = synth.Objective
+)
+
+// Link-length classes (small (1,1), medium (2,0), large (2,1)).
+const (
+	Small  = layout.Small
+	Medium = layout.Medium
+	Large  = layout.Large
+)
+
+// Objectives.
+const (
+	// LatOp minimizes average hop count.
+	LatOp = synth.LatOp
+	// SCOp maximizes sparsest-cut bandwidth.
+	SCOp = synth.SCOp
+	// PatternOp minimizes traffic-weighted hops (set Options.Weights).
+	PatternOp = synth.Weighted
+)
+
+// Paper-standard grids.
+var (
+	// Grid4x5 is the 20-router interposer layout.
+	Grid4x5 = layout.Grid4x5
+	// Grid6x5 is the 30-router layout.
+	Grid6x5 = layout.Grid6x5
+	// Grid8x6 is the 48-router scalability layout.
+	Grid8x6 = layout.Grid8x6
+)
+
+// NewGrid returns a rows x cols router placement.
+func NewGrid(rows, cols int) *Grid { return layout.NewGrid(rows, cols) }
+
+// Options parameterizes topology generation. Zero values select paper
+// defaults (radix 4, asymmetric links allowed).
+type Options struct {
+	Grid        *Grid
+	Class       Class
+	Objective   Objective
+	Radix       int
+	Symmetric   bool
+	MaxDiameter int
+	MinCutBW    float64
+	Weights     [][]float64 // for PatternOp
+	Seed        int64
+	TimeBudget  time.Duration
+	Progress    func(ProgressPoint)
+}
+
+// Generate discovers a topology for the given options.
+func Generate(o Options) (*Result, error) {
+	cfg := synth.Config{
+		Grid: o.Grid, Class: o.Class, Objective: o.Objective,
+		Radix: o.Radix, Symmetric: o.Symmetric, MaxDiameter: o.MaxDiameter,
+		MinCutBW: o.MinCutBW, Weights: o.Weights, Seed: o.Seed,
+		TimeBudget: o.TimeBudget, Progress: o.Progress,
+	}
+	if o.TimeBudget > 0 {
+		// Time-bounded runs should not stop early on iteration count.
+		cfg.Iterations = 1 << 30
+		cfg.Restarts = 1 << 20
+	}
+	return synth.Generate(cfg)
+}
+
+// Baseline returns a named expert-designed or prior-synthesis topology
+// for the grid; see BaselineNames.
+func Baseline(name string, g *Grid) (*Topology, error) { return expert.Get(name, g) }
+
+// BaselineNames lists available baselines for a grid.
+func BaselineNames(g *Grid) []string { return expert.Names(g) }
+
+// Mesh returns the standard 2D mesh for a grid.
+func Mesh(g *Grid) *Topology { return expert.Mesh(g) }
+
+// FoldedTorus returns the folded torus for a grid.
+func FoldedTorus(g *Grid) *Topology { return expert.FoldedTorus(g) }
+
+// MCLB computes minimum-maximum-channel-load shortest-path routing.
+func MCLB(t *Topology, seed int64) (*Routing, error) {
+	return route.MCLB(t, route.MCLBOptions{Seed: seed})
+}
+
+// NDBT computes the expert-topology no-double-back-turns routing.
+func NDBT(t *Topology, seed int64) (*Routing, error) { return route.NDBT(t, seed) }
+
+// AssignVCs partitions routed flows into deadlock-free VC layers and
+// verifies the result.
+func AssignVCs(r *Routing, seed int64) (*VCAssignment, error) {
+	a, err := vc.Assign(r, vc.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Verify(r); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Prepare builds MCLB routing plus verified VC assignment for a
+// topology (NetSmith's standard pipeline).
+func Prepare(t *Topology) (*Network, error) { return sim.Prepare(t, sim.UseMCLB, 1) }
+
+// PrepareNDBT is Prepare with the expert heuristic routing.
+func PrepareNDBT(t *Topology) (*Network, error) { return sim.Prepare(t, sim.UseNDBT, 1) }
+
+// UniformTraffic returns uniform-random all-to-all traffic over n nodes.
+func UniformTraffic(n int) Pattern { return traffic.Uniform{N: n} }
+
+// ShuffleTraffic returns the gem5 shuffle permutation over n nodes.
+func ShuffleTraffic(n int) Pattern { return traffic.Shuffle{N: n} }
+
+// MemoryTraffic returns core-to-MC request/reply traffic for a grid.
+func MemoryTraffic(g *Grid) Pattern {
+	return traffic.NewMemory(g.CoreRouters(), g.MemoryControllerRouters())
+}
+
+// ShuffleWeights returns the shuffle demand matrix for PatternOp
+// synthesis.
+func ShuffleWeights(n int) [][]float64 { return traffic.Shuffle{N: n}.WeightMatrix() }
+
+// Sweep runs a latency-vs-injection sweep for a prepared network under a
+// pattern. rates nil selects the standard grid; fast trades fidelity for
+// runtime.
+func Sweep(n *Network, p Pattern, rates []float64, fast bool, seed int64) (*SweepResult, error) {
+	return n.Curve(p, rates, fast, seed)
+}
+
+// SweepUniform is Sweep with uniform-random traffic.
+func SweepUniform(n *Network, rates []float64, seed int64) (*SweepResult, error) {
+	return n.Curve(traffic.Uniform{N: n.Topo.N()}, rates, true, seed)
+}

@@ -1,0 +1,112 @@
+package netsmith
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFacadeGenerateAndPrepare(t *testing.T) {
+	var progress int
+	res, err := Generate(Options{
+		Grid: Grid4x5, Class: Medium, Objective: LatOp,
+		Seed: 1, TimeBudget: 800 * time.Millisecond,
+		Progress: func(ProgressPoint) { progress++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := res.Topology
+	if !tp.IsConnected() || !tp.RespectsRadix(4) || !tp.RespectsLinkLengths() {
+		t.Fatal("facade-generated topology violates constraints")
+	}
+	if progress == 0 {
+		t.Error("progress callback never fired")
+	}
+	net, err := Prepare(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := SweepUniform(net, []float64{0.01, 0.1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.ZeroLoadLatencyNs <= 0 {
+		t.Error("no latency measured via facade")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	names := BaselineNames(Grid4x5)
+	if len(names) == 0 {
+		t.Fatal("no baselines")
+	}
+	for _, n := range names {
+		tp, err := Baseline(n, Grid4x5)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if !tp.IsConnected() {
+			t.Errorf("%s disconnected", n)
+		}
+	}
+	if Mesh(Grid4x5).NumLinks() != 31 {
+		t.Error("mesh helper broken")
+	}
+	if FoldedTorus(Grid4x5).NumLinks() != 40 {
+		t.Error("folded torus helper broken")
+	}
+}
+
+func TestFacadeRoutingAndVCs(t *testing.T) {
+	kite, err := Baseline("Kite-Medium", Grid4x5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mclb, err := MCLB(kite, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndbt, err := NDBT(kite, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mclb.MaxChannelLoad() > ndbt.MaxChannelLoad() {
+		t.Errorf("MCLB %d worse than NDBT %d", mclb.MaxChannelLoad(), ndbt.MaxChannelLoad())
+	}
+	a, err := AssignVCs(mclb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumVCs < 1 {
+		t.Error("no VC layers")
+	}
+}
+
+func TestFacadePatternOp(t *testing.T) {
+	res, err := Generate(Options{
+		Grid: Grid4x5, Class: Large, Objective: PatternOp,
+		Weights: ShuffleWeights(20), Seed: 2, TimeBudget: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Topology.IsConnected() {
+		t.Fatal("pattern-optimized topology disconnected")
+	}
+}
+
+func TestFacadeTrafficConstructors(t *testing.T) {
+	if UniformTraffic(20).Name() != "uniform" {
+		t.Error("uniform name")
+	}
+	if ShuffleTraffic(20).Name() != "shuffle" {
+		t.Error("shuffle name")
+	}
+	if MemoryTraffic(Grid4x5).Name() != "memory" {
+		t.Error("memory name")
+	}
+	w := ShuffleWeights(20)
+	if len(w) != 20 || w[1][2] != 1 {
+		t.Error("shuffle weights: src 1 -> dst 2 expected")
+	}
+}
