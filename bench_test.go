@@ -19,7 +19,9 @@ import (
 	"netsmith/internal/expert"
 	"netsmith/internal/layout"
 	"netsmith/internal/route"
+	"netsmith/internal/sim"
 	"netsmith/internal/synth"
+	"netsmith/internal/traffic"
 )
 
 var (
@@ -305,6 +307,33 @@ func BenchmarkSynthesisIteration(b *testing.B) {
 			Objective: synth.LatOp, Seed: int64(i), Iterations: 5000, Restarts: 1})
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSteadyState measures raw flit-engine throughput: one
+// fixed-window simulation of a 4x5 mesh under uniform traffic at
+// moderate load. Run with -benchmem: steady-state cycles must not
+// allocate (packets are pooled; buffers and link queues are flat rings),
+// so allocs/op stays bounded by engine setup.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	s, err := sim.Prepare(expert.Mesh(layout.Grid4x5), sim.UseNDBT, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+			Pattern: traffic.Uniform{N: 20}, InjectionRate: 0.09,
+			WarmupCycles: 2000, MeasureCycles: 8000, DrainCycles: 8000,
+			Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stalled {
+			b.Fatal("stalled")
 		}
 	}
 }

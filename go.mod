@@ -1,0 +1,3 @@
+module netsmith
+
+go 1.22

@@ -1,24 +1,131 @@
 package sim
 
+import "math/bits"
+
+// --- VC-buffer ring primitives --------------------------------------
+
+// headFlit returns the head flit of slot s without popping it.
+func (e *engine) headFlit(s int32) *flit {
+	return &e.bufData[int(s)*e.bufCap+int(e.bufHead[s])]
+}
+
+// pushFlit appends a flit to slot s of router r and retargets the
+// occupancy masks when the buffer was empty (new head).
+func (e *engine) pushFlit(s int32, r int, f flit) {
+	e.bufData[int(s)*e.bufCap+int((e.bufHead[s]+e.bufCount[s])&e.bufMask)] = f
+	e.bufCount[s]++
+	e.bufferedFlits++
+	if e.bufCount[s] == 1 {
+		e.retarget(s, r)
+	}
+}
+
+// popFlit removes and returns the head flit of slot s of router r,
+// retargeting the masks for the new head (or emptiness).
+func (e *engine) popFlit(s int32, r int) flit {
+	f := e.bufData[int(s)*e.bufCap+int(e.bufHead[s])]
+	e.bufHead[s] = (e.bufHead[s] + 1) & e.bufMask
+	e.bufCount[s]--
+	e.bufferedFlits--
+	e.retarget(s, r)
+	return f
+}
+
+// retarget re-files slot s of router r under the mask matching its
+// current head flit: the router's eject mask when the head is at its
+// final hop, the candidate mask of the link it wants next otherwise.
+// Each occupied slot lives in exactly one mask, so switch allocation and
+// ejection never scan empty or mis-targeted VCs.
+func (e *engine) retarget(s int32, r int) {
+	lb := int(s) - r*e.slotsPerRouter // local slot index: port*numVCs+vc
+	w := lb >> 6
+	bit := uint64(1) << uint(lb&63)
+	switch old := e.slotWhere[s]; old {
+	case whereNone:
+	case whereEject:
+		e.ejectMask[r*e.wordsPerRouter+w] &^= bit
+	default:
+		e.candMask[int(old)*e.wordsPerRouter+w] &^= bit
+	}
+	if e.bufCount[s] == 0 {
+		e.slotWhere[s] = whereNone
+		return
+	}
+	h := e.headFlit(s)
+	if int(h.pathIdx) >= len(h.pkt.path)-1 {
+		e.ejectMask[r*e.wordsPerRouter+w] |= bit
+		e.slotWhere[s] = whereEject
+		return
+	}
+	lid := e.linkIDAt[r*e.n+h.pkt.path[h.pathIdx+1]]
+	if lid < 0 {
+		// Malformed route: leave the flit unscheduled (the watchdog
+		// reports the wedge), matching the old full-scan behavior.
+		e.slotWhere[s] = whereNone
+		return
+	}
+	e.candMask[int(lid)*e.wordsPerRouter+w] |= bit
+	e.slotWhere[s] = lid
+}
+
+// --- cycle phases ---------------------------------------------------
+
 // deliverArrivals moves in-flight flits that reach their arrival cycle
 // into downstream VC buffers (the slot was reserved at send time).
+// Links are visited in dense-ID order, which is deterministic.
 func (e *engine) deliverArrivals() {
-	for key, qp := range e.links {
-		q := *qp
-		idx := 0
-		for idx < len(q) && q[idx].arriveAt <= e.cycle {
-			inf := q[idx]
-			e.bufs[key[1]][inf.port][inf.vcIdx].push(inf.f)
-			idx++
-		}
-		if idx > 0 {
-			*qp = q[idx:]
-			if len(*qp) == 0 {
-				// Reset backing array occasionally to bound growth.
-				*qp = (*qp)[:0]
-			}
-		}
+	if e.linkFlits == 0 {
+		return
 	}
+	for lid := 0; lid < e.numLinks; lid++ {
+		cnt := e.lqCount[lid]
+		if cnt == 0 {
+			continue
+		}
+		base := lid * e.lqCap
+		head := e.lqHead[lid]
+		to := int(e.linkTo[lid])
+		for ; cnt > 0; cnt-- {
+			inf := &e.lqData[base+int(head)]
+			if inf.arriveAt > e.cycle {
+				break
+			}
+			e.pushFlit(inf.slot, to, inf.f)
+			head = (head + 1) & e.lqMask
+			e.linkFlits--
+		}
+		e.lqHead[lid] = head
+		e.lqCount[lid] = cnt
+	}
+}
+
+// linkPush enqueues a forwarded flit on link lid's in-flight ring.
+func (e *engine) linkPush(lid int32, inf inflight) {
+	cnt := e.lqCount[lid]
+	if int(cnt) == e.lqCap {
+		e.growLinkRings()
+	}
+	e.lqData[int(lid)*e.lqCap+int((e.lqHead[lid]+cnt)&e.lqMask)] = inf
+	e.lqCount[lid] = cnt + 1
+	e.linkFlits++
+}
+
+// growLinkRings doubles the shared link-ring stride. Occupancy is
+// bounded by the maximum link latency (at most one flit enters a link
+// per cycle and each leaves after exactly linkLat cycles), so this is
+// defensive and should never run after setup sizes lqCap to maxLat+1.
+func (e *engine) growLinkRings() {
+	newCap := e.lqCap * 2
+	data := make([]inflight, e.numLinks*newCap)
+	for lid := 0; lid < e.numLinks; lid++ {
+		for i := int32(0); i < e.lqCount[lid]; i++ {
+			data[lid*newCap+int(i)] = e.lqData[lid*e.lqCap+int((e.lqHead[lid]+i)&e.lqMask)]
+		}
+		e.lqHead[lid] = 0
+	}
+	e.lqData = data
+	e.lqCap = newCap
+	e.lqMask = int32(newCap - 1)
 }
 
 // active reports whether router r has a service slot this cycle
@@ -37,57 +144,81 @@ func (e *engine) active(r int) bool {
 
 // ejectAndSwitch performs, for each active router, local ejection and
 // output-link switch allocation.
-func (e *engine) ejectAndSwitch(measuring bool) {
-	n := e.n
-	activeNow := make([]bool, n)
-	for r := 0; r < n; r++ {
-		activeNow[r] = e.active(r)
+func (e *engine) ejectAndSwitch() {
+	for r := 0; r < e.n; r++ {
+		e.activeNow[r] = e.active(r)
 	}
 	// Ejection first: frees buffer slots for this cycle's switching.
-	for r := 0; r < n; r++ {
-		if !activeNow[r] {
-			continue
+	for r := 0; r < e.n; r++ {
+		if e.activeNow[r] {
+			e.eject(r)
 		}
-		e.eject(r, measuring)
 	}
 	// Switch allocation per output link, round-robin across (port, vc).
-	for r := 0; r < n; r++ {
-		if !activeNow[r] {
+	for r := 0; r < e.n; r++ {
+		if !e.activeNow[r] {
 			continue
 		}
-		for _, v := range e.cfg.Topo.Out(r) {
-			e.allocateOutput(r, v)
+		for _, lid := range e.outLinks[r] {
+			e.allocateOutput(lid)
 		}
 	}
 }
 
-// eject drains up to EjectBandwidth flits destined locally at router r.
-func (e *engine) eject(r int, measuring bool) {
+// eject drains up to EjectBandwidth flits destined locally at router r,
+// scanning only slots whose head is at its final hop (ejectMask), in
+// round-robin order starting at rrEject[r].
+func (e *engine) eject(r int) {
 	budget := e.cfg.EjectBandwidth
-	slots := e.numPorts[r] * e.numVCs
-	start := e.rrEject[r]
-	for s := 0; s < slots && budget > 0; s++ {
-		idx := (start + s) % slots
-		port, vcIdx := idx/e.numVCs, idx%e.numVCs
-		buf := &e.bufs[r][port][vcIdx]
-		for budget > 0 && !buf.empty() {
-			h := buf.head()
-			if h.pkt.dst != r || h.pathIdx != len(h.pkt.path)-1 {
-				break
-			}
-			f := buf.pop()
-			e.free[r][port][vcIdx]++
-			e.forwardedThisCycle = true
-			budget--
-			if f.isTail {
-				e.completePacket(f.pkt)
-			}
+	slots := int(e.numPorts[r]) * e.numVCs
+	start := int(e.rrEject[r])
+	e.rrEject[r] = int32((start + 1) % slots)
+	base := r * e.wordsPerRouter
+	sw := start >> 6
+	for wi := sw; wi < e.wordsPerRouter && budget > 0; wi++ {
+		w := e.ejectMask[base+wi]
+		if wi == sw {
+			w &= ^uint64(0) << uint(start&63)
+		}
+		for w != 0 && budget > 0 {
+			lb := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			e.drainLocal(r, lb, &budget)
 		}
 	}
-	e.rrEject[r] = (start + 1) % slots
+	for wi := 0; wi <= sw && wi < e.wordsPerRouter && budget > 0; wi++ {
+		w := e.ejectMask[base+wi]
+		if wi == sw {
+			w &= uint64(1)<<uint(start&63) - 1
+		}
+		for w != 0 && budget > 0 {
+			lb := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			e.drainLocal(r, lb, &budget)
+		}
+	}
 }
 
-// completePacket records stats and triggers pattern replies.
+// drainLocal pops consecutive locally-destined flits from one VC buffer.
+func (e *engine) drainLocal(r, lb int, budget *int) {
+	s := int32(r*e.slotsPerRouter + lb)
+	for *budget > 0 && e.bufCount[s] > 0 {
+		h := e.headFlit(s)
+		if int(h.pathIdx) < len(h.pkt.path)-1 {
+			return // new head continues onward
+		}
+		f := e.popFlit(s, r)
+		e.free[s]++
+		e.forwardedThisCycle = true
+		*budget--
+		if f.isTail {
+			e.completePacket(f.pkt)
+		}
+	}
+}
+
+// completePacket records stats, triggers pattern replies and recycles
+// the packet object.
 func (e *engine) completePacket(p *packet) {
 	if e.cycle >= int64(e.cfg.WarmupCycles) && e.cycle < int64(e.cfg.WarmupCycles+e.cfg.MeasureCycles) {
 		e.delivered++
@@ -103,53 +234,71 @@ func (e *engine) completePacket(p *packet) {
 			e.enqueuePacket(p.dst, replyDst, replyFlits, false)
 		}
 	}
+	e.recyclePacket(p)
 }
 
-// allocateOutput picks one (port, vc) whose head flit targets link r->v
-// and forwards it, honoring credits and per-packet VC ownership.
-func (e *engine) allocateOutput(r, v int) {
-	key := [2]int{r, v}
-	downPort := e.portOf[v][r]
-	slots := e.numPorts[r] * e.numVCs
-	start := e.rrOut[key]
-	for s := 0; s < slots; s++ {
-		idx := (start + s) % slots
-		port, vcIdx := idx/e.numVCs, idx%e.numVCs
-		buf := &e.bufs[r][port][vcIdx]
-		if buf.empty() {
-			continue
+// allocateOutput picks one (port, vc) whose head flit targets link lid
+// and forwards it, honoring credits and per-packet VC ownership. Only
+// candidate slots (candMask) are scanned, in round-robin order.
+func (e *engine) allocateOutput(lid int32) {
+	r := int(e.linkFrom[lid])
+	start := int(e.rrOut[lid])
+	base := int(lid) * e.wordsPerRouter
+	sw := start >> 6
+	for wi := sw; wi < e.wordsPerRouter; wi++ {
+		w := e.candMask[base+wi]
+		if wi == sw {
+			w &= ^uint64(0) << uint(start&63)
 		}
-		h := buf.head()
-		// Routed to v?
-		if h.pathIdx+1 >= len(h.pkt.path) || h.pkt.path[h.pathIdx+1] != v {
-			continue
+		for w != 0 {
+			lb := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if e.tryForward(lid, r, lb) {
+				return
+			}
 		}
-		downVC := e.pickDownVC(v, downPort, h)
-		if downVC < 0 {
-			continue
-		}
-		// Forward one flit.
-		f := buf.pop()
-		e.free[r][port][vcIdx]++
-		e.free[v][downPort][downVC]--
-		if f.isHead {
-			e.owner[v][downPort][downVC] = f.pkt
-		}
-		if f.isTail {
-			e.owner[v][downPort][downVC] = nil
-		}
-		lat := int64(e.cfg.LinkLatency)
-		if e.cfg.ExtraLinkLatency != nil {
-			lat += int64(e.cfg.ExtraLinkLatency[key])
-		}
-		f.pathIdx++
-		qp := e.links[key]
-		*qp = append(*qp, inflight{f: f, arriveAt: e.cycle + lat, port: downPort, vcIdx: downVC})
-		e.forwardedThisCycle = true
-		e.rrOut[key] = (idx + 1) % slots
-		return
 	}
-	e.rrOut[key] = (start + 1) % slots
+	for wi := 0; wi <= sw && wi < e.wordsPerRouter; wi++ {
+		w := e.candMask[base+wi]
+		if wi == sw {
+			w &= uint64(1)<<uint(start&63) - 1
+		}
+		for w != 0 {
+			lb := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if e.tryForward(lid, r, lb) {
+				return
+			}
+		}
+	}
+	e.rrOut[lid] = int32((start + 1) % (int(e.numPorts[r]) * e.numVCs))
+}
+
+// tryForward forwards the head flit of local slot lb onto link lid if a
+// downstream VC accepts it.
+func (e *engine) tryForward(lid int32, r, lb int) bool {
+	s := int32(r*e.slotsPerRouter + lb)
+	h := e.headFlit(s)
+	downBase := e.linkDownBase[lid]
+	downVC := e.pickDownVC(downBase, h)
+	if downVC < 0 {
+		return false
+	}
+	f := e.popFlit(s, r)
+	e.free[s]++
+	ds := downBase + int32(downVC)
+	e.free[ds]--
+	if f.isHead {
+		e.owner[ds] = f.pkt
+	}
+	if f.isTail {
+		e.owner[ds] = nil
+	}
+	f.pathIdx++
+	e.linkPush(lid, inflight{f: f, arriveAt: e.cycle + e.linkLat[lid], slot: ds})
+	e.forwardedThisCycle = true
+	e.rrOut[lid] = int32((lb + 1) % (int(e.numPorts[r]) * e.numVCs))
+	return true
 }
 
 // pickDownVC selects the downstream VC for a flit, Duato-style: the
@@ -157,12 +306,13 @@ func (e *engine) allocateOutput(r, v int) {
 // while physical VCs beyond the escape layers (indices >= VC.NumVCs) are
 // adaptive and may be claimed by any packet. Heads prefer a free adaptive
 // VC and fall back to their escape layer; body flits must follow the VC
-// their head claimed in this buffer. Returns -1 when blocked.
-func (e *engine) pickDownVC(router, port int, h *flit) int {
+// their head claimed in this buffer. base is the destination slot with
+// vc=0; returns -1 when blocked.
+func (e *engine) pickDownVC(base int32, h *flit) int {
 	if !h.isHead {
 		for vcIdx := 0; vcIdx < e.numVCs; vcIdx++ {
-			if e.owner[router][port][vcIdx] == h.pkt {
-				if e.free[router][port][vcIdx] > 0 {
+			if e.owner[base+int32(vcIdx)] == h.pkt {
+				if e.free[base+int32(vcIdx)] > 0 {
 					return vcIdx
 				}
 				return -1
@@ -170,15 +320,14 @@ func (e *engine) pickDownVC(router, port int, h *flit) int {
 		}
 		return -1 // should not happen: head always precedes body
 	}
-	escape := e.cfg.VC.NumVCs
-	for vcIdx := escape; vcIdx < e.numVCs; vcIdx++ {
-		if e.owner[router][port][vcIdx] == nil && e.free[router][port][vcIdx] > 0 {
+	for vcIdx := e.cfg.VC.NumVCs; vcIdx < e.numVCs; vcIdx++ {
+		if e.owner[base+int32(vcIdx)] == nil && e.free[base+int32(vcIdx)] > 0 {
 			return vcIdx
 		}
 	}
-	lay := h.pkt.layer
-	if e.owner[router][port][lay] == nil && e.free[router][port][lay] > 0 {
-		return lay
+	lay := int32(h.pkt.layer)
+	if e.owner[base+lay] == nil && e.free[base+lay] > 0 {
+		return int(lay)
 	}
 	return -1
 }
@@ -186,9 +335,14 @@ func (e *engine) pickDownVC(router, port int, h *flit) int {
 // inject pushes queued packet flits into each router's injection port.
 func (e *engine) inject() {
 	for r := 0; r < e.n; r++ {
+		q := &e.injectQ[r]
+		if q.empty() {
+			continue
+		}
 		budget := e.cfg.InjectBandwidth
-		for budget > 0 && len(e.injectQ[r]) > 0 {
-			p := e.injectQ[r][0]
+		base := int32(r * e.slotsPerRouter) // port 0, vc 0
+		for budget > 0 && !q.empty() {
+			p := q.front()
 			f := flit{
 				pkt:     p,
 				pathIdx: 0,
@@ -197,21 +351,22 @@ func (e *engine) inject() {
 			}
 			// The injection buffer holds whole packets contiguously,
 			// using the same adaptive/escape VC choice as link traversal.
-			vcIdx := e.pickDownVC(r, 0, &f)
+			vcIdx := e.pickDownVC(base, &f)
 			if vcIdx < 0 {
 				break
 			}
+			s := base + int32(vcIdx)
 			if f.isHead {
-				e.owner[r][0][vcIdx] = p
+				e.owner[s] = p
 			}
-			e.bufs[r][0][vcIdx].push(f)
-			e.free[r][0][vcIdx]--
+			e.pushFlit(s, r, f)
+			e.free[s]--
 			p.flitsQueued++
 			budget--
 			e.forwardedThisCycle = true
 			if f.isTail {
-				e.owner[r][0][vcIdx] = nil
-				e.injectQ[r] = e.injectQ[r][1:]
+				e.owner[s] = nil
+				q.pop()
 			}
 		}
 	}

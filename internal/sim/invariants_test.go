@@ -59,27 +59,90 @@ func TestCreditConservation(t *testing.T) {
 	if _, err := e.run(); err != nil {
 		t.Fatal(err)
 	}
+	// Tally in-flight flits by their reserved destination slot.
+	inflightTo := make([]int, len(e.free))
+	for lid := 0; lid < e.numLinks; lid++ {
+		for i := int32(0); i < e.lqCount[lid]; i++ {
+			inf := e.lqData[lid*e.lqCap+int((e.lqHead[lid]+i)&e.lqMask)]
+			inflightTo[inf.slot]++
+		}
+	}
 	for r := 0; r < e.n; r++ {
-		for p := 0; p < e.numPorts[r]; p++ {
+		for p := 0; p < int(e.numPorts[r]); p++ {
 			for v := 0; v < e.numVCs; v++ {
-				inFlightToBuf := 0
-				for key, qp := range e.links {
-					if key[1] != r {
-						continue
-					}
-					for _, inf := range *qp {
-						if inf.port == p && inf.vcIdx == v {
-							inFlightToBuf++
-						}
-					}
-				}
-				occupied := e.bufs[r][p][v].occupancy() + inFlightToBuf
-				if e.free[r][p][v]+occupied != e.bufDepth {
+				s := (r*e.maxPorts+p)*e.numVCs + v
+				occupied := int(e.bufCount[s]) + inflightTo[s]
+				if int(e.free[s])+occupied != e.bufDepth {
 					t.Fatalf("router %d port %d vc %d: free %d + occupied %d != depth %d",
-						r, p, v, e.free[r][p][v], occupied, e.bufDepth)
+						r, p, v, e.free[s], occupied, e.bufDepth)
 				}
 			}
 		}
+	}
+}
+
+// TestOccupancyMaskConsistency verifies that after a run the head-target
+// bookkeeping (slotWhere plus the eject/candidate bitmasks) exactly
+// mirrors buffer contents: every occupied slot is filed under the mask
+// matching its head flit's next hop, and every set mask bit corresponds
+// to such a slot.
+func TestOccupancyMaskConsistency(t *testing.T) {
+	s, err := Prepare(expert.Mesh(layout.Grid4x5), UseNDBT, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := defaulted(Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: traffic.Uniform{N: 20}, InjectionRate: 0.25,
+		WarmupCycles: 400, MeasureCycles: 1200, DrainCycles: 200, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(cfg)
+	if _, err := e.run(); err != nil {
+		t.Fatal(err)
+	}
+	bufferedSeen := 0
+	for r := 0; r < e.n; r++ {
+		for lb := 0; lb < e.slotsPerRouter; lb++ {
+			slot := int32(r*e.slotsPerRouter + lb)
+			w, bit := lb>>6, uint64(1)<<uint(lb&63)
+			inEject := e.ejectMask[r*e.wordsPerRouter+w]&bit != 0
+			candOf := int32(-1)
+			for lid := 0; lid < e.numLinks; lid++ {
+				if e.linkFrom[lid] == int32(r) && e.candMask[lid*e.wordsPerRouter+w]&bit != 0 {
+					if candOf >= 0 {
+						t.Fatalf("slot %d in two candidate masks", slot)
+					}
+					candOf = int32(lid)
+				}
+			}
+			bufferedSeen += int(e.bufCount[slot])
+			switch {
+			case e.bufCount[slot] == 0:
+				if inEject || candOf >= 0 || e.slotWhere[slot] != whereNone {
+					t.Fatalf("empty slot %d still filed (eject=%v cand=%d where=%d)",
+						slot, inEject, candOf, e.slotWhere[slot])
+				}
+			default:
+				h := e.headFlit(slot)
+				if int(h.pathIdx) >= len(h.pkt.path)-1 {
+					if !inEject || candOf >= 0 || e.slotWhere[slot] != whereEject {
+						t.Fatalf("local head in slot %d misfiled (eject=%v cand=%d)", slot, inEject, candOf)
+					}
+				} else {
+					want := int32(e.linkIDAt[r*e.n+h.pkt.path[h.pathIdx+1]])
+					if inEject || candOf != want || e.slotWhere[slot] != want {
+						t.Fatalf("routed head in slot %d misfiled (want link %d, cand %d, where %d)",
+							slot, want, candOf, e.slotWhere[slot])
+					}
+				}
+			}
+		}
+	}
+	if bufferedSeen != e.bufferedFlits {
+		t.Fatalf("bufferedFlits counter %d != actual %d", e.bufferedFlits, bufferedSeen)
 	}
 }
 

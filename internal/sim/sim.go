@@ -3,7 +3,7 @@
 // switching with per-packet VC ownership, round-robin switch allocation,
 // table-based (per-flow precomputed path) routing and multi-rate clock
 // domains. It substitutes for the paper's gem5 + HeteroGarnet setup; see
-// DESIGN.md for the fidelity argument.
+// DESIGN.md for the fidelity argument and the engine's data layout.
 package sim
 
 import (
@@ -58,7 +58,8 @@ type Config struct {
 	// the base clock (multi-clock domains); 0 entries default to 1.0.
 	NodeRate []float64
 	// ExtraLinkLatency adds per-link latency cycles (e.g. CDC
-	// crossings), keyed by [from][to]. Nil = none.
+	// crossings), keyed by [from][to]. Nil = none. The engine densifies
+	// this into a per-link-ID latency table at setup.
 	ExtraLinkLatency map[[2]int]int
 
 	Seed int64
@@ -87,7 +88,7 @@ type Result struct {
 
 type flit struct {
 	pkt     *packet
-	pathIdx int // index of the flit's current router within pkt.path
+	pathIdx int32 // index of the flit's current router within pkt.path
 	isHead  bool
 	isTail  bool
 }
@@ -102,23 +103,57 @@ type packet struct {
 	flitsQueued int // flits already pushed into the network
 }
 
-type buffer struct {
-	q []flit
-}
-
-func (b *buffer) empty() bool    { return len(b.q) == 0 }
-func (b *buffer) head() *flit    { return &b.q[0] }
-func (b *buffer) pop() flit      { f := b.q[0]; b.q = b.q[1:]; return f }
-func (b *buffer) push(f flit)    { b.q = append(b.q, f) }
-func (b *buffer) occupancy() int { return len(b.q) }
-
 type inflight struct {
-	f           flit
-	arriveAt    int64
-	port, vcIdx int
+	f        flit
+	arriveAt int64
+	slot     int32 // destination VC-buffer slot (reserved at send time)
 }
 
-// engine is the simulation state.
+// pktRing is a growable power-of-two ring of queued packets. It replaces
+// the leaky q = q[1:] reslice queue: popped slots are reused instead of
+// retaining dead prefixes of the backing array.
+type pktRing struct {
+	q    []*packet
+	head int32
+	size int32
+}
+
+func (r *pktRing) empty() bool    { return r.size == 0 }
+func (r *pktRing) front() *packet { return r.q[r.head] }
+
+func (r *pktRing) push(p *packet) {
+	if int(r.size) == len(r.q) {
+		grown := make([]*packet, max(8, 2*len(r.q)))
+		for i := int32(0); i < r.size; i++ {
+			grown[i] = r.q[(r.head+i)&int32(len(r.q)-1)]
+		}
+		r.q = grown
+		r.head = 0
+	}
+	r.q[(r.head+r.size)&int32(len(r.q)-1)] = p
+	r.size++
+}
+
+func (r *pktRing) pop() *packet {
+	p := r.q[r.head]
+	r.q[r.head] = nil
+	r.head = (r.head + 1) & int32(len(r.q)-1)
+	r.size--
+	return p
+}
+
+// slotWhere sentinel values; non-negative entries are link IDs.
+const (
+	whereNone  int32 = -1 // buffer empty (or head unroutable)
+	whereEject int32 = -2 // head flit is at its final router
+)
+
+// engine is the simulation state. All per-(router,port,vc) state lives in
+// flat arrays indexed by slot = router*slotsPerRouter + port*numVCs + vc
+// (slotsPerRouter = maxPorts*numVCs); all per-link state is indexed by
+// the topology's dense directed-link ID. Steady-state cycles allocate
+// nothing: VC buffers and link queues are fixed-capacity rings over
+// shared backing arrays, and packet objects are pooled per engine.
 type engine struct {
 	cfg      Config
 	n        int
@@ -126,27 +161,69 @@ type engine struct {
 	numVCs   int
 	bufDepth int
 
-	// ports[r] lists input ports of router r: port 0 is injection, the
-	// rest map from upstream routers via portOf[r][upstream].
-	numPorts []int
-	portOf   []map[int]int
-	bufs     [][][]buffer // [router][port][vc]
-	free     [][][]int    // free slots mirror
-	owner    [][][]*packet
+	// Port geometry: port 0 is injection; ports 1.. map upstream routers
+	// in Topo.In order. Phantom slots of routers with fewer than
+	// maxPorts ports keep zero credits and are never routed to.
+	numPorts       []int32
+	maxPorts       int
+	slotsPerRouter int
+	wordsPerRouter int // occupancy-mask words per router
 
-	// link queues keyed by directed link.
-	links map[[2]int]*[]inflight
+	// VC buffers: per-slot rings of capacity bufCap (power of two >=
+	// BufDepth) over one shared backing array.
+	bufCap   int
+	bufMask  int32
+	bufData  []flit
+	bufHead  []int32
+	bufCount []int32
+	free     []int32   // credit mirror per slot
+	owner    []*packet // wormhole VC ownership per slot
 
-	injectQ [][]*packet
-	rrOut   map[[2]int]int // RR pointer per output link
-	rrEject []int
+	// Head-target tracking. slotWhere[s] records where slot s's head
+	// flit wants to go (whereNone, whereEject, or a link ID); ejectMask
+	// and candMask mirror it as per-router bitmask words (bit = local
+	// slot port*numVCs+vc) so ejection and switch allocation iterate
+	// only occupied, correctly-targeted VCs — the bitgraph word-ops
+	// idiom applied to switch state.
+	slotWhere []int32
+	ejectMask []uint64 // [router*wordsPerRouter + w]
+	candMask  []uint64 // [linkID*wordsPerRouter + w]
+
+	// Dense directed links (IDs from topo.LinkID).
+	numLinks     int
+	linkFrom     []int32
+	linkTo       []int32
+	linkDownBase []int32 // destination slot base: (to*maxPorts+downPort)*numVCs
+	linkLat      []int64 // LinkLatency + ExtraLinkLatency, per link
+	linkIDAt     []int32 // n*n lookup (from*n+to) -> link ID, -1 absent
+	outLinks     [][]int32
+
+	// Link in-flight queues: per-link rings of capacity lqCap over one
+	// shared backing array. At most one flit enters a link per cycle and
+	// every flit leaves after exactly linkLat cycles, so occupancy is
+	// bounded by maxLat < lqCap.
+	lqCap   int
+	lqMask  int32
+	lqData  []inflight
+	lqHead  []int32
+	lqCount []int32
+
+	injectQ   []pktRing
+	rrOut     []int32 // RR scan start per output link (local slot index)
+	rrEject   []int32
+	activeNow []bool // per-cycle scratch
 
 	accRate []float64 // multi-clock accumulators
 	rate    []float64
 
+	pktFree []*packet // packet pool
+
 	cycle int64
 
-	// stats
+	// stats and progress tracking. bufferedFlits/linkFlits replace the
+	// O(routers*ports*VCs) networkEmpty scan.
+	bufferedFlits       int
+	linkFlits           int
 	delivered, measured int
 	measuredInFlight    int
 	latencySum          int64
@@ -200,6 +277,15 @@ func Run(c Config) (*Result, error) {
 	return e.run()
 }
 
+// pow2 returns the smallest power of two >= v (and >= 1).
+func pow2(v int) int {
+	c := 1
+	for c < v {
+		c <<= 1
+	}
+	return c
+}
+
 func newEngine(cfg Config) *engine {
 	n := cfg.Topo.N()
 	e := &engine{
@@ -208,49 +294,118 @@ func newEngine(cfg Config) *engine {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		numVCs:   cfg.NumVCs,
 		bufDepth: cfg.BufDepth,
-		numPorts: make([]int, n),
-		portOf:   make([]map[int]int, n),
-		links:    make(map[[2]int]*[]inflight),
-		injectQ:  make([][]*packet, n),
-		rrOut:    make(map[[2]int]int),
-		rrEject:  make([]int, n),
+		numPorts: make([]int32, n),
 		accRate:  make([]float64, n),
 		rate:     make([]float64, n),
 	}
+	// Port geometry. portOf is setup-only: the per-link downstream port
+	// is densified into linkDownBase below.
+	portOf := make([]map[int]int, n)
+	maxPorts := 1
 	for r := 0; r < n; r++ {
-		e.portOf[r] = map[int]int{}
+		portOf[r] = map[int]int{}
 		ports := 1 // injection port
 		for _, u := range cfg.Topo.In(r) {
-			e.portOf[r][u] = ports
+			portOf[r][u] = ports
 			ports++
 		}
-		e.numPorts[r] = ports
+		e.numPorts[r] = int32(ports)
+		if ports > maxPorts {
+			maxPorts = ports
+		}
 		e.rate[r] = 1
 		if cfg.NodeRate != nil && cfg.NodeRate[r] > 0 {
 			e.rate[r] = cfg.NodeRate[r]
 		}
 	}
-	e.bufs = make([][][]buffer, n)
-	e.free = make([][][]int, n)
-	e.owner = make([][][]*packet, n)
+	e.maxPorts = maxPorts
+	e.slotsPerRouter = maxPorts * e.numVCs
+	e.wordsPerRouter = (e.slotsPerRouter + 63) / 64
+
+	totalSlots := n * e.slotsPerRouter
+	e.bufCap = pow2(e.bufDepth)
+	e.bufMask = int32(e.bufCap - 1)
+	e.bufData = make([]flit, totalSlots*e.bufCap)
+	e.bufHead = make([]int32, totalSlots)
+	e.bufCount = make([]int32, totalSlots)
+	e.free = make([]int32, totalSlots)
+	e.owner = make([]*packet, totalSlots)
+	e.slotWhere = make([]int32, totalSlots)
+	for s := range e.slotWhere {
+		e.slotWhere[s] = whereNone
+	}
 	for r := 0; r < n; r++ {
-		e.bufs[r] = make([][]buffer, e.numPorts[r])
-		e.free[r] = make([][]int, e.numPorts[r])
-		e.owner[r] = make([][]*packet, e.numPorts[r])
-		for p := 0; p < e.numPorts[r]; p++ {
-			e.bufs[r][p] = make([]buffer, e.numVCs)
-			e.free[r][p] = make([]int, e.numVCs)
-			e.owner[r][p] = make([]*packet, e.numVCs)
+		for p := 0; p < int(e.numPorts[r]); p++ {
 			for v := 0; v < e.numVCs; v++ {
-				e.free[r][p][v] = e.bufDepth
+				e.free[(r*e.maxPorts+p)*e.numVCs+v] = int32(e.bufDepth)
 			}
 		}
 	}
-	for _, l := range cfg.Topo.Links() {
-		q := make([]inflight, 0, 8)
-		e.links[[2]int{l.From, l.To}] = &q
+	e.ejectMask = make([]uint64, n*e.wordsPerRouter)
+
+	// Dense links.
+	L := cfg.Topo.NumDirectedLinks()
+	e.numLinks = L
+	e.linkFrom = make([]int32, L)
+	e.linkTo = make([]int32, L)
+	e.linkDownBase = make([]int32, L)
+	e.linkLat = make([]int64, L)
+	e.linkIDAt = make([]int32, n*n)
+	for i := range e.linkIDAt {
+		e.linkIDAt[i] = -1
 	}
+	maxLat := int64(cfg.LinkLatency)
+	for id := 0; id < L; id++ {
+		l := cfg.Topo.LinkByID(id)
+		e.linkFrom[id] = int32(l.From)
+		e.linkTo[id] = int32(l.To)
+		e.linkDownBase[id] = int32((l.To*e.maxPorts + portOf[l.To][l.From]) * e.numVCs)
+		e.linkIDAt[l.From*n+l.To] = int32(id)
+		lat := int64(cfg.LinkLatency)
+		if cfg.ExtraLinkLatency != nil {
+			lat += int64(cfg.ExtraLinkLatency[[2]int{l.From, l.To}])
+		}
+		e.linkLat[id] = lat
+		if lat > maxLat {
+			maxLat = lat
+		}
+	}
+	e.candMask = make([]uint64, L*e.wordsPerRouter)
+	e.rrOut = make([]int32, L)
+	outBacking := make([]int32, L)
+	e.outLinks = make([][]int32, n)
+	pos := 0
+	for r := 0; r < n; r++ {
+		start := pos
+		for _, v := range cfg.Topo.Out(r) {
+			outBacking[pos] = int32(cfg.Topo.LinkID(r, v))
+			pos++
+		}
+		e.outLinks[r] = outBacking[start:pos:pos]
+	}
+
+	e.lqCap = pow2(int(maxLat) + 1)
+	e.lqMask = int32(e.lqCap - 1)
+	e.lqData = make([]inflight, L*e.lqCap)
+	e.lqHead = make([]int32, L)
+	e.lqCount = make([]int32, L)
+
+	e.injectQ = make([]pktRing, n)
+	e.rrEject = make([]int32, n)
+	e.activeNow = make([]bool, n)
 	return e
+}
+
+// step advances the engine by one cycle body (the run loop owns the
+// cycle counter, watchdog and drain logic).
+func (e *engine) step(generating, measuring bool) {
+	e.forwardedThisCycle = false
+	e.deliverArrivals()
+	e.ejectAndSwitch()
+	if generating {
+		e.generate(measuring)
+	}
+	e.inject()
 }
 
 func (e *engine) run() (*Result, error) {
@@ -259,17 +414,10 @@ func (e *engine) run() (*Result, error) {
 	measStart := int64(cfg.WarmupCycles)
 	measEnd := measStart + int64(cfg.MeasureCycles)
 	idleCycles := 0
-	pendingMeasured := 0
 	for e.cycle = 0; e.cycle < total; e.cycle++ {
 		generating := e.cycle < measEnd
 		measuring := e.cycle >= measStart && e.cycle < measEnd
-		e.forwardedThisCycle = false
-		e.deliverArrivals()
-		e.ejectAndSwitch(measuring)
-		if generating {
-			e.generate(measuring)
-		}
-		e.inject()
+		e.step(generating, measuring)
 		// Watchdog: if nothing moved for a long stretch while flits are
 		// buffered, the network is wedged.
 		if e.forwardedThisCycle || e.networkEmpty() {
@@ -280,11 +428,8 @@ func (e *engine) run() (*Result, error) {
 				return &Result{Stalled: true}, nil
 			}
 		}
-		if e.cycle >= measEnd {
-			pendingMeasured = e.pendingMeasured()
-			if pendingMeasured == 0 {
-				break
-			}
+		if e.cycle >= measEnd && e.pendingMeasured() == 0 {
+			break
 		}
 	}
 	res := &Result{
@@ -318,32 +463,14 @@ func (e *engine) injectingNodes() int {
 	return count
 }
 
+// networkEmpty is O(1): buffered and in-flight flit counters are
+// maintained at every push/pop.
 func (e *engine) networkEmpty() bool {
-	for r := 0; r < e.n; r++ {
-		for p := 0; p < e.numPorts[r]; p++ {
-			for v := 0; v < e.numVCs; v++ {
-				if !e.bufs[r][p][v].empty() {
-					return false
-				}
-			}
-		}
-	}
-	for _, q := range e.links {
-		if len(*q) > 0 {
-			return false
-		}
-	}
-	return true
+	return e.bufferedFlits == 0 && e.linkFlits == 0
 }
 
 func (e *engine) pendingMeasured() int {
-	// Cheap check: any measured packet not yet fully ejected is counted
-	// via measured-vs-delivered bookkeeping; we approximate by testing
-	// network emptiness of measured flits using the counters.
-	if e.measuredInFlight > 0 {
-		return e.measuredInFlight
-	}
-	return 0
+	return e.measuredInFlight
 }
 
 // generate creates new packets per the Bernoulli injection process.
@@ -360,16 +487,34 @@ func (e *engine) generate(measuring bool) {
 	}
 }
 
-func (e *engine) enqueuePacket(src, dst, flits int, measuring bool) {
-	p := &packet{
-		src: src, dst: dst, flits: flits,
-		layer:      e.cfg.VC.Layer(src, dst),
-		path:       e.cfg.Routing.PathFor(src, dst),
-		injectedAt: e.cycle,
-		measured:   measuring,
+// newPacket reuses a pooled packet or allocates one (warm-up only).
+func (e *engine) newPacket() *packet {
+	if n := len(e.pktFree); n > 0 {
+		p := e.pktFree[n-1]
+		e.pktFree = e.pktFree[:n-1]
+		return p
 	}
+	return &packet{}
+}
+
+// recyclePacket returns a fully delivered packet to the pool. Safe at
+// tail ejection: all flits have been ejected, downstream VC ownership
+// was cleared when the tail was forwarded, and the injection queue entry
+// was popped when the tail entered the network.
+func (e *engine) recyclePacket(p *packet) {
+	*p = packet{}
+	e.pktFree = append(e.pktFree, p)
+}
+
+func (e *engine) enqueuePacket(src, dst, flits int, measuring bool) {
+	p := e.newPacket()
+	p.src, p.dst, p.flits = src, dst, flits
+	p.layer = e.cfg.VC.Layer(src, dst)
+	p.path = e.cfg.Routing.PathFor(src, dst)
+	p.injectedAt = e.cycle
+	p.measured = measuring
 	if measuring {
 		e.measuredInFlight++
 	}
-	e.injectQ[src] = append(e.injectQ[src], p)
+	e.injectQ[src].push(p)
 }

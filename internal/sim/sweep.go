@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"netsmith/internal/route"
 	"netsmith/internal/topo"
@@ -47,7 +48,9 @@ func DefaultRates() []float64 {
 	return []float64{0.005, 0.02, 0.05, 0.08, 0.11, 0.14, 0.17, 0.20, 0.24, 0.28, 0.32, 0.38, 0.45}
 }
 
-// Sweep runs the rate grid (in parallel) and derives saturation.
+// Sweep runs the rate grid on a bounded worker pool and derives
+// saturation. Each point is seeded deterministically from its index, so
+// sweep results do not depend on scheduling order.
 func Sweep(sc SweepConfig) (*SweepResult, error) {
 	rates := sc.Rates
 	if rates == nil {
@@ -55,29 +58,37 @@ func Sweep(sc SweepConfig) (*SweepResult, error) {
 	}
 	points := make([]SweepPoint, len(rates))
 	errs := make([]error, len(rates))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(rates) {
+		workers = len(rates)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, rate := range rates {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, rate float64) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg := sc.Base
-			cfg.InjectionRate = rate
-			cfg.Seed = sc.Base.Seed + int64(i)*7919
-			res, err := Run(cfg)
-			if err != nil {
-				errs[i] = err
-				return
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(rates) {
+					return
+				}
+				cfg := sc.Base
+				cfg.InjectionRate = rates[i]
+				cfg.Seed = sc.Base.Seed + int64(i)*7919
+				res, err := Run(cfg)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				points[i] = SweepPoint{
+					OfferedRate:   rates[i],
+					AvgLatencyNs:  res.AvgLatencyNs,
+					AcceptedPerNs: res.AcceptedPerNs,
+					Stalled:       res.Stalled,
+				}
 			}
-			points[i] = SweepPoint{
-				OfferedRate:   rate,
-				AvgLatencyNs:  res.AvgLatencyNs,
-				AcceptedPerNs: res.AcceptedPerNs,
-				Stalled:       res.Stalled,
-			}
-		}(i, rate)
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -24,9 +24,13 @@ type Topology struct {
 	Class layout.Class
 	n     int
 	adj   [][]bool
-	// out and in cache adjacency lists; rebuilt lazily after mutation.
-	out, in [][]int
-	dirty   bool
+	// out and in cache adjacency lists; linkList and linkID cache the
+	// dense directed-link numbering. All are rebuilt lazily after
+	// mutation.
+	out, in  [][]int
+	linkList []layout.Link
+	linkID   []int32 // n*n lookup, -1 for absent links
+	dirty    bool
 }
 
 // New creates an empty topology over the grid.
@@ -93,30 +97,35 @@ func (t *Topology) Clone() *Topology {
 	return c
 }
 
-// Links returns all directed links in deterministic order.
+// Links returns all directed links in deterministic (dense-ID) order.
+// The caller may keep or mutate the returned slice.
 func (t *Topology) Links() []layout.Link {
-	links := make([]layout.Link, 0, t.NumDirectedLinks())
-	for a := 0; a < t.n; a++ {
-		for b := 0; b < t.n; b++ {
-			if t.adj[a][b] {
-				links = append(links, layout.Link{From: a, To: b})
-			}
-		}
-	}
+	t.refresh()
+	links := make([]layout.Link, len(t.linkList))
+	copy(links, t.linkList)
 	return links
 }
 
-// NumDirectedLinks counts directed links.
+// NumDirectedLinks counts directed links. It is also the number of
+// dense link IDs: IDs are 0..NumDirectedLinks()-1.
 func (t *Topology) NumDirectedLinks() int {
-	count := 0
-	for a := 0; a < t.n; a++ {
-		for b := 0; b < t.n; b++ {
-			if t.adj[a][b] {
-				count++
-			}
-		}
-	}
-	return count
+	t.refresh()
+	return len(t.linkList)
+}
+
+// LinkID returns the dense ID of the directed link a->b, or -1 when the
+// link does not exist. IDs are contiguous in [0, NumDirectedLinks()) and
+// enumerate links in the deterministic Links() order; they are stable
+// until the topology is mutated.
+func (t *Topology) LinkID(a, b int) int {
+	t.refresh()
+	return int(t.linkID[a*t.n+b])
+}
+
+// LinkByID returns the directed link with the given dense ID.
+func (t *Topology) LinkByID(id int) layout.Link {
+	t.refresh()
+	return t.linkList[id]
 }
 
 // NumLinks counts links in the paper's Table II accounting: hardware
@@ -129,18 +138,27 @@ func (t *Topology) NumLinks() int {
 	return (t.NumDirectedLinks() + 1) / 2
 }
 
-// refresh rebuilds adjacency lists after mutations.
+// refresh rebuilds adjacency lists and the dense link index after
+// mutations.
 func (t *Topology) refresh() {
 	if !t.dirty {
 		return
 	}
 	t.out = make([][]int, t.n)
 	t.in = make([][]int, t.n)
+	t.linkList = t.linkList[:0]
+	if t.linkID == nil {
+		t.linkID = make([]int32, t.n*t.n)
+	}
 	for a := 0; a < t.n; a++ {
 		for b := 0; b < t.n; b++ {
 			if t.adj[a][b] {
 				t.out[a] = append(t.out[a], b)
 				t.in[b] = append(t.in[b], a)
+				t.linkID[a*t.n+b] = int32(len(t.linkList))
+				t.linkList = append(t.linkList, layout.Link{From: a, To: b})
+			} else {
+				t.linkID[a*t.n+b] = -1
 			}
 		}
 	}

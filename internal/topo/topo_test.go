@@ -354,3 +354,43 @@ func TestCutAndHopProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDenseLinkIDs verifies the dense directed-link numbering: IDs are
+// contiguous, enumerate links in Links() order, survive round-trips
+// through LinkByID, and stay consistent across mutations.
+func TestDenseLinkIDs(t *testing.T) {
+	tp := mesh4x5()
+	links := tp.Links()
+	if len(links) != tp.NumDirectedLinks() {
+		t.Fatalf("Links() len %d != NumDirectedLinks %d", len(links), tp.NumDirectedLinks())
+	}
+	for id, l := range links {
+		if got := tp.LinkID(l.From, l.To); got != id {
+			t.Fatalf("LinkID(%d,%d) = %d, want %d", l.From, l.To, got, id)
+		}
+		if got := tp.LinkByID(id); got != l {
+			t.Fatalf("LinkByID(%d) = %v, want %v", id, got, l)
+		}
+	}
+	if tp.LinkID(0, 19) != -1 {
+		t.Error("absent link must have ID -1")
+	}
+	// Mutation invalidates and renumbers.
+	before := tp.NumDirectedLinks()
+	tp.RemoveLink(links[0].From, links[0].To)
+	if tp.NumDirectedLinks() != before-1 {
+		t.Fatalf("link count after removal: %d", tp.NumDirectedLinks())
+	}
+	if tp.LinkID(links[0].From, links[0].To) != -1 {
+		t.Error("removed link still has an ID")
+	}
+	for id, l := range tp.Links() {
+		if tp.LinkID(l.From, l.To) != id {
+			t.Fatalf("IDs not contiguous after mutation")
+		}
+	}
+	tp.AddLink(links[0].From, links[0].To)
+	if tp.LinkID(links[0].From, links[0].To) == -1 {
+		t.Error("re-added link has no ID")
+	}
+}
