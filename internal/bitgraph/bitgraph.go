@@ -1,9 +1,16 @@
-// Package bitgraph provides a compact directed-graph representation for
-// networks of at most 64 routers, with bitmask-based breadth-first search
-// and cut evaluation. It is the shared computational core of the topology
-// synthesizer and the baseline calibration tooling: one BFS level is
-// computed as the union of out-masks of the current frontier, making
-// all-pairs hop statistics cost O(n^2) word operations.
+// Package bitgraph provides a compact directed-graph representation with
+// bitset-based breadth-first search and cut evaluation. It is the shared
+// computational core of the topology synthesizer and the baseline
+// calibration tooling: one BFS level is computed as the union of out-row
+// bitsets of the current frontier, making all-pairs hop statistics cost
+// O(n^2/64) word operations per source. Graphs over at most 64 routers
+// use a specialized single-word path; larger graphs use multi-word Set
+// rows, so node count is bounded only by memory.
+//
+// For metaheuristic search, Eval layers a stateful incremental evaluator
+// on top of Graph: per-source distance vectors, cut-pool crossing
+// counters and objective aggregates maintained under Add/Remove with
+// dirty-source invalidation, plus journaled rollback for rejected moves.
 package bitgraph
 
 import (
@@ -12,47 +19,68 @@ import (
 	"math/bits"
 )
 
-// MaxNodes is the largest supported node count (one uint64 mask).
-const MaxNodes = 64
+// MaxFastNodes is the largest node count served by the single-word
+// (one uint64 mask per row) fast paths. Larger graphs are fully
+// supported via multi-word rows.
+const MaxFastNodes = 64
 
 // Link is a directed edge.
 type Link struct{ A, B int }
 
 // Graph is an incrementally maintained directed graph with degree
-// counters, neighbor bitmasks and an O(1)-sampleable link list.
+// counters, neighbor bitsets and an O(1)-sampleable link list.
 type Graph struct {
-	n               int
-	OutMask, InMask []uint64
-	OutDeg, InDeg   []int
-	linkList        []Link
-	linkIndex       map[Link]int
-	full            uint64
+	n, w          int
+	out, in       []uint64 // n rows of w words each, flat
+	OutDeg, InDeg []int
+	linkList      []Link
+	linkIndex     []int32 // n*n flat position of link a->b in linkList, -1 absent
+	full          Set
 }
 
-// New returns an empty graph over n nodes (n <= MaxNodes).
+// New returns an empty graph over n nodes (any n >= 1).
 func New(n int) *Graph {
-	if n <= 0 || n > MaxNodes {
+	if n <= 0 {
 		panic(fmt.Sprintf("bitgraph: unsupported node count %d", n))
 	}
-	return &Graph{
+	w := wordsFor(n)
+	g := &Graph{
 		n:         n,
-		OutMask:   make([]uint64, n),
-		InMask:    make([]uint64, n),
+		w:         w,
+		out:       make([]uint64, n*w),
+		in:        make([]uint64, n*w),
 		OutDeg:    make([]int, n),
 		InDeg:     make([]int, n),
-		linkIndex: make(map[Link]int),
-		full:      uint64(1)<<uint(n) - 1,
+		linkIndex: make([]int32, n*n),
+		full:      FullSet(n),
 	}
+	for i := range g.linkIndex {
+		g.linkIndex[i] = -1
+	}
+	return g
 }
 
 // N returns the node count.
 func (g *Graph) N() int { return g.n }
 
-// Full returns the all-nodes bitmask.
-func (g *Graph) Full() uint64 { return g.full }
+// Words returns the number of Set words per row.
+func (g *Graph) Words() int { return g.w }
+
+// Full returns the all-nodes set; the caller must not mutate it.
+func (g *Graph) Full() Set { return g.full }
+
+// OutRow returns node a's out-neighbor bitset; the caller must not
+// mutate it.
+func (g *Graph) OutRow(a int) Set { return Set(g.out[a*g.w : (a+1)*g.w]) }
+
+// InRow returns node a's in-neighbor bitset; the caller must not
+// mutate it.
+func (g *Graph) InRow(a int) Set { return Set(g.in[a*g.w : (a+1)*g.w]) }
 
 // Has reports whether the directed link a->b exists.
-func (g *Graph) Has(a, b int) bool { return g.OutMask[a]&(1<<uint(b)) != 0 }
+func (g *Graph) Has(a, b int) bool {
+	return g.out[a*g.w+b/wordBits]&(1<<uint(b%wordBits)) != 0
+}
 
 // NumLinks returns the number of directed links.
 func (g *Graph) NumLinks() int { return len(g.linkList) }
@@ -69,11 +97,11 @@ func (g *Graph) Add(a, b int) {
 	if g.Has(a, b) {
 		return
 	}
-	g.OutMask[a] |= 1 << uint(b)
-	g.InMask[b] |= 1 << uint(a)
+	g.out[a*g.w+b/wordBits] |= 1 << uint(b%wordBits)
+	g.in[b*g.w+a/wordBits] |= 1 << uint(a%wordBits)
 	g.OutDeg[a]++
 	g.InDeg[b]++
-	g.linkIndex[Link{a, b}] = len(g.linkList)
+	g.linkIndex[a*g.n+b] = int32(len(g.linkList))
 	g.linkList = append(g.linkList, Link{a, b})
 }
 
@@ -82,28 +110,31 @@ func (g *Graph) Remove(a, b int) {
 	if !g.Has(a, b) {
 		return
 	}
-	g.OutMask[a] &^= 1 << uint(b)
-	g.InMask[b] &^= 1 << uint(a)
+	g.out[a*g.w+b/wordBits] &^= 1 << uint(b%wordBits)
+	g.in[b*g.w+a/wordBits] &^= 1 << uint(a%wordBits)
 	g.OutDeg[a]--
 	g.InDeg[b]--
-	idx := g.linkIndex[Link{a, b}]
+	idx := g.linkIndex[a*g.n+b]
 	last := g.linkList[len(g.linkList)-1]
 	g.linkList[idx] = last
-	g.linkIndex[last] = idx
+	g.linkIndex[last.A*g.n+last.B] = idx
 	g.linkList = g.linkList[:len(g.linkList)-1]
-	delete(g.linkIndex, Link{a, b})
+	g.linkIndex[a*g.n+b] = -1
 }
 
 // Clone deep-copies the graph.
 func (g *Graph) Clone() *Graph {
-	c := New(g.n)
-	copy(c.OutMask, g.OutMask)
-	copy(c.InMask, g.InMask)
-	copy(c.OutDeg, g.OutDeg)
-	copy(c.InDeg, g.InDeg)
-	c.linkList = append(c.linkList, g.linkList...)
-	for k, v := range g.linkIndex {
-		c.linkIndex[k] = v
+	w := g.w
+	c := &Graph{
+		n:         g.n,
+		w:         w,
+		out:       append([]uint64(nil), g.out...),
+		in:        append([]uint64(nil), g.in...),
+		OutDeg:    append([]int(nil), g.OutDeg...),
+		InDeg:     append([]int(nil), g.InDeg...),
+		linkList:  append([]Link(nil), g.linkList...),
+		linkIndex: append([]int32(nil), g.linkIndex...),
+		full:      g.full,
 	}
 	return c
 }
@@ -113,17 +144,126 @@ func (g *Graph) Clone() *Graph {
 // pairs and the diameter over reachable pairs.
 func (g *Graph) HopStats() (total int64, unreachable int, diameter int) {
 	n := g.n
+	if g.w == 1 {
+		for src := 0; src < n; src++ {
+			visited := uint64(1) << uint(src)
+			frontier := visited
+			d := 0
+			for frontier != 0 {
+				var next uint64
+				f := frontier
+				for f != 0 {
+					u := bits.TrailingZeros64(f)
+					f &= f - 1
+					next |= g.out[u]
+				}
+				next &^= visited
+				if next == 0 {
+					break
+				}
+				d++
+				total += int64(d) * int64(bits.OnesCount64(next))
+				visited |= next
+				frontier = next
+			}
+			if d > diameter {
+				diameter = d
+			}
+			unreachable += n - bits.OnesCount64(visited)
+		}
+		return total, unreachable, diameter
+	}
+	visited, frontier, next := NewSet(n), NewSet(n), NewSet(n)
 	for src := 0; src < n; src++ {
+		visited.Clear()
+		visited.Add(src)
+		frontier.Clear()
+		frontier.Add(src)
+		d := 0
+		for {
+			next.Clear()
+			g.frontierUnion(frontier, next)
+			level := 0
+			for i := range next {
+				next[i] &^= visited[i]
+				level += bits.OnesCount64(next[i])
+			}
+			if level == 0 {
+				break
+			}
+			d++
+			total += int64(d) * int64(level)
+			for i := range visited {
+				visited[i] |= next[i]
+			}
+			frontier, next = next, frontier
+		}
+		if d > diameter {
+			diameter = d
+		}
+		unreachable += n - visited.Count()
+	}
+	return total, unreachable, diameter
+}
+
+// frontierUnion ORs the out-rows of every frontier member into dst.
+func (g *Graph) frontierUnion(frontier, dst Set) {
+	w := g.w
+	for wi, word := range frontier {
+		base := wi * wordBits
+		for word != 0 {
+			u := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			row := g.out[u*w : u*w+w]
+			for i, rw := range row {
+				dst[i] |= rw
+			}
+		}
+	}
+}
+
+// BFSRow fills dist (length n) with hop distances from src; unreachable
+// nodes get -1. It allocates scratch internally; hot paths should use
+// Eval, which reuses scratch buffers.
+func (g *Graph) BFSRow(src int, dist []int16) {
+	scratch := newBFSScratch(g.n)
+	g.bfsRow(src, dist, scratch)
+}
+
+type bfsScratch struct {
+	visited, frontier, next Set
+}
+
+func newBFSScratch(n int) *bfsScratch {
+	return &bfsScratch{visited: NewSet(n), frontier: NewSet(n), next: NewSet(n)}
+}
+
+// bfsRow computes the distance row for src into dist using the provided
+// scratch buffers.
+func (g *Graph) bfsRow(src int, dist []int16, s *bfsScratch) {
+	g.bfsRowStats(src, dist, s)
+}
+
+// bfsRowStats is bfsRow plus aggregates the BFS produces for free: the
+// sum of finite distances from src and the number of reached nodes
+// (including src itself).
+func (g *Graph) bfsRowStats(src int, dist []int16, s *bfsScratch) (total int64, reached int) {
+	n := g.n
+	for i := 0; i < n; i++ {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	if g.w == 1 {
 		visited := uint64(1) << uint(src)
 		frontier := visited
-		d := 0
+		d := int16(0)
 		for frontier != 0 {
 			var next uint64
 			f := frontier
 			for f != 0 {
 				u := bits.TrailingZeros64(f)
 				f &= f - 1
-				next |= g.OutMask[u]
+				next |= g.out[u]
 			}
 			next &^= visited
 			if next == 0 {
@@ -131,94 +271,118 @@ func (g *Graph) HopStats() (total int64, unreachable int, diameter int) {
 			}
 			d++
 			total += int64(d) * int64(bits.OnesCount64(next))
+			nf := next
+			for nf != 0 {
+				v := bits.TrailingZeros64(nf)
+				nf &= nf - 1
+				dist[v] = d
+			}
 			visited |= next
 			frontier = next
 		}
-		if d > diameter {
-			diameter = d
-		}
-		unreachable += n - bits.OnesCount64(visited)
+		return total, bits.OnesCount64(visited)
 	}
-	return total, unreachable, diameter
+	visited, frontier, next := s.visited, s.frontier, s.next
+	visited.Clear()
+	visited.Add(src)
+	frontier.Clear()
+	frontier.Add(src)
+	reached = 1
+	d := int16(0)
+	for {
+		next.Clear()
+		g.frontierUnion(frontier, next)
+		level := 0
+		for i := range next {
+			next[i] &^= visited[i]
+			level += bits.OnesCount64(next[i])
+		}
+		if level == 0 {
+			break
+		}
+		d++
+		total += int64(d) * int64(level)
+		reached += level
+		next.ForEach(func(v int) { dist[v] = d })
+		for i := range visited {
+			visited[i] |= next[i]
+		}
+		frontier, next = next, frontier
+	}
+	s.frontier, s.next = frontier, next
+	return total, reached
 }
 
 // WeightedHops returns sum(w[s][d] * dist(s,d)) over reachable pairs plus
 // the count of unreachable ordered pairs with positive weight.
 func (g *Graph) WeightedHops(w [][]float64) (total float64, unreachable int) {
 	n := g.n
+	dist := make([]int16, n)
+	scratch := newBFSScratch(n)
 	for src := 0; src < n; src++ {
-		visited := uint64(1) << uint(src)
-		frontier := visited
-		d := 0
-		for frontier != 0 {
-			var next uint64
-			f := frontier
-			for f != 0 {
-				u := bits.TrailingZeros64(f)
-				f &= f - 1
-				next |= g.OutMask[u]
+		g.bfsRow(src, dist, scratch)
+		for v := 0; v < n; v++ {
+			if v == src {
+				continue
 			}
-			next &^= visited
-			if next == 0 {
-				break
+			if dist[v] < 0 {
+				if w[src][v] > 0 {
+					unreachable++
+				}
+				continue
 			}
-			d++
-			nf := next
-			for nf != 0 {
-				v := bits.TrailingZeros64(nf)
-				nf &= nf - 1
-				total += w[src][v] * float64(d)
-			}
-			visited |= next
-			frontier = next
-		}
-		miss := g.full &^ visited
-		for miss != 0 {
-			v := bits.TrailingZeros64(miss)
-			miss &= miss - 1
-			if w[src][v] > 0 {
-				unreachable++
-			}
+			total += w[src][v] * float64(dist[v])
 		}
 	}
 	return total, unreachable
 }
 
-// CutBandwidth evaluates B(U,V): the min-direction crossing count divided
-// by |U||V|, for the partition given by uMask.
-func (g *Graph) CutBandwidth(uMask uint64) float64 {
-	uMask &= g.full
-	sizeU := bits.OnesCount64(uMask)
-	sizeV := g.n - sizeU
-	if sizeU == 0 || sizeV == 0 {
-		return math.Inf(1)
+// Cross returns the two directed crossing counts (U->V, V->U) for the
+// partition given by u; V is the complement of u within the node set.
+func (g *Graph) Cross(u Set) (crossUV, crossVU int) {
+	w := g.w
+	for wi, word := range u {
+		word &= g.full[wi]
+		base := wi * wordBits
+		for word != 0 {
+			a := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			outRow := g.out[a*w : a*w+w]
+			inRow := g.in[a*w : a*w+w]
+			for i := range outRow {
+				vWord := g.full[i] &^ u[i]
+				crossUV += bits.OnesCount64(outRow[i] & vWord)
+				crossVU += bits.OnesCount64(inRow[i] & vWord)
+			}
+		}
 	}
-	minCross := g.MinCross(uMask)
-	return float64(minCross) / float64(sizeU*sizeV)
+	return crossUV, crossVU
 }
 
 // MinCross returns the smaller of the two directed crossing counts for
-// the partition given by uMask.
-func (g *Graph) MinCross(uMask uint64) int {
-	uMask &= g.full
-	vMask := g.full &^ uMask
-	crossUV, crossVU := 0, 0
-	rem := uMask
-	for rem != 0 {
-		a := bits.TrailingZeros64(rem)
-		rem &= rem - 1
-		crossUV += bits.OnesCount64(g.OutMask[a] & vMask)
-		crossVU += bits.OnesCount64(g.InMask[a] & vMask)
-	}
+// the partition given by u.
+func (g *Graph) MinCross(u Set) int {
+	crossUV, crossVU := g.Cross(u)
 	if crossVU < crossUV {
 		return crossVU
 	}
 	return crossUV
 }
 
+// CutBandwidth evaluates B(U,V): the min-direction crossing count divided
+// by |U||V|, for the partition given by u.
+func (g *Graph) CutBandwidth(u Set) float64 {
+	sizeU := AndCount(u, g.full)
+	sizeV := g.n - sizeU
+	if sizeU == 0 || sizeV == 0 {
+		return math.Inf(1)
+	}
+	return float64(g.MinCross(u)) / float64(sizeU*sizeV)
+}
+
 // PoolMin returns the minimum CutBandwidth over a pool of partition
-// masks.
-func (g *Graph) PoolMin(pool []uint64) float64 {
+// sets.
+func (g *Graph) PoolMin(pool []Set) float64 {
 	min := math.Inf(1)
 	for _, m := range pool {
 		if bw := g.CutBandwidth(m); bw < min {

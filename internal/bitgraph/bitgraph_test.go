@@ -32,7 +32,7 @@ func TestAddRemoveInvariants(t *testing.T) {
 }
 
 func TestNewBounds(t *testing.T) {
-	for _, bad := range []int{0, -1, 65} {
+	for _, bad := range []int{0, -1} {
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -43,8 +43,22 @@ func TestNewBounds(t *testing.T) {
 		}()
 	}
 	g := New(64)
-	if g.Full() != ^uint64(0) {
+	if g.Full()[0] != ^uint64(0) || g.Words() != 1 {
 		t.Error("64-node full mask wrong")
+	}
+	// Beyond 64 nodes the graph switches to multi-word rows.
+	big := New(130)
+	if big.Words() != 3 || big.Full().Count() != 130 {
+		t.Errorf("130-node graph: words=%d full=%d, want 3 words, 130 bits",
+			big.Words(), big.Full().Count())
+	}
+	big.Add(0, 129)
+	big.Add(129, 64)
+	if !big.Has(0, 129) || !big.Has(129, 64) || big.Has(64, 129) {
+		t.Error("cross-word links broken")
+	}
+	if big.OutDeg[129] != 1 || big.InDeg[64] != 1 {
+		t.Error("cross-word degree counters wrong")
 	}
 }
 
@@ -65,14 +79,14 @@ func TestCutBandwidthDirected(t *testing.T) {
 	// 2 links 0->1 and 1->0 plus 2->... partition {0} vs {1}:
 	g := New(2)
 	g.Add(0, 1)
-	if got := g.CutBandwidth(1); got != 1.0 {
+	if got := g.CutBandwidth(SetOf(2, 0)); got != 1.0 {
 		// one direction has 1 crossing, the other 0: min = 0.
 		if got != 0 {
 			t.Errorf("one-way cut bandwidth = %v, want 0 (min direction)", got)
 		}
 	}
 	g.Add(1, 0)
-	if got := g.CutBandwidth(1); got != 1.0 {
+	if got := g.CutBandwidth(SetOf(2, 0)); got != 1.0 {
 		t.Errorf("two-way cut bandwidth = %v, want 1", got)
 	}
 }
@@ -85,11 +99,11 @@ func TestPoolMin(t *testing.T) {
 	}
 	// Ring of 4: cut {0,1} crosses 2 each way: B = 2/4 = 0.5.
 	// Cut {0,2} crosses 4 each way: B = 1.
-	pool := []uint64{0b0011, 0b0101}
+	pool := []Set{MaskSet(4, 0b0011), MaskSet(4, 0b0101)}
 	if got := g.PoolMin(pool); got != 0.5 {
 		t.Errorf("pool min = %v, want 0.5", got)
 	}
-	if math.IsInf(g.CutBandwidth(0), 1) != true {
+	if math.IsInf(g.CutBandwidth(NewSet(4)), 1) != true {
 		t.Error("empty partition must be +Inf")
 	}
 }
@@ -105,12 +119,26 @@ func TestCloneIsDeep(t *testing.T) {
 	}
 }
 
+// Property: multi-word HopStats agrees with Floyd-Warshall across the
+// 64-node word boundary.
+func TestHopStatsMatchesFloydWarshallMultiWord(t *testing.T) {
+	if err := quick.Check(hopStatsMatchesFW(60, 20, 0.06), &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: HopStats total/unreachable match a reference Floyd-Warshall
 // on random graphs.
 func TestHopStatsMatchesFloydWarshall(t *testing.T) {
-	f := func(seed int64) bool {
+	if err := quick.Check(hopStatsMatchesFW(5, 8, 0.3), &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func hopStatsMatchesFW(nBase, nSpread int, p float64) func(seed int64) bool {
+	return func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		n := 5 + rng.Intn(8)
+		n := nBase + rng.Intn(nSpread)
 		g := New(n)
 		const inf = 1 << 20
 		d := make([][]int, n)
@@ -124,7 +152,7 @@ func TestHopStatsMatchesFloydWarshall(t *testing.T) {
 		}
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
-				if i != j && rng.Float64() < 0.3 {
+				if i != j && rng.Float64() < p {
 					g.Add(i, j)
 					d[i][j] = 1
 				}
@@ -159,9 +187,6 @@ func TestHopStatsMatchesFloydWarshall(t *testing.T) {
 		total, unreach, diam := g.HopStats()
 		return total == wantTotal && unreach == wantUnreach && diam == wantDiam
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
-		t.Error(err)
-	}
 }
 
 // Property: MinCross symmetry — MinCross(U) == MinCross(complement).
@@ -177,8 +202,8 @@ func TestMinCrossComplement(t *testing.T) {
 				}
 			}
 		}
-		mask := maskRaw & g.Full()
-		return g.MinCross(mask) == g.MinCross(g.Full()&^mask)
+		mask := MaskSet(n, maskRaw)
+		return g.MinCross(mask) == g.MinCross(mask.ComplementWithin(g.Full()))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)

@@ -1,0 +1,1199 @@
+package bitgraph
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Eval is a stateful incremental evaluator over a Graph. It maintains,
+// under Add/Remove link mutations:
+//
+//   - per-source shortest-path distance vectors (one BFS row per source),
+//   - the total hop count, unreachable-pair count and (optionally)
+//     diameter aggregates,
+//   - optional traffic-weighted hop aggregates, and
+//   - per-cut crossing counters for a pool of partition sets.
+//
+// Mutations dirty only the sources whose rows actually change: removing
+// link a->b invalidates exactly the sources s with dist(s,b) ==
+// dist(s,a)+1 and no alternative predecessor of b at dist(s,a) (a
+// shortest path must route through the link — subpaths of shortest
+// paths are shortest); adding a->b invalidates exactly the sources with
+// dist(s,a)+1 < dist(s,b) (the link creates a shortcut). Dirty sources
+// are queued and recomputed lazily at the next aggregate read, so a
+// multi-op move (swap, symmetric pair) — or a run of mutations whose
+// score is never read — pays one BFS per distinct dirty source against
+// the final graph. Pending() exposes the queue depth, letting callers
+// recognize provably score-neutral mutations without any BFS. Cut
+// counters update eagerly in O(pool) per mutation.
+//
+// Begin/Commit/Rollback bracket speculative moves: Rollback restores the
+// journaled distance rows by copy (no BFS) so rejected annealing moves
+// cost only the forward evaluation.
+type Eval struct {
+	g *Graph
+	n int
+
+	dist       []int16 // n x n row-major: dist[s*n+d], -1 unreachable
+	srcTotal   []int64
+	srcUnreach []int32
+
+	total       int64
+	unreachable int
+
+	// Diameter tracking is opt-in (TrackDiameter): the histogram retire/
+	// apply work is pure overhead for configs that never read Diameter().
+	trackDiameter bool
+	histo         []int64 // histo[d] = reachable ordered pairs at distance d
+	maxDist       int     // diameter over reachable pairs (tracked mode)
+
+	w           [][]float64 // optional demand matrix
+	srcWTotal   []float64
+	srcWUnreach []int32
+	wTotal      float64
+	wUnreach    int
+
+	cuts []evalCut
+
+	scratch *bfsScratch
+	oldRow  []int16
+	preds   []int32
+
+	// Transposed level masks, maintained for graphs of at most 64
+	// nodes (source sets then fit one word): T[v*(n+1)+d] is the bitmask
+	// of sources whose distance to vertex v is exactly d, and reach[v]
+	// the sources that reach v at all. They turn the per-op dirty-source
+	// detection from an O(n) scalar scan into a handful of word
+	// operations over distance levels.
+	fastT bool
+	T     []uint64
+	reach []uint64
+
+	// Deferred invalidation queue (see type comment). In fast mode the
+	// queue only ever holds the dirty sources of a single removal
+	// (additions repair eagerly and flush any pending removal first), so
+	// flush can repair decrementally; singleRem/remB record that
+	// removal's head vertex.
+	pending   []int32
+	pendGen   []uint32
+	pendCur   uint32
+	pendMask  uint64 // fast-mode mirror of the pending set
+	singleRem bool
+	remB      int
+	wave      []int32
+
+	// journal
+	inTxn    bool
+	ops      []linkOp
+	rows     []rowSave
+	rowPool  [][]int16
+	savedGen []uint32
+	savedIdx []int32 // index into rows, valid when savedGen matches
+	curGen   uint32
+
+	snapTotal    int64
+	snapUnreach  int
+	snapWTotal   float64
+	snapWUnreach int
+	snapHisto    []int64
+	snapMaxDist  int
+}
+
+type evalCut struct {
+	mask             Set
+	pairs            float64 // |U| * |V|
+	crossUV, crossVU int
+}
+
+type linkOp struct {
+	a, b  int
+	added bool
+}
+
+type rowSave struct {
+	src      int
+	row      []int16
+	changed  uint64 // fast mode: vertices whose distance changed since the save
+	total    int64
+	unreach  int32
+	wTotal   float64
+	wUnreach int32
+}
+
+// NewEval builds an evaluator over g with an optional demand matrix
+// (weights may be nil). The full evaluation runs once here; subsequent
+// mutations are incremental. The Graph must only be mutated through the
+// returned Eval from this point on.
+func NewEval(g *Graph, weights [][]float64) *Eval {
+	n := g.n
+	e := &Eval{
+		g:          g,
+		n:          n,
+		dist:       make([]int16, n*n),
+		srcTotal:   make([]int64, n),
+		srcUnreach: make([]int32, n),
+		w:          weights,
+		scratch:    newBFSScratch(n),
+		oldRow:     make([]int16, n),
+		savedGen:   make([]uint32, n),
+		savedIdx:   make([]int32, n),
+		pendGen:    make([]uint32, n),
+		pendCur:    1,
+	}
+	if weights != nil {
+		e.srcWTotal = make([]float64, n)
+		e.srcWUnreach = make([]int32, n)
+	}
+	for s := 0; s < n; s++ {
+		row := e.dist[s*n : (s+1)*n]
+		total, reached := g.bfsRowStats(s, row, e.scratch)
+		unreach := int32(n - reached)
+		var wTotal float64
+		var wUnreach int32
+		if weights != nil {
+			for v := 0; v < n; v++ {
+				if v == s {
+					continue
+				}
+				d := row[v]
+				if d < 0 {
+					if weights[s][v] > 0 {
+						wUnreach++
+					}
+					continue
+				}
+				wTotal += weights[s][v] * float64(d)
+			}
+		}
+		e.srcTotal[s] = total
+		e.srcUnreach[s] = unreach
+		e.total += total
+		e.unreachable += int(unreach)
+		if weights != nil {
+			e.srcWTotal[s] = wTotal
+			e.srcWUnreach[s] = wUnreach
+			e.wTotal += wTotal
+			e.wUnreach += int(wUnreach)
+		}
+	}
+	if n <= MaxFastNodes {
+		e.fastT = true
+		e.T = make([]uint64, n*(n+1))
+		e.reach = make([]uint64, n)
+		for s := 0; s < n; s++ {
+			bit := uint64(1) << uint(s)
+			for v := 0; v < n; v++ {
+				if d := e.dist[s*n+v]; d >= 0 {
+					e.T[v*(n+1)+int(d)] |= bit
+					e.reach[v] |= bit
+				}
+			}
+		}
+	}
+	return e
+}
+
+// TrackDiameter enables incremental diameter maintenance (a per-distance
+// pair histogram updated on every dirty-source recompute). Callers that
+// never read Diameter() in the hot path should leave it off; Diameter()
+// then falls back to an O(n^2) scan of the maintained distance matrix.
+// Must be called outside transactions.
+func (e *Eval) TrackDiameter() {
+	if e.inTxn {
+		panic("bitgraph: TrackDiameter inside transaction")
+	}
+	if e.trackDiameter {
+		return
+	}
+	e.flush()
+	e.trackDiameter = true
+	e.histo = make([]int64, e.n+1)
+	e.snapHisto = make([]int64, e.n+1)
+	e.maxDist = 0
+	n := e.n
+	for s := 0; s < n; s++ {
+		for v := 0; v < n; v++ {
+			if d := e.dist[s*n+v]; d > 0 {
+				e.histo[d]++
+				if int(d) > e.maxDist {
+					e.maxDist = int(d)
+				}
+			}
+		}
+	}
+}
+
+// Graph returns the underlying graph. Callers may read it but must
+// mutate only through the Eval.
+func (e *Eval) Graph() *Graph { return e.g }
+
+// markDirty queues source s for lazy recomputation (slow mode; fast
+// mode ORs whole dirty masks into pendMask instead).
+func (e *Eval) markDirty(s int) {
+	e.pendGen[s] = e.pendCur
+	e.pending = append(e.pending, int32(s))
+}
+
+// flush materializes all pending recomputes.
+func (e *Eval) flush() {
+	if e.fastT {
+		m := e.pendMask
+		if m == 0 {
+			return
+		}
+		e.pendMask = 0
+		if e.singleRem && !e.trackDiameter && e.w == nil {
+			// All pending sources come from one removal: patch each by
+			// re-leveling just the affected region behind the removed
+			// link's head, falling back to a BFS when it grows large.
+			for ; m != 0; m &= m - 1 {
+				s := bits.TrailingZeros64(m)
+				if !e.repairRemoveFast(s, e.remB) {
+					e.recomputeFast(s)
+				}
+			}
+			return
+		}
+		for ; m != 0; m &= m - 1 {
+			e.recompute(bits.TrailingZeros64(m))
+		}
+		return
+	}
+	if len(e.pending) == 0 {
+		return
+	}
+	for _, s := range e.pending {
+		e.recompute(int(s))
+	}
+	e.pending = e.pending[:0]
+	e.pendCur++
+}
+
+// Pending returns the number of sources queued for recomputation. A
+// mutation sequence that leaves Pending() at zero did not change any
+// distance; combined with unchanged cut counters this certifies a
+// score-neutral move without running any BFS.
+func (e *Eval) Pending() int {
+	if e.fastT {
+		return bits.OnesCount64(e.pendMask)
+	}
+	return len(e.pending)
+}
+
+// Total returns the sum of shortest-path distances over reachable
+// ordered pairs.
+func (e *Eval) Total() int64 {
+	e.flush()
+	return e.total
+}
+
+// Unreachable returns the number of unreachable ordered pairs.
+func (e *Eval) Unreachable() int {
+	e.flush()
+	return e.unreachable
+}
+
+// Diameter returns the maximum shortest-path distance over reachable
+// pairs. O(1) when TrackDiameter is enabled, O(n^2) otherwise.
+func (e *Eval) Diameter() int {
+	e.flush()
+	if e.trackDiameter {
+		return e.maxDist
+	}
+	max := int16(0)
+	for _, d := range e.dist {
+		if d > max {
+			max = d
+		}
+	}
+	return int(max)
+}
+
+// WeightedTotal returns the demand-weighted hop total and the number of
+// positively weighted unreachable pairs. Requires weights at NewEval.
+func (e *Eval) WeightedTotal() (float64, int) {
+	e.flush()
+	return e.wTotal, e.wUnreach
+}
+
+// Dist returns the maintained shortest-path distance from s to d
+// (-1 when unreachable).
+func (e *Eval) Dist(s, d int) int {
+	e.flush()
+	return int(e.dist[s*e.n+d])
+}
+
+// NumCuts returns the cut-pool size.
+func (e *Eval) NumCuts() int { return len(e.cuts) }
+
+// AddCut registers a partition in the crossing-counter pool unless an
+// equal cut — or its complement within the n-node universe, which
+// defines the same partition — is already present. Returns true when
+// the pool grew. Must not be called inside a transaction.
+func (e *Eval) AddCut(mask Set) bool {
+	if e.inTxn {
+		panic("bitgraph: AddCut inside transaction")
+	}
+	for _, c := range e.cuts {
+		if SamePartition(c.mask, mask, e.g.full) {
+			return false
+		}
+	}
+	sizeU := AndCount(mask, e.g.full)
+	sizeV := e.n - sizeU
+	if sizeU == 0 || sizeV == 0 {
+		return false
+	}
+	uv, vu := e.g.Cross(mask)
+	e.cuts = append(e.cuts, evalCut{
+		mask:    mask.Clone(),
+		pairs:   float64(sizeU * sizeV),
+		crossUV: uv,
+		crossVU: vu,
+	})
+	return true
+}
+
+// PoolMin returns the minimum cut bandwidth min(crossUV, crossVU) /
+// (|U||V|) over the registered pool (+Inf when the pool is empty). The
+// division mirrors Graph.CutBandwidth exactly so incremental scores stay
+// bit-identical to from-scratch recomputation. Counters are maintained
+// eagerly, so PoolMin never triggers a BFS.
+func (e *Eval) PoolMin() float64 {
+	min := math.Inf(1)
+	for i := range e.cuts {
+		c := &e.cuts[i]
+		cross := c.crossUV
+		if c.crossVU < cross {
+			cross = c.crossVU
+		}
+		if bw := float64(cross) / c.pairs; bw < min {
+			min = bw
+		}
+	}
+	return min
+}
+
+// Begin opens a transaction: all Add/Remove calls until Commit or
+// Rollback are journaled and can be undone as a unit. Transactions do
+// not nest.
+func (e *Eval) Begin() {
+	if e.inTxn {
+		panic("bitgraph: nested Eval transaction")
+	}
+	e.flush() // pre-transaction mutations must not roll back
+	e.inTxn = true
+	e.curGen++
+	e.snapTotal = e.total
+	e.snapUnreach = e.unreachable
+	e.snapWTotal = e.wTotal
+	e.snapWUnreach = e.wUnreach
+	if e.trackDiameter {
+		copy(e.snapHisto, e.histo)
+		e.snapMaxDist = e.maxDist
+	}
+}
+
+// Commit accepts the transaction's mutations (materializing any pending
+// recomputes so post-transaction state is fully settled).
+func (e *Eval) Commit() {
+	if !e.inTxn {
+		panic("bitgraph: Commit outside transaction")
+	}
+	e.flush()
+	e.inTxn = false
+	e.ops = e.ops[:0]
+	for i := range e.rows {
+		e.rowPool = append(e.rowPool, e.rows[i].row)
+		e.rows[i].row = nil
+	}
+	e.rows = e.rows[:0]
+}
+
+// Rollback undoes every mutation since Begin: graph links and cut
+// counters are reverted op by op, journaled distance rows are restored
+// by copy, and the scalar aggregates return to their Begin snapshot.
+func (e *Eval) Rollback() {
+	if !e.inTxn {
+		panic("bitgraph: Rollback outside transaction")
+	}
+	e.inTxn = false
+	// Pending sources were never recomputed; their rows still describe
+	// the pre-transaction graph exactly, so just drop the marks.
+	e.pending = e.pending[:0]
+	e.pendCur++
+	e.pendMask = 0
+	for i := len(e.ops) - 1; i >= 0; i-- {
+		op := e.ops[i]
+		if op.added {
+			e.g.Remove(op.a, op.b)
+			e.cutCounters(op.a, op.b, -1)
+		} else {
+			e.g.Add(op.a, op.b)
+			e.cutCounters(op.a, op.b, +1)
+		}
+	}
+	e.ops = e.ops[:0]
+	// Restore rows newest-to-oldest so a source saved once but
+	// recomputed twice ends at its pre-transaction state.
+	for i := len(e.rows) - 1; i >= 0; i-- {
+		r := &e.rows[i]
+		if e.fastT {
+			// Only the journaled changed vertices can differ; restore
+			// their transposed bits without a full row diff.
+			cur := e.dist[r.src*e.n : (r.src+1)*e.n]
+			bit := uint64(1) << uint(r.src)
+			stride := e.n + 1
+			for m := r.changed; m != 0; m &= m - 1 {
+				v := bits.TrailingZeros64(m)
+				od, nd := cur[v], r.row[v]
+				if od == nd {
+					continue
+				}
+				if od >= 0 {
+					e.T[v*stride+int(od)] &^= bit
+				}
+				if nd >= 0 {
+					e.T[v*stride+int(nd)] |= bit
+					if od < 0 {
+						e.reach[v] |= bit
+					}
+				} else {
+					e.reach[v] &^= bit
+				}
+			}
+		}
+		copy(e.dist[r.src*e.n:(r.src+1)*e.n], r.row)
+		e.srcTotal[r.src] = r.total
+		e.srcUnreach[r.src] = r.unreach
+		if e.w != nil {
+			e.srcWTotal[r.src] = r.wTotal
+			e.srcWUnreach[r.src] = r.wUnreach
+		}
+		e.rowPool = append(e.rowPool, r.row)
+		r.row = nil
+	}
+	e.rows = e.rows[:0]
+	e.total = e.snapTotal
+	e.unreachable = e.snapUnreach
+	e.wTotal = e.snapWTotal
+	e.wUnreach = e.snapWUnreach
+	if e.trackDiameter {
+		copy(e.histo, e.snapHisto)
+		e.maxDist = e.snapMaxDist
+	}
+}
+
+// Add inserts link a->b, updates cut counters eagerly and queues the
+// affected sources for lazy distance recomputation (no-op when the link
+// exists).
+func (e *Eval) Add(a, b int) {
+	if a == b || e.g.Has(a, b) {
+		return
+	}
+	// A new link a->b creates a shortcut exactly for sources that reach
+	// a and would get closer to b through it (old distances). Sources
+	// already pending are skipped: their rows are stale but will be
+	// recomputed against the final graph anyway.
+	n := e.n
+	if e.fastT {
+		// Additions are repaired eagerly (the improvement wave from b
+		// touches only vertices whose distance actually drops, typically
+		// a handful), which keeps every row exact at all times in fast
+		// mode except under pending removals — flushed here so the
+		// detection and the repair both see exact rows.
+		if e.pendMask != 0 {
+			e.flush()
+		}
+		// Level-mask form of the dirty rule: a source at distance d from
+		// a is dirtied iff its distance to b exceeds d+1 (or b is
+		// unreachable), i.e. it is outside the cumulative <=d+1 mask.
+		stride := n + 1
+		ta := e.T[a*stride : a*stride+stride]
+		tb := e.T[b*stride : b*stride+stride]
+		var dirty, seen uint64
+		reachA := e.reach[a]
+		cum := tb[0]
+		for d := 0; seen != reachA; d++ {
+			cum |= tb[d+1]
+			la := ta[d]
+			dirty |= la &^ cum
+			seen |= la
+		}
+		e.g.Add(a, b)
+		e.cutCounters(a, b, +1)
+		if e.inTxn {
+			e.ops = append(e.ops, linkOp{a, b, true})
+		}
+		for dirty != 0 {
+			s := bits.TrailingZeros64(dirty)
+			dirty &= dirty - 1
+			e.repairAddFast(s, a, b)
+		}
+		return
+	}
+	{
+		dist, pendGen, pendCur := e.dist, e.pendGen, e.pendCur
+		for s, base := 0, 0; s < n; s, base = s+1, base+n {
+			if pendGen[s] == pendCur {
+				continue
+			}
+			da := dist[base+a]
+			if da < 0 {
+				continue
+			}
+			db := dist[base+b]
+			if db < 0 || da+1 < db {
+				e.markDirty(s)
+			}
+		}
+	}
+	e.g.Add(a, b)
+	e.cutCounters(a, b, +1)
+	if e.inTxn {
+		e.ops = append(e.ops, linkOp{a, b, true})
+	}
+}
+
+// Remove deletes link a->b, updates cut counters eagerly and queues the
+// affected sources for lazy distance recomputation (no-op when the link
+// is absent).
+//
+// The link can lie on a shortest path from s only when dist(s,b) ==
+// dist(s,a)+1; every other source keeps its exact distance vector
+// (subpaths of shortest paths are shortest). Even then, if b has
+// another predecessor p (p->b present, p != a) with dist(s,p) ==
+// dist(s,a), every shortest path through a->b reroutes through p->b at
+// equal length, so nothing changes for s.
+func (e *Eval) Remove(a, b int) {
+	if a == b || !e.g.Has(a, b) {
+		return
+	}
+	n := e.n
+	if e.fastT {
+		// Level-mask form: candidates at level d are sources with
+		// dist(.,a)==d and dist(.,b)==d+1; each alternative predecessor
+		// of b clears the candidates it covers at level d.
+		stride := n + 1
+		ta := e.T[a*stride : a*stride+stride]
+		tb := e.T[b*stride : b*stride+stride]
+		pm := e.g.in[b] &^ (1 << uint(a)) // w==1 in fast mode
+		var dirty, seen uint64
+		reachA := e.reach[a]
+		for d := 0; seen != reachA; d++ {
+			la := ta[d]
+			seen |= la
+			cand := la & tb[d+1]
+			if cand != 0 {
+				pp := pm
+				for pp != 0 && cand != 0 {
+					p := bits.TrailingZeros64(pp)
+					pp &= pp - 1
+					cand &^= e.T[p*stride+d]
+				}
+				dirty |= cand
+			}
+		}
+		e.singleRem = e.pendMask == 0
+		e.remB = b
+		e.pendMask |= dirty
+	} else {
+		e.preds = e.preds[:0]
+		e.g.InRow(b).ForEach(func(p int) {
+			if p != a {
+				e.preds = append(e.preds, int32(p))
+			}
+		})
+		dist, preds := e.dist, e.preds
+		pendGen, pendCur := e.pendGen, e.pendCur
+		for s, base := 0, 0; s < n; s, base = s+1, base+n {
+			if pendGen[s] == pendCur {
+				continue
+			}
+			da := dist[base+a]
+			if da < 0 || dist[base+b] != da+1 {
+				continue
+			}
+			alt := false
+			for _, p := range preds {
+				if dist[base+int(p)] == da {
+					alt = true
+					break
+				}
+			}
+			if !alt {
+				e.markDirty(s)
+			}
+		}
+	}
+	e.g.Remove(a, b)
+	e.cutCounters(a, b, -1)
+	if e.inTxn {
+		e.ops = append(e.ops, linkOp{a, b, false})
+	}
+}
+
+// repairAddFast patches source s's row after inserting a->b, where
+// dist(s,a)+1 improves on dist(s,b): a breadth-first improvement wave
+// from b touches only the vertices whose distance actually drops,
+// updating the aggregates and transposed level masks in place.
+// Fast mode only (w == 1).
+func (e *Eval) repairAddFast(s, a, b int) {
+	n := e.n
+	e.journalRow(s)
+	row := e.dist[s*n : (s+1)*n]
+	bit := uint64(1) << uint(s)
+	stride := n + 1
+	out := e.g.out
+	var dTot int64
+	var dUnreach int32
+	var wTot float64
+	var wUnreach int32
+	var changed uint64
+	apply := func(v int, d int16) {
+		changed |= 1 << uint(v)
+		od := row[v]
+		if od >= 0 {
+			e.T[v*stride+int(od)] &^= bit
+			dTot += int64(d - od)
+		} else {
+			e.reach[v] |= bit
+			dUnreach--
+			dTot += int64(d)
+		}
+		e.T[v*stride+int(d)] |= bit
+		if e.trackDiameter {
+			if od > 0 {
+				e.histo[od]--
+			}
+			e.histo[d]++
+			// A newly reachable pair can sit beyond the old diameter.
+			if int(d) > e.maxDist {
+				e.maxDist = int(d)
+			}
+		}
+		if e.w != nil {
+			if od >= 0 {
+				wTot += e.w[s][v] * float64(d-od)
+			} else {
+				wTot += e.w[s][v] * float64(d)
+				if e.w[s][v] > 0 {
+					wUnreach--
+				}
+			}
+		}
+		row[v] = d
+	}
+	apply(b, row[a]+1)
+	wave := append(e.preds[:0], int32(b))
+	for head := 0; head < len(wave); head++ {
+		v := int(wave[head])
+		dv1 := row[v] + 1
+		m := out[v]
+		for m != 0 {
+			u := bits.TrailingZeros64(m)
+			m &= m - 1
+			if ou := row[u]; ou >= 0 && ou <= dv1 {
+				continue
+			}
+			apply(u, dv1)
+			wave = append(wave, int32(u))
+		}
+	}
+	e.preds = wave[:0]
+	e.noteChanged(s, changed)
+	e.srcTotal[s] += dTot
+	e.srcUnreach[s] += dUnreach
+	e.total += dTot
+	e.unreachable += int(dUnreach)
+	if e.w != nil {
+		e.srcWTotal[s] += wTot
+		e.srcWUnreach[s] += wUnreach
+		e.wTotal += wTot
+		e.wUnreach += int(wUnreach)
+	}
+	if e.trackDiameter {
+		for e.maxDist > 0 && e.histo[e.maxDist] == 0 {
+			e.maxDist--
+		}
+	}
+}
+
+// maxAffectedRepair caps the affected-set size for decremental repair;
+// larger regions fall back to a plain source BFS, which touches every
+// vertex anyway.
+const maxAffectedRepair = 10
+
+// repairRemoveFast patches source s's row after a removal whose head is
+// b, for a source whose only shortest support of b was the removed
+// link. Phase 1 walks the shortest-path DAG forward from b collecting
+// the affected vertices (those left with no unaffected equal-level
+// predecessor); phase 2 re-levels exactly that set. Returns false when
+// the affected region exceeds maxAffectedRepair. Fast mode without
+// diameter or weighted bookkeeping only; rows must be exact for the
+// pre-removal graph.
+func (e *Eval) repairRemoveFast(s, b int) bool {
+	n := e.n
+	row := e.dist[s*n : (s+1)*n]
+	out, in := e.g.out, e.g.in
+	db := row[b]
+	aff := uint64(1) << uint(b)
+	count := 1
+	wave := append(e.wave[:0], int32(b))
+	for head := 0; head < len(wave); head++ {
+		v := int(wave[head])
+		dv1 := row[v] + 1
+		m := out[v]
+		for m != 0 {
+			u := bits.TrailingZeros64(m)
+			m &= m - 1
+			if aff&(1<<uint(u)) != 0 || row[u] != dv1 {
+				continue
+			}
+			// u loses v as a shortest predecessor; it stays exact only
+			// if an unaffected predecessor at the same level remains.
+			alt := false
+			pm := in[u] &^ aff
+			for pm != 0 {
+				p := bits.TrailingZeros64(pm)
+				pm &= pm - 1
+				if row[p] == dv1-1 {
+					alt = true
+					break
+				}
+			}
+			if !alt {
+				aff |= 1 << uint(u)
+				count++
+				if count > maxAffectedRepair {
+					e.wave = wave[:0]
+					return false
+				}
+				wave = append(wave, int32(u))
+			}
+		}
+	}
+	e.wave = wave[:0]
+	e.journalRow(s)
+	// Phase 2: distances of affected vertices strictly grow, so
+	// re-level upward from b's old distance; a vertex settles at d once
+	// a settled or never-affected predecessor sits at d-1.
+	bit := uint64(1) << uint(s)
+	stride := n + 1
+	var changed uint64
+	var dTot int64
+	var dUnreach int32
+	rem := aff
+	for d := db + 1; rem != 0 && int(d) <= n; d++ {
+		var newly uint64
+		rm := rem
+		for rm != 0 {
+			u := bits.TrailingZeros64(rm)
+			rm &= rm - 1
+			pm := in[u] &^ rem
+			for pm != 0 {
+				p := bits.TrailingZeros64(pm)
+				pm &= pm - 1
+				if row[p] == d-1 {
+					newly |= 1 << uint(u)
+					break
+				}
+			}
+		}
+		if newly == 0 {
+			// Stagnation: when no remaining vertex has any reachable
+			// outside predecessor, the rest are unreachable.
+			anyExternal := false
+			for rm := rem; rm != 0 && !anyExternal; rm &= rm - 1 {
+				u := bits.TrailingZeros64(rm)
+				for pm := in[u] &^ rem; pm != 0; pm &= pm - 1 {
+					if row[bits.TrailingZeros64(pm)] >= 0 {
+						anyExternal = true
+						break
+					}
+				}
+			}
+			if !anyExternal {
+				break
+			}
+			continue
+		}
+		for nm := newly; nm != 0; nm &= nm - 1 {
+			u := bits.TrailingZeros64(nm)
+			od := row[u]
+			changed |= 1 << uint(u)
+			e.T[u*stride+int(od)] &^= bit
+			e.T[u*stride+int(d)] |= bit
+			dTot += int64(d - od)
+			row[u] = d
+		}
+		rem &^= newly
+	}
+	for ; rem != 0; rem &= rem - 1 {
+		u := bits.TrailingZeros64(rem)
+		od := row[u]
+		changed |= 1 << uint(u)
+		e.T[u*stride+int(od)] &^= bit
+		e.reach[u] &^= bit
+		dTot -= int64(od)
+		dUnreach++
+		row[u] = -1
+	}
+	e.noteChanged(s, changed)
+	e.srcTotal[s] += dTot
+	e.srcUnreach[s] += dUnreach
+	e.total += dTot
+	e.unreachable += int(dUnreach)
+	return true
+}
+
+// PeekRemove returns the number of sources whose distance rows would
+// change if link a->b were removed, without mutating any state. Callers
+// can veto a removal (e.g. an annealer rejecting on a delta lower
+// bound) without ever paying for the mutation and its rollback.
+func (e *Eval) PeekRemove(a, b int) int {
+	if a == b || !e.g.Has(a, b) {
+		return 0
+	}
+	e.flush()
+	n := e.n
+	if e.fastT {
+		stride := n + 1
+		ta := e.T[a*stride : a*stride+stride]
+		tb := e.T[b*stride : b*stride+stride]
+		pm := e.g.in[b] &^ (1 << uint(a))
+		var dirty, seen uint64
+		reachA := e.reach[a]
+		for d := 0; seen != reachA; d++ {
+			la := ta[d]
+			seen |= la
+			cand := la & tb[d+1]
+			if cand != 0 {
+				pp := pm
+				for pp != 0 && cand != 0 {
+					p := bits.TrailingZeros64(pp)
+					pp &= pp - 1
+					cand &^= e.T[p*stride+d]
+				}
+				dirty |= cand
+			}
+		}
+		return bits.OnesCount64(dirty)
+	}
+	e.preds = e.preds[:0]
+	e.g.InRow(b).ForEach(func(p int) {
+		if p != a {
+			e.preds = append(e.preds, int32(p))
+		}
+	})
+	dist, preds := e.dist, e.preds
+	count := 0
+	for s, base := 0, 0; s < n; s, base = s+1, base+n {
+		da := dist[base+a]
+		if da < 0 || dist[base+b] != da+1 {
+			continue
+		}
+		alt := false
+		for _, p := range preds {
+			if dist[base+int(p)] == da {
+				alt = true
+				break
+			}
+		}
+		if !alt {
+			count++
+		}
+	}
+	return count
+}
+
+// retuneT moves source s's transposed level-mask bits from the old row
+// to the new row and returns the mask of vertices whose distance
+// changed.
+func (e *Eval) retuneT(s int, old, new []int16) uint64 {
+	bit := uint64(1) << uint(s)
+	stride := e.n + 1
+	var changed uint64
+	for v := 0; v < e.n; v++ {
+		od, nd := old[v], new[v]
+		if od == nd {
+			continue
+		}
+		changed |= 1 << uint(v)
+		if od >= 0 {
+			e.T[v*stride+int(od)] &^= bit
+		}
+		if nd >= 0 {
+			e.T[v*stride+int(nd)] |= bit
+			if od < 0 {
+				e.reach[v] |= bit
+			}
+		} else {
+			e.reach[v] &^= bit
+		}
+	}
+	return changed
+}
+
+// cutCounters applies a link delta to every cut's crossing counters.
+func (e *Eval) cutCounters(a, b, delta int) {
+	for i := range e.cuts {
+		c := &e.cuts[i]
+		aIn, bIn := c.mask.Has(a), c.mask.Has(b)
+		if aIn == bIn {
+			continue
+		}
+		if aIn {
+			c.crossUV += delta
+		} else {
+			c.crossVU += delta
+		}
+	}
+}
+
+// journalRow saves source s's pre-transaction row and aggregates once
+// per transaction.
+func (e *Eval) journalRow(s int) {
+	if !e.inTxn || e.savedGen[s] == e.curGen {
+		return
+	}
+	e.savedGen[s] = e.curGen
+	n := e.n
+	var buf []int16
+	if len(e.rowPool) > 0 {
+		buf = e.rowPool[len(e.rowPool)-1]
+		e.rowPool = e.rowPool[:len(e.rowPool)-1]
+	} else {
+		buf = make([]int16, n)
+	}
+	copy(buf, e.dist[s*n:(s+1)*n])
+	save := rowSave{src: s, row: buf, total: e.srcTotal[s], unreach: e.srcUnreach[s]}
+	if e.w != nil {
+		save.wTotal = e.srcWTotal[s]
+		save.wUnreach = e.srcWUnreach[s]
+	}
+	e.savedIdx[s] = int32(len(e.rows))
+	e.rows = append(e.rows, save)
+}
+
+// noteChanged accumulates the changed-vertex mask on source s's journal
+// entry so Rollback can restore the transposed masks without a full
+// row diff.
+func (e *Eval) noteChanged(s int, mask uint64) {
+	if e.inTxn && e.savedGen[s] == e.curGen {
+		e.rows[e.savedIdx[s]].changed |= mask
+	}
+}
+
+// recompute re-runs the BFS for one dirty source and folds the row
+// delta into the aggregates, journaling the old row inside transactions.
+func (e *Eval) recompute(s int) {
+	n := e.n
+	if e.fastT && !e.trackDiameter && e.w == nil {
+		e.recomputeFast(s)
+		return
+	}
+	e.journalRow(s)
+	row := e.dist[s*n : (s+1)*n]
+	if !e.trackDiameter && e.w == nil {
+		// Multi-word fast path: the BFS itself produces the per-source
+		// aggregates.
+		total, reached := e.g.bfsRowStats(s, row, e.scratch)
+		unreach := int32(n - reached)
+		e.total += total - e.srcTotal[s]
+		e.unreachable += int(unreach - e.srcUnreach[s])
+		e.srcTotal[s] = total
+		e.srcUnreach[s] = unreach
+		return
+	}
+	copy(e.oldRow, row)
+	total, reached := e.g.bfsRowStats(s, row, e.scratch)
+	unreach := int32(n - reached)
+	var wTotal float64
+	var wUnreach int32
+	for v := 0; v < n; v++ {
+		if v == s {
+			continue
+		}
+		// Retire the old distance's histogram contribution in the same
+		// pass that applies the new one.
+		if e.trackDiameter {
+			if od := e.oldRow[v]; od > 0 {
+				e.histo[od]--
+			}
+		}
+		d := row[v]
+		if d < 0 {
+			if e.w != nil && e.w[s][v] > 0 {
+				wUnreach++
+			}
+			continue
+		}
+		if e.trackDiameter {
+			e.histo[d]++
+			if int(d) > e.maxDist {
+				e.maxDist = int(d)
+			}
+		}
+		if e.w != nil {
+			wTotal += e.w[s][v] * float64(d)
+		}
+	}
+	e.total += total - e.srcTotal[s]
+	e.unreachable += int(unreach - e.srcUnreach[s])
+	e.srcTotal[s] = total
+	e.srcUnreach[s] = unreach
+	if e.w != nil {
+		e.wTotal += wTotal - e.srcWTotal[s]
+		e.wUnreach += int(wUnreach - e.srcWUnreach[s])
+		e.srcWTotal[s] = wTotal
+		e.srcWUnreach[s] = wUnreach
+	}
+	if e.trackDiameter {
+		for e.maxDist > 0 && e.histo[e.maxDist] == 0 {
+			e.maxDist--
+		}
+	}
+	if e.fastT {
+		e.noteChanged(s, e.retuneT(s, e.oldRow, row))
+	}
+}
+
+// recomputeFast is recompute for single-word graphs without diameter or
+// weighted bookkeeping: one fused BFS pass rewrites only the distances
+// that changed, moving their transposed level-mask bits and journaling
+// the changed-vertex set as it goes.
+func (e *Eval) recomputeFast(s int) {
+	n := e.n
+	e.journalRow(s)
+	row := e.dist[s*n : (s+1)*n]
+	bit := uint64(1) << uint(s)
+	stride := n + 1
+	out := e.g.out
+	var changed uint64
+	var total int64
+	visited := uint64(1) << uint(s)
+	frontier := visited
+	d := int16(0)
+	for frontier != 0 {
+		var next uint64
+		f := frontier
+		for f != 0 {
+			u := bits.TrailingZeros64(f)
+			f &= f - 1
+			next |= out[u]
+		}
+		next &^= visited
+		if next == 0 {
+			break
+		}
+		d++
+		total += int64(d) * int64(bits.OnesCount64(next))
+		nf := next
+		for nf != 0 {
+			v := bits.TrailingZeros64(nf)
+			nf &= nf - 1
+			if od := row[v]; od != d {
+				changed |= 1 << uint(v)
+				if od >= 0 {
+					e.T[v*stride+int(od)] &^= bit
+				} else {
+					e.reach[v] |= bit
+				}
+				e.T[v*stride+int(d)] |= bit
+				row[v] = d
+			}
+		}
+		visited |= next
+		frontier = next
+	}
+	reached := bits.OnesCount64(visited)
+	// Vertices the BFS no longer reaches keep their old row entries;
+	// retire them.
+	for stale := e.g.full[0] &^ visited; stale != 0; stale &= stale - 1 {
+		v := bits.TrailingZeros64(stale)
+		if od := row[v]; od >= 0 {
+			changed |= 1 << uint(v)
+			e.T[v*stride+int(od)] &^= bit
+			e.reach[v] &^= bit
+			row[v] = -1
+		}
+	}
+	e.noteChanged(s, changed)
+	unreach := int32(n - reached)
+	e.total += total - e.srcTotal[s]
+	e.unreachable += int(unreach - e.srcUnreach[s])
+	e.srcTotal[s] = total
+	e.srcUnreach[s] = unreach
+}
+
+// CheckConsistency recomputes every aggregate from scratch and returns
+// an error describing the first mismatch (nil when the incremental
+// state is exact). Intended for tests and debugging.
+func (e *Eval) CheckConsistency() error {
+	e.flush()
+	total, unreach, diam := e.g.HopStats()
+	if total != e.total || unreach != e.unreachable || diam != e.Diameter() {
+		return fmt.Errorf("bitgraph: eval aggregates (%d,%d,%d) != recomputed (%d,%d,%d)",
+			e.total, e.unreachable, e.Diameter(), total, unreach, diam)
+	}
+	n := e.n
+	row := make([]int16, n)
+	scratch := newBFSScratch(n)
+	for s := 0; s < n; s++ {
+		e.g.bfsRow(s, row, scratch)
+		for v := 0; v < n; v++ {
+			if row[v] != e.dist[s*n+v] {
+				return fmt.Errorf("bitgraph: eval dist[%d][%d] = %d, recomputed %d",
+					s, v, e.dist[s*n+v], row[v])
+			}
+		}
+	}
+	if e.trackDiameter {
+		histo := make([]int64, n+1)
+		for s := 0; s < n; s++ {
+			for v := 0; v < n; v++ {
+				if d := e.dist[s*n+v]; d > 0 {
+					histo[d]++
+				}
+			}
+		}
+		for d := range histo {
+			if histo[d] != e.histo[d] {
+				return fmt.Errorf("bitgraph: eval histo[%d] = %d, recomputed %d",
+					d, e.histo[d], histo[d])
+			}
+		}
+	}
+	if e.fastT {
+		for s := 0; s < n; s++ {
+			bit := uint64(1) << uint(s)
+			for v := 0; v < n; v++ {
+				d := e.dist[s*n+v]
+				if (d >= 0) != (e.reach[v]&bit != 0) {
+					return fmt.Errorf("bitgraph: eval reach[%d] bit %d inconsistent with dist %d", v, s, d)
+				}
+				if d >= 0 && e.T[v*(n+1)+int(d)]&bit == 0 {
+					return fmt.Errorf("bitgraph: eval T[%d][%d] missing source %d", v, d, s)
+				}
+			}
+		}
+	}
+	for i := range e.cuts {
+		c := &e.cuts[i]
+		uv, vu := e.g.Cross(c.mask)
+		if uv != c.crossUV || vu != c.crossVU {
+			return fmt.Errorf("bitgraph: eval cut %d counters (%d,%d) != recomputed (%d,%d)",
+				i, c.crossUV, c.crossVU, uv, vu)
+		}
+	}
+	if e.w != nil {
+		wTotal, wUnreach := e.g.WeightedHops(e.w)
+		if math.Abs(wTotal-e.wTotal) > 1e-6*(1+math.Abs(wTotal)) || wUnreach != e.wUnreach {
+			return fmt.Errorf("bitgraph: eval weighted (%v,%d) != recomputed (%v,%d)",
+				e.wTotal, e.wUnreach, wTotal, wUnreach)
+		}
+	}
+	return nil
+}

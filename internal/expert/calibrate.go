@@ -228,32 +228,23 @@ func seedCycleSymmetric(s *bitgraph.Graph, g *layout.Grid) {
 
 // balancedCutPool returns balanced partitions for the bisection proxy:
 // geometric cuts that happen to be balanced plus random balanced masks.
-func balancedCutPool(g *layout.Grid, seed int64) []uint64 {
+func balancedCutPool(g *layout.Grid, seed int64) []bitgraph.Set {
 	n := g.N()
 	half := n / 2
-	var pool []uint64
+	var pool []bitgraph.Set
 	for _, m := range synth.GeometricCuts(g) {
-		if popcount(m) == half {
+		if m.Count() == half {
 			pool = append(pool, m)
 		}
 	}
 	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
 	for len(pool) < 96 {
 		perm := rng.Perm(n)
-		var m uint64
+		m := bitgraph.NewSet(n)
 		for i := 0; i < half; i++ {
-			m |= 1 << uint(perm[i])
+			m.Add(perm[i])
 		}
 		pool = append(pool, m)
 	}
 	return pool
-}
-
-func popcount(m uint64) int {
-	c := 0
-	for m != 0 {
-		m &= m - 1
-		c++
-	}
-	return c
 }

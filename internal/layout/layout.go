@@ -149,6 +149,10 @@ var (
 	Grid6x5 = NewGrid(6, 5)
 	// Grid8x6 is the paper's 48-router scalability configuration.
 	Grid8x6 = NewGrid(8, 6)
+	// Grid10x10 is a 100-router configuration beyond the paper's largest
+	// study, exercising the multi-word synthesis path (no 64-router
+	// cap).
+	Grid10x10 = NewGrid(10, 10)
 )
 
 // N returns the number of routers in the grid.

@@ -2,9 +2,24 @@ package synth
 
 import (
 	"math"
-	"math/bits"
 	"sort"
+	"sync"
+
+	"netsmith/internal/bitgraph"
+	"netsmith/internal/layout"
 )
+
+// boundKey identifies a bound computation; bounds are pure functions of
+// the grid shape, link class and radix, and synthesis sweeps evaluate
+// the same configuration many times, so results are memoized globally.
+type boundKey struct {
+	rows, cols int
+	class      layout.Class
+	radix      int
+	scop       bool
+}
+
+var boundMemo sync.Map // boundKey -> float64
 
 // latOpLowerBound computes a rigorous lower bound on the total hop count
 // achievable under the config's constraints, combining two arguments:
@@ -20,6 +35,21 @@ import (
 // smallest true distance must dominate both, and the element-wise max is a
 // valid per-source bound.
 func latOpLowerBound(cfg Config) float64 {
+	if cfg.Objective != Weighted {
+		// The weighted variant depends on the demand matrix and is not
+		// memoized.
+		key := boundKey{cfg.Grid.Rows, cfg.Grid.Cols, cfg.Class, cfg.Radix, false}
+		if v, ok := boundMemo.Load(key); ok {
+			return v.(float64)
+		}
+		v := latOpLowerBoundCompute(cfg)
+		boundMemo.Store(key, v)
+		return v
+	}
+	return latOpLowerBoundCompute(cfg)
+}
+
+func latOpLowerBoundCompute(cfg Config) float64 {
 	n := cfg.Grid.N()
 	dFull := fullValidDistances(cfg)
 	moore := mooreDistances(n, cfg.Radix)
@@ -79,45 +109,32 @@ func mooreDistances(n, radix int) []int {
 	return out
 }
 
+// validGraph builds the graph containing every candidate link in the
+// class's valid set L.
+func validGraph(cfg Config) *bitgraph.Graph {
+	g := bitgraph.New(cfg.Grid.N())
+	for _, l := range cfg.Grid.ValidLinks(cfg.Class) {
+		g.Add(l.From, l.To)
+	}
+	return g
+}
+
 // fullValidDistances runs APSP over the graph containing every candidate
-// link in the class's valid set L.
+// link in the class's valid set L. Unreachable pairs get MaxInt32.
 func fullValidDistances(cfg Config) [][]int {
 	n := cfg.Grid.N()
-	out := make([]uint64, n)
-	for _, l := range cfg.Grid.ValidLinks(cfg.Class) {
-		out[l.From] |= 1 << uint(l.To)
-	}
+	g := validGraph(cfg)
+	row16 := make([]int16, n)
 	dist := make([][]int, n)
 	for s := 0; s < n; s++ {
+		g.BFSRow(s, row16)
 		row := make([]int, n)
-		for i := range row {
-			row[i] = math.MaxInt32
-		}
-		row[s] = 0
-		visited := uint64(1) << uint(s)
-		frontier := visited
-		d := 0
-		for frontier != 0 {
-			var next uint64
-			f := frontier
-			for f != 0 {
-				u := bits.TrailingZeros64(f)
-				f &= f - 1
-				next |= out[u]
+		for i, d := range row16 {
+			if d < 0 {
+				row[i] = math.MaxInt32
+			} else {
+				row[i] = int(d)
 			}
-			next &^= visited
-			if next == 0 {
-				break
-			}
-			d++
-			nf := next
-			for nf != 0 {
-				v := bits.TrailingZeros64(nf)
-				nf &= nf - 1
-				row[v] = d
-			}
-			visited |= next
-			frontier = next
 		}
 		dist[s] = row
 	}
@@ -132,26 +149,29 @@ func fullValidDistances(cfg Config) [][]int {
 // single partition. Geometric cuts (row/column prefixes, quadrant) are
 // evaluated — they are the structural bottlenecks of grid layouts.
 func scOpUpperBound(cfg Config) float64 {
-	n := cfg.Grid.N()
-	validOut := make([]uint64, n)
-	validIn := make([]uint64, n)
-	for _, l := range cfg.Grid.ValidLinks(cfg.Class) {
-		validOut[l.From] |= 1 << uint(l.To)
-		validIn[l.To] |= 1 << uint(l.From)
+	key := boundKey{cfg.Grid.Rows, cfg.Grid.Cols, cfg.Class, cfg.Radix, true}
+	if v, ok := boundMemo.Load(key); ok {
+		return v.(float64)
 	}
-	full := uint64(1)<<uint(n) - 1
+	v := scOpUpperBoundCompute(cfg)
+	boundMemo.Store(key, v)
+	return v
+}
+
+func scOpUpperBoundCompute(cfg Config) float64 {
+	n := cfg.Grid.N()
+	valid := validGraph(cfg)
 	e := newEvaluator(cfg)
 	best := math.Inf(1)
 	for _, uMask := range e.cutPool {
-		uMask &= full
-		vMask := full &^ uMask
-		sizeU := bits.OnesCount64(uMask)
+		vMask := uMask.ComplementWithin(valid.Full())
+		sizeU := uMask.Count()
 		sizeV := n - sizeU
 		if sizeU == 0 || sizeV == 0 {
 			continue
 		}
-		maxUV := dirCapacity(uMask, vMask, validOut, validIn, cfg.Radix)
-		maxVU := dirCapacity(vMask, uMask, validOut, validIn, cfg.Radix)
+		maxUV := dirCapacity(uMask, vMask, valid, cfg.Radix)
+		maxVU := dirCapacity(vMask, uMask, valid, cfg.Radix)
 		m := maxUV
 		if maxVU < m {
 			m = maxVU
@@ -166,29 +186,23 @@ func scOpUpperBound(cfg Config) float64 {
 
 // dirCapacity bounds the number of links that can cross from partition u
 // to partition v given per-router radix and the valid link set.
-func dirCapacity(uMask, vMask uint64, validOut, validIn []uint64, radix int) int {
+func dirCapacity(u, v bitgraph.Set, valid *bitgraph.Graph, radix int) int {
 	fromSide := 0
-	rem := uMask
-	for rem != 0 {
-		a := bits.TrailingZeros64(rem)
-		rem &= rem - 1
-		c := bits.OnesCount64(validOut[a] & vMask)
+	u.ForEach(func(a int) {
+		c := bitgraph.AndCount(valid.OutRow(a), v)
 		if c > radix {
 			c = radix
 		}
 		fromSide += c
-	}
+	})
 	toSide := 0
-	rem = vMask
-	for rem != 0 {
-		b := bits.TrailingZeros64(rem)
-		rem &= rem - 1
-		c := bits.OnesCount64(validIn[b] & uMask)
+	v.ForEach(func(b int) {
+		c := bitgraph.AndCount(valid.InRow(b), u)
 		if c > radix {
 			c = radix
 		}
 		toSide += c
-	}
+	})
 	if toSide < fromSide {
 		return toSide
 	}

@@ -1,35 +1,39 @@
 package synth
 
-import "netsmith/internal/layout"
+import (
+	"netsmith/internal/bitgraph"
+	"netsmith/internal/layout"
+)
 
 // GeometricCuts returns the structural bottleneck partitions of a grid
 // layout: column prefixes, row prefixes and one quadrant cut. These seed
 // the lazy cut pool for SCOp synthesis and serve as the balanced-cut
 // candidates for baseline calibration.
-func GeometricCuts(g *layout.Grid) []uint64 {
-	var pool []uint64
+func GeometricCuts(g *layout.Grid) []bitgraph.Set {
+	n := g.N()
+	var pool []bitgraph.Set
 	for c := 0; c < g.Cols-1; c++ {
-		var m uint64
+		m := bitgraph.NewSet(n)
 		for row := 0; row < g.Rows; row++ {
 			for col := 0; col <= c; col++ {
-				m |= 1 << uint(g.Router(row, col))
+				m.Add(g.Router(row, col))
 			}
 		}
 		pool = append(pool, m)
 	}
 	for r := 0; r < g.Rows-1; r++ {
-		var m uint64
+		m := bitgraph.NewSet(n)
 		for row := 0; row <= r; row++ {
 			for col := 0; col < g.Cols; col++ {
-				m |= 1 << uint(g.Router(row, col))
+				m.Add(g.Router(row, col))
 			}
 		}
 		pool = append(pool, m)
 	}
-	var quad uint64
+	quad := bitgraph.NewSet(n)
 	for row := 0; row < (g.Rows+1)/2; row++ {
 		for col := 0; col < (g.Cols+1)/2; col++ {
-			quad |= 1 << uint(g.Router(row, col))
+			quad.Add(g.Router(row, col))
 		}
 	}
 	pool = append(pool, quad)

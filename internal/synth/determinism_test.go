@@ -1,0 +1,210 @@
+package synth
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"netsmith/internal/bitgraph"
+	"netsmith/internal/layout"
+)
+
+// traceValues renders the scheduling-independent part of a progress
+// trace (Elapsed is wall-clock and excluded).
+func traceValues(res *Result) string {
+	out := ""
+	for _, p := range res.Trace {
+		out += fmt.Sprintf("%.17g/%.17g/%.17g;", p.Incumbent, p.Bound, p.Gap)
+	}
+	return out
+}
+
+// Fixed-restart Generate must be a pure function of its Config: the
+// parallel restarts derive their RNG streams from (Seed, restart index)
+// alone and merge by (score, restart index), so the topology is
+// identical across runs and across GOMAXPROCS settings.
+func TestGenerateDeterministicAcrossRuns(t *testing.T) {
+	for _, obj := range []Objective{LatOp, SCOp} {
+		cfg := quickCfg(layout.Grid4x5, layout.Medium, obj)
+		cfg.Iterations = 4000
+		cfg.Restarts = 3
+		first, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 2; run++ {
+			again, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := again.Topology.CanonicalLinkList(), first.Topology.CanonicalLinkList(); got != want {
+				t.Fatalf("%v: run %d produced a different topology", obj, run)
+			}
+			if again.Objective != first.Objective {
+				t.Fatalf("%v: objective %v != %v across runs", obj, again.Objective, first.Objective)
+			}
+			if got, want := traceValues(again), traceValues(first); got != want {
+				t.Fatalf("%v: run %d produced a different progress trace:\n%s\nvs\n%s", obj, run, got, want)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, obj := range []Objective{LatOp, SCOp} {
+		cfg := quickCfg(layout.Grid4x5, layout.Medium, obj)
+		cfg.Iterations = 4000
+		cfg.Restarts = 4
+		var want, wantTrace string
+		for _, procs := range []int{1, 4, 2} {
+			runtime.GOMAXPROCS(procs)
+			res, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			canon := res.Topology.CanonicalLinkList()
+			trace := traceValues(res)
+			if want == "" {
+				want, wantTrace = canon, trace
+			} else if canon != want {
+				t.Fatalf("%v: GOMAXPROCS=%d produced a different topology", obj, procs)
+			} else if trace != wantTrace {
+				t.Fatalf("%v: GOMAXPROCS=%d produced a different progress trace", obj, procs)
+			}
+		}
+	}
+}
+
+// The incremental score must be bit-identical to a from-scratch
+// recomputation at any point of a randomized mutate/commit/rollback
+// sequence, for every objective and constraint combination — this is
+// what lets the annealer trust delta queries outright.
+func TestIncrementalScoreMatchesRecompute(t *testing.T) {
+	n4x5 := layout.Grid4x5.N()
+	shuffle := make([][]float64, n4x5)
+	for i := range shuffle {
+		shuffle[i] = make([]float64, n4x5)
+		shuffle[i][(2*i+3)%n4x5] = 1.5
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"latop", Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: LatOp, Radix: 4}},
+		{"scop", Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: SCOp, Radix: 4}},
+		{"diameter", Config{Grid: layout.NewGrid(3, 4), Class: layout.Large, Objective: LatOp, Radix: 3, MaxDiameter: 5}},
+		{"mincut", Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: LatOp, Radix: 4, MinCutBW: 0.06}},
+		{"weighted", Config{Grid: layout.Grid4x5, Class: layout.Large, Objective: Weighted, Radix: 4, Weights: shuffle}},
+		{"symmetric", Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: LatOp, Radix: 4, Symmetric: true}},
+		{"multiword", Config{Grid: layout.NewGrid(9, 9), Class: layout.Medium, Objective: LatOp, Radix: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := (&tc.cfg).withDefaults()
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := newAnnealer(cfg)
+			rng := newFastRand(7)
+			state := stateFromTopology(seedTopology(cfg))
+			a.fillRandom(state, rng)
+			ctx := a.newSearchCtx(state)
+			steps := 400
+			if cfg.Grid.N() > 64 {
+				steps = 120
+			}
+			for i := 0; i < steps; i++ {
+				mv, ok := ctx.propose(rng)
+				if !ok {
+					continue
+				}
+				if mv.kind == moveAdd {
+					ctx.doAdd(mv.af, mv.at)
+				} else {
+					ctx.begin()
+					if mv.kind == moveSwap {
+						ctx.doAdd(mv.af, mv.at)
+					}
+					ctx.doRemove(mv.rf, mv.rt)
+					if rng.Float64() < 0.5 {
+						ctx.commit()
+					} else {
+						ctx.rollback()
+					}
+				}
+				if i%20 != 0 {
+					continue
+				}
+				got := ctx.score()
+				want := a.eval.fullScore(ctx.ev.Graph())
+				if got != want {
+					t.Fatalf("step %d: incremental score %v != recomputed %v", i, got, want)
+				}
+				if err := ctx.ev.CheckConsistency(); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// Regression for the complement-dedup bug: addCut used to compare a
+// candidate against ^mask over all 64 bits instead of the complement
+// within the n-node universe, so complementary cuts were never
+// deduplicated.
+func TestAddCutComplementDedup(t *testing.T) {
+	cfg, err := (&Config{Grid: layout.Grid4x5, Class: layout.Medium}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEvaluator(cfg)
+	n0 := len(e.cutPool)
+	if n0 == 0 {
+		t.Fatal("geometric cut pool is empty")
+	}
+	m := e.cutPool[0]
+	if e.addCut(m) {
+		t.Error("identical cut must not grow the pool")
+	}
+	comp := m.ComplementWithin(bitgraph.FullSet(cfg.Grid.N()))
+	if e.addCut(comp) {
+		t.Error("complement-within-n cut describes the same partition and must be deduplicated")
+	}
+	if len(e.cutPool) != n0 {
+		t.Fatalf("pool grew from %d to %d", n0, len(e.cutPool))
+	}
+	fresh := bitgraph.SetOf(cfg.Grid.N(), 0, 7, 13)
+	if !e.addCut(fresh) {
+		t.Error("genuinely new cut must grow the pool")
+	}
+}
+
+// A 100-router grid must synthesize end to end through Generate: the
+// multi-word bitset path has no 64-router cap.
+func TestGenerate100RoutersEndToEnd(t *testing.T) {
+	cfg := Config{Grid: layout.Grid10x10, Class: layout.Medium, Objective: LatOp,
+		Radix: 4, Seed: 2, Iterations: 2500, Restarts: 1}
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := res.Topology
+	if tp.N() != 100 {
+		t.Fatalf("expected 100 routers, got %d", tp.N())
+	}
+	if !tp.IsConnected() {
+		t.Fatal("100-router topology disconnected")
+	}
+	if !tp.RespectsRadix(4) || !tp.RespectsLinkLengths() {
+		t.Fatal("100-router topology violates constraints")
+	}
+	// Even a quick run must beat the 10x10 mesh (avg 6.67).
+	if avg := tp.AverageHops(); avg >= 6.0 {
+		t.Errorf("100-router avg hops %.3f not better than mesh-like 6.0", avg)
+	}
+	if res.Bound <= 0 || res.Gap < 0 || res.Gap > 1 {
+		t.Errorf("bound/gap not sane: bound=%v gap=%v", res.Bound, res.Gap)
+	}
+}

@@ -16,9 +16,47 @@ const (
 	scopeCutScale       = 1e6 // SCOp: bandwidth dominates hop tiebreak
 )
 
-// score scalarizes the objective plus constraint penalties; lower is
-// better for every objective.
-func (e *evaluator) score(s *bitgraph.Graph) float64 {
+// evaluator bundles the config with the lazy cut pool. It is shared
+// read-only by concurrent restarts; the pool only grows between
+// annealing phases (SCOp row generation).
+type evaluator struct {
+	cfg     Config
+	full    bitgraph.Set
+	cutPool []bitgraph.Set
+}
+
+// newEvaluator seeds the cut pool with geometric cuts (row and column
+// prefixes): these are the bottleneck candidates on grid layouts, and the
+// pool grows lazily as the exact separation oracle finds sparser cuts.
+func newEvaluator(cfg Config) *evaluator {
+	return &evaluator{
+		cfg:     cfg,
+		full:    bitgraph.FullSet(cfg.Grid.N()),
+		cutPool: GeometricCuts(cfg.Grid),
+	}
+}
+
+// addCut registers a new separating cut if not already present. A cut
+// equals an existing pool entry when the partition sets match or when
+// one is the other's complement within the n-node universe (both
+// describe the same two-way partition; bitgraph.SamePartition is the
+// shared definition). Returns true if the pool grew.
+func (e *evaluator) addCut(mask bitgraph.Set) bool {
+	for _, m := range e.cutPool {
+		if bitgraph.SamePartition(m, mask, e.full) {
+			return false
+		}
+	}
+	e.cutPool = append(e.cutPool, mask.Clone())
+	return true
+}
+
+// fullScore scalarizes the objective plus constraint penalties with a
+// from-scratch recompute; lower is better for every objective. The
+// annealing hot path uses searchCtx.score (the incremental equivalent);
+// fullScore re-scores incumbents after pool growth and anchors the
+// incremental/recompute cross-check tests.
+func (e *evaluator) fullScore(s *bitgraph.Graph) float64 {
 	total, unreachable, diam := s.HopStats()
 	v := float64(unreachable) * penaltyDisconnected
 	if e.cfg.MaxDiameter > 0 && diam > e.cfg.MaxDiameter && unreachable == 0 {
@@ -43,29 +81,35 @@ func (e *evaluator) score(s *bitgraph.Graph) float64 {
 	return v
 }
 
-// evaluator bundles the config with the lazy cut pool.
-type evaluator struct {
-	cfg     Config
-	cutPool []uint64
-}
-
-// newEvaluator seeds the cut pool with geometric cuts (row and column
-// prefixes): these are the bottleneck candidates on grid layouts, and the
-// pool grows lazily as the exact separation oracle finds sparser cuts.
-func newEvaluator(cfg Config) *evaluator {
-	e := &evaluator{cfg: cfg}
-	e.cutPool = GeometricCuts(cfg.Grid)
-	return e
-}
-
-// addCut registers a new separating cut if not already present. Returns
-// true if the pool grew.
-func (e *evaluator) addCut(mask uint64) bool {
-	for _, m := range e.cutPool {
-		if m == mask || m == (^mask) {
-			return false
+// score is the incremental counterpart of evaluator.fullScore, reading
+// the aggregates maintained by the search context's bitgraph.Eval. It
+// must stay bit-identical to fullScore on the same state (pinned by
+// TestIncrementalScoreMatchesRecompute).
+func (c *searchCtx) score() float64 {
+	cfg := &c.a.cfg
+	ev := c.ev
+	unreachable := ev.Unreachable()
+	v := float64(unreachable) * penaltyDisconnected
+	if cfg.MaxDiameter > 0 && unreachable == 0 {
+		if diam := ev.Diameter(); diam > cfg.MaxDiameter {
+			v += float64(diam-cfg.MaxDiameter) * penaltyDiameter
 		}
 	}
-	e.cutPool = append(e.cutPool, mask)
-	return true
+	poolBW := math.Inf(1)
+	if cfg.Objective == SCOp || cfg.MinCutBW > 0 {
+		poolBW = ev.PoolMin()
+	}
+	if cfg.MinCutBW > 0 && poolBW < cfg.MinCutBW {
+		v += (cfg.MinCutBW - poolBW) * penaltyMinCut
+	}
+	switch cfg.Objective {
+	case LatOp:
+		v += float64(ev.Total())
+	case SCOp:
+		v += -poolBW*scopeCutScale + float64(ev.Total())
+	case Weighted:
+		wt, wUnreach := ev.WeightedTotal()
+		v += wt + float64(wUnreach)*penaltyDisconnected
+	}
+	return v
 }

@@ -1,0 +1,47 @@
+package synth
+
+import "math/bits"
+
+// fastRand is a small deterministic PRNG (splitmix64 with Lemire bounded
+// sampling) for the annealing hot loop. After the evaluator became
+// incremental, math/rand's modulo-rejection Int31n was a measurable
+// fraction of an iteration; splitmix64 passes BigCrush and costs a few
+// arithmetic ops per draw. Sequences depend only on the seed, preserving
+// run-to-run determinism.
+type fastRand struct{ s uint64 }
+
+func newFastRand(seed int64) *fastRand {
+	r := &fastRand{s: uint64(seed)}
+	r.next() // decorrelate adjacent seeds
+	return r
+}
+
+func (r *fastRand) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n) via Lemire's multiply-shift.
+func (r *fastRand) Intn(n int) int {
+	hi, _ := bits.Mul64(r.next(), uint64(n))
+	return int(hi)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *fastRand) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *fastRand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -107,11 +107,19 @@ type Config struct {
 
 // ProgressPoint is one sample of solver progress, used to reproduce the
 // paper's Figure 5 (objective bounds gap vs. time).
+//
+// Gap is the relative objective-bounds gap, clamped to [0, 1], with a
+// per-objective formula matching the optimization direction:
+//
+//   - LatOp / Weighted (minimization, lower bound):
+//     (incumbent - bound) / incumbent, or 0 when incumbent <= 0;
+//   - SCOp (maximization, upper bound):
+//     (bound - incumbent) / bound, or 0 when bound <= 0.
 type ProgressPoint struct {
 	Elapsed   time.Duration
 	Incumbent float64 // current best objective (total hops for LatOp)
 	Bound     float64 // best known bound (lower for LatOp, upper for SCOp)
-	Gap       float64 // |incumbent-bound| / max(|incumbent|, tiny)
+	Gap       float64 // relative objective-bounds gap; see above
 }
 
 // Result is the outcome of a synthesis run.

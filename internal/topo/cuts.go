@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
+
+	"netsmith/internal/bitgraph"
 )
 
 // ExactCutLimit is the largest router count for which cut metrics are
@@ -14,9 +16,9 @@ const ExactCutLimit = 24
 
 // Cut describes a two-way partition of the routers and its bandwidth.
 type Cut struct {
-	// UMask has bit r set when router r is in partition U; V is the
-	// complement.
-	UMask uint64
+	// U holds the routers in partition U; V is the complement. Networks
+	// beyond 64 routers are supported (U is a multi-word bitset).
+	U bitgraph.Set
 	// CrossUV and CrossVU count directed links from U to V and V to U.
 	CrossUV, CrossVU int
 	// Bandwidth is the paper's B(U,V): min-direction crossings divided by
@@ -25,56 +27,51 @@ type Cut struct {
 	Bandwidth float64
 }
 
-// Size returns |U| for an n-router topology.
-func (c Cut) Size(n int) int { return bits.OnesCount64(c.UMask & ((1 << uint(n)) - 1)) }
+// Size returns |U|.
+func (c Cut) Size() int { return c.U.Count() }
 
-// outMasks returns, for each router, the bitmask of its out-neighbors.
+// bitGraph returns the cached bitset view of the topology.
+func (t *Topology) bitGraph() *bitgraph.Graph {
+	t.refresh()
+	return t.bg
+}
+
+// outMasks returns, for each router, the single-word bitmask of its
+// out-neighbors; callers must guarantee n <= 64 (the exhaustive paths,
+// gated on ExactCutLimit, do).
 func (t *Topology) outMasks() []uint64 {
-	t.refresh()
+	bg := t.bitGraph()
 	masks := make([]uint64, t.n)
 	for a := 0; a < t.n; a++ {
-		var m uint64
-		for _, b := range t.out[a] {
-			m |= 1 << uint(b)
-		}
-		masks[a] = m
+		masks[a] = bg.OutRow(a)[0]
 	}
 	return masks
 }
 
-// inMasks returns, for each router, the bitmask of its in-neighbors.
+// inMasks returns, for each router, the single-word bitmask of its
+// in-neighbors (n <= 64 only, as for outMasks).
 func (t *Topology) inMasks() []uint64 {
-	t.refresh()
+	bg := t.bitGraph()
 	masks := make([]uint64, t.n)
 	for a := 0; a < t.n; a++ {
-		var m uint64
-		for _, b := range t.in[a] {
-			m |= 1 << uint(b)
-		}
-		masks[a] = m
+		masks[a] = bg.InRow(a)[0]
 	}
 	return masks
 }
 
-// EvaluateCut computes the cut defined by uMask (partition U) against its
-// complement.
-func (t *Topology) EvaluateCut(uMask uint64) Cut {
-	n := t.n
-	full := uint64(1)<<uint(n) - 1
-	uMask &= full
-	vMask := full &^ uMask
-	out := t.outMasks()
-	crossUV, crossVU := 0, 0
-	for a := 0; a < n; a++ {
-		bit := uint64(1) << uint(a)
-		if uMask&bit != 0 {
-			crossUV += bits.OnesCount64(out[a] & vMask)
-		} else {
-			crossVU += bits.OnesCount64(out[a] & uMask)
-		}
+// EvaluateCut computes the cut defined by u (partition U) against its
+// complement. The set must have been created for this topology's router
+// count.
+func (t *Topology) EvaluateCut(u bitgraph.Set) Cut {
+	bg := t.bitGraph()
+	uc := u.Clone()
+	full := bg.Full()
+	for i := range uc {
+		uc[i] &= full[i]
 	}
-	sizeU := bits.OnesCount64(uMask)
-	sizeV := n - sizeU
+	crossUV, crossVU := bg.Cross(uc)
+	sizeU := uc.Count()
+	sizeV := t.n - sizeU
 	bw := math.Inf(1)
 	if sizeU > 0 && sizeV > 0 {
 		minCross := crossUV
@@ -83,7 +80,13 @@ func (t *Topology) EvaluateCut(uMask uint64) Cut {
 		}
 		bw = float64(minCross) / float64(sizeU*sizeV)
 	}
-	return Cut{UMask: uMask, CrossUV: crossUV, CrossVU: crossVU, Bandwidth: bw}
+	return Cut{U: uc, CrossUV: crossUV, CrossVU: crossVU, Bandwidth: bw}
+}
+
+// EvaluateCutMask is EvaluateCut for a single-word partition mask
+// (convenience for networks of at most 64 routers).
+func (t *Topology) EvaluateCutMask(uMask uint64) Cut {
+	return t.EvaluateCut(bitgraph.MaskSet(t.n, uMask))
 }
 
 // SparsestCut returns the cut minimizing B(U,V) = minCross/(|U||V|) over
@@ -103,7 +106,9 @@ func (t *Topology) exactSparsestCut() Cut {
 	out := t.outMasks()
 	in := t.inMasks()
 	full := uint64(1)<<uint(n) - 1
-	best := Cut{Bandwidth: math.Inf(1)}
+	bestBW := math.Inf(1)
+	var bestMask uint64
+	bestUV, bestVU := 0, 0
 	// Enumerate subsets S of routers {1..n-1}; U = S | {0}.
 	limit := uint64(1) << uint(n-1)
 	for s := uint64(0); s < limit; s++ {
@@ -127,11 +132,13 @@ func (t *Topology) exactSparsestCut() Cut {
 			minCross = crossVU
 		}
 		bw := float64(minCross) / float64(sizeU*sizeV)
-		if bw < best.Bandwidth {
-			best = Cut{UMask: uMask, CrossUV: crossUV, CrossVU: crossVU, Bandwidth: bw}
+		if bw < bestBW {
+			bestBW = bw
+			bestMask = uMask
+			bestUV, bestVU = crossUV, crossVU
 		}
 	}
-	return best
+	return Cut{U: bitgraph.MaskSet(n, bestMask), CrossUV: bestUV, CrossVU: bestVU, Bandwidth: bestBW}
 }
 
 // HeuristicSparsestCut searches for a low-bandwidth cut using restarts of
@@ -141,12 +148,12 @@ func (t *Topology) exactSparsestCut() Cut {
 func (t *Topology) HeuristicSparsestCut(restarts int, rng *rand.Rand) Cut {
 	n := t.n
 	best := Cut{Bandwidth: math.Inf(1)}
-	consider := func(mask uint64) {
+	consider := func(mask bitgraph.Set) {
 		c := t.EvaluateCut(mask)
-		if c.Size(n) == 0 || c.Size(n) == n {
+		if s := c.Size(); s == 0 || s == n {
 			return
 		}
-		c = t.localImproveCut(c.UMask)
+		c = t.localImproveCut(c.U)
 		if c.Bandwidth < best.Bandwidth {
 			best = c
 		}
@@ -154,17 +161,17 @@ func (t *Topology) HeuristicSparsestCut(restarts int, rng *rand.Rand) Cut {
 	// Fiedler sweep seed: order routers by approximate second Laplacian
 	// eigenvector, try every prefix cut.
 	order := t.fiedlerOrder()
-	var mask uint64
+	mask := bitgraph.NewSet(n)
 	for i := 0; i < n-1; i++ {
-		mask |= 1 << uint(order[i])
+		mask.Add(order[i])
 		consider(mask)
 	}
 	// Random restarts.
 	for r := 0; r < restarts; r++ {
-		var m uint64
+		m := bitgraph.NewSet(n)
 		for v := 0; v < n; v++ {
 			if rng.Intn(2) == 0 {
-				m |= 1 << uint(v)
+				m.Add(v)
 			}
 		}
 		consider(m)
@@ -174,21 +181,22 @@ func (t *Topology) HeuristicSparsestCut(restarts int, rng *rand.Rand) Cut {
 
 // localImproveCut greedily moves single routers across the cut while the
 // bandwidth decreases.
-func (t *Topology) localImproveCut(uMask uint64) Cut {
+func (t *Topology) localImproveCut(u bitgraph.Set) Cut {
 	n := t.n
-	cur := t.EvaluateCut(uMask)
+	cur := t.EvaluateCut(u)
+	work := cur.U.Clone()
 	improved := true
 	for improved {
 		improved = false
 		for v := 0; v < n; v++ {
-			next := t.EvaluateCut(cur.UMask ^ (1 << uint(v)))
-			if s := next.Size(n); s == 0 || s == n {
+			work.Flip(v)
+			next := t.EvaluateCut(work)
+			if s := next.Size(); s == 0 || s == n || next.Bandwidth >= cur.Bandwidth {
+				work.Flip(v) // revert
 				continue
 			}
-			if next.Bandwidth < cur.Bandwidth {
-				cur = next
-				improved = true
-			}
+			cur = next
+			improved = true
 		}
 	}
 	return cur
@@ -281,9 +289,9 @@ func (t *Topology) BisectionBandwidth() int {
 	return bw
 }
 
-// BisectionCut returns a minimizing balanced partition mask along with
-// its min-direction crossing count (the bisection bandwidth).
-func (t *Topology) BisectionCut() (uint64, int) {
+// BisectionCut returns a minimizing balanced partition along with its
+// min-direction crossing count (the bisection bandwidth).
+func (t *Topology) BisectionCut() (bitgraph.Set, int) {
 	n := t.n
 	half := n / 2
 	if n <= ExactCutLimit {
@@ -326,69 +334,62 @@ func (t *Topology) BisectionCut() (uint64, int) {
 		if n%2 == 1 {
 			rec(1, half, 0)
 		}
-		return bestMask, best
+		return bitgraph.MaskSet(n, bestMask), best
 	}
 	// Heuristic: balanced KL restarts.
+	bg := t.bitGraph()
 	rng := rand.New(rand.NewSource(7))
 	best := math.MaxInt32
-	var bestMask uint64
-	order := t.fiedlerOrder()
-	evalBalanced := func(uMask uint64) {
-		c := t.EvaluateCut(uMask)
-		cr := c.CrossUV
-		if c.CrossVU < cr {
-			cr = c.CrossVU
-		}
-		if cr < best {
+	var bestSet bitgraph.Set
+	evalBalanced := func(u bitgraph.Set) {
+		if cr := bg.MinCross(u); cr < best {
 			best = cr
-			bestMask = uMask
+			bestSet = u.Clone()
 		}
 	}
-	var m uint64
+	order := t.fiedlerOrder()
+	m := bitgraph.NewSet(n)
 	for i := 0; i < half; i++ {
-		m |= 1 << uint(order[i])
+		m.Add(order[i])
 	}
 	evalBalanced(m)
 	for r := 0; r < 200; r++ {
 		perm := rng.Perm(n)
-		var mask uint64
+		cur := bitgraph.NewSet(n)
 		for i := 0; i < half; i++ {
-			mask |= 1 << uint(perm[i])
+			cur.Add(perm[i])
 		}
 		// Greedy swap improvement preserving balance.
-		cur := mask
 		improved := true
 		for improved {
 			improved = false
-			bestMask, bestVal := cur, crossOf(t, cur)
+			curVal := bg.MinCross(cur)
+			bestVal := curVal
+			bestA, bestB := -1, -1
 			for a := 0; a < n; a++ {
-				if cur&(1<<uint(a)) == 0 {
+				if !cur.Has(a) {
 					continue
 				}
 				for b := 0; b < n; b++ {
-					if cur&(1<<uint(b)) != 0 {
+					if cur.Has(b) {
 						continue
 					}
-					cand := cur ^ (1 << uint(a)) ^ (1 << uint(b))
-					if v := crossOf(t, cand); v < bestVal {
-						bestVal, bestMask = v, cand
+					cur.Flip(a)
+					cur.Flip(b)
+					if v := bg.MinCross(cur); v < bestVal {
+						bestVal, bestA, bestB = v, a, b
 					}
+					cur.Flip(a)
+					cur.Flip(b)
 				}
 			}
-			if bestMask != cur {
-				cur = bestMask
+			if bestA >= 0 {
+				cur.Flip(bestA)
+				cur.Flip(bestB)
 				improved = true
 			}
 		}
 		evalBalanced(cur)
 	}
-	return bestMask, best
-}
-
-func crossOf(t *Topology, uMask uint64) int {
-	c := t.EvaluateCut(uMask)
-	if c.CrossVU < c.CrossUV {
-		return c.CrossVU
-	}
-	return c.CrossUV
+	return bestSet, best
 }

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"netsmith/internal/bitgraph"
 	"netsmith/internal/layout"
 )
 
@@ -25,11 +26,12 @@ type Topology struct {
 	n     int
 	adj   [][]bool
 	// out and in cache adjacency lists; linkList and linkID cache the
-	// dense directed-link numbering. All are rebuilt lazily after
-	// mutation.
+	// dense directed-link numbering; bg caches the bitset view used by
+	// the cut metrics. All are rebuilt lazily after mutation.
 	out, in  [][]int
 	linkList []layout.Link
 	linkID   []int32 // n*n lookup, -1 for absent links
+	bg       *bitgraph.Graph
 	dirty    bool
 }
 
@@ -150,6 +152,7 @@ func (t *Topology) refresh() {
 	if t.linkID == nil {
 		t.linkID = make([]int32, t.n*t.n)
 	}
+	t.bg = bitgraph.New(t.n)
 	for a := 0; a < t.n; a++ {
 		for b := 0; b < t.n; b++ {
 			if t.adj[a][b] {
@@ -157,6 +160,7 @@ func (t *Topology) refresh() {
 				t.in[b] = append(t.in[b], a)
 				t.linkID[a*t.n+b] = int32(len(t.linkList))
 				t.linkList = append(t.linkList, layout.Link{From: a, To: b})
+				t.bg.Add(a, b)
 			} else {
 				t.linkID[a*t.n+b] = -1
 			}

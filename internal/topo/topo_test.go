@@ -223,7 +223,7 @@ func TestEvaluateCutMesh(t *testing.T) {
 			mask |= 1 << uint(tp.Grid.Router(r, c))
 		}
 	}
-	cut := tp.EvaluateCut(mask)
+	cut := tp.EvaluateCutMask(mask)
 	// Links crossing col1-col2 boundary: 4 horizontal pairs each way.
 	if cut.CrossUV != 4 || cut.CrossVU != 4 {
 		t.Errorf("mesh column cut crossings = (%d,%d), want (4,4)", cut.CrossUV, cut.CrossVU)
@@ -344,7 +344,7 @@ func TestCutAndHopProperties(t *testing.T) {
 		sc := tp.SparsestCut()
 		for i := 0; i < 20; i++ {
 			mask := uint64(rng.Intn(1022) + 1) // non-trivial partitions of 10 nodes
-			if tp.EvaluateCut(mask).Bandwidth < sc.Bandwidth-1e-12 {
+			if tp.EvaluateCutMask(mask).Bandwidth < sc.Bandwidth-1e-12 {
 				return false
 			}
 		}

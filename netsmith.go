@@ -83,7 +83,7 @@ const (
 	PatternOp = synth.Weighted
 )
 
-// Paper-standard grids.
+// Paper-standard grids, plus a beyond-paper scalability configuration.
 var (
 	// Grid4x5 is the 20-router interposer layout.
 	Grid4x5 = layout.Grid4x5
@@ -91,9 +91,13 @@ var (
 	Grid6x5 = layout.Grid6x5
 	// Grid8x6 is the 48-router scalability layout.
 	Grid8x6 = layout.Grid8x6
+	// Grid10x10 is the 100-router scalability layout. Synthesis has no
+	// 64-router cap: Generate accepts any NewGrid(rows, cols).
+	Grid10x10 = layout.Grid10x10
 )
 
-// NewGrid returns a rows x cols router placement.
+// NewGrid returns a rows x cols router placement. Any size is accepted;
+// grids beyond 64 routers use the synthesizer's multi-word bitset path.
 func NewGrid(rows, cols int) *Grid { return layout.NewGrid(rows, cols) }
 
 // Options parameterizes topology generation. Zero values select paper

@@ -35,6 +35,25 @@ func TestFacadeGenerateAndPrepare(t *testing.T) {
 	}
 }
 
+// TestFacadeScale100 pins the beyond-64-router path through the public
+// API: Grid10x10 synthesizes end to end.
+func TestFacadeScale100(t *testing.T) {
+	res, err := Generate(Options{
+		Grid: Grid10x10, Class: Medium, Objective: LatOp,
+		Seed: 3, TimeBudget: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := res.Topology
+	if tp.N() != 100 {
+		t.Fatalf("expected 100 routers, got %d", tp.N())
+	}
+	if !tp.IsConnected() || !tp.RespectsRadix(4) || !tp.RespectsLinkLengths() {
+		t.Fatal("100-router facade topology violates constraints")
+	}
+}
+
 func TestFacadeBaselines(t *testing.T) {
 	names := BaselineNames(Grid4x5)
 	if len(names) == 0 {
