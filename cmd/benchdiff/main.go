@@ -1,0 +1,197 @@
+// Command benchdiff gates CI on benchmark regressions: it parses `go
+// test -bench` output (the bench-smoke.txt artifact) and compares every
+// benchmark against a committed baseline, failing when ns/op regresses
+// beyond a threshold (default +25%) or allocs/op regresses at all
+// (allocation counts are deterministic, so any increase is a real
+// regression).
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_BASELINE.json -bench bench-smoke.txt
+//	benchdiff -baseline BENCH_BASELINE.json -bench bench-smoke.txt -update
+//
+// -update rewrites the baseline from the bench output (run locally after
+// an intentional performance change and commit the result). Benchmarks
+// present in the baseline but missing from the output fail the gate (so
+// coverage cannot silently disappear) unless -allow-missing is set;
+// benchmarks missing from the baseline are reported but do not fail.
+//
+// Exit status: 0 clean, 1 regression, 2 usage or parse error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BaselineEntry is one benchmark's recorded performance.
+type BaselineEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline is the committed BENCH_BASELINE.json shape.
+type Baseline struct {
+	Note       string                   `json:"note,omitempty"`
+	Benchmarks map[string]BaselineEntry `json:"benchmarks"`
+}
+
+// parseBench extracts name -> (ns/op, allocs/op) from go test -bench
+// output. The trailing -N GOMAXPROCS suffix is stripped so baselines
+// port across machines; extra ReportMetric pairs are ignored. Duplicate
+// lines for one benchmark (e.g. a baseline recorded from several
+// concatenated runs, for worst-case headroom against timing noise) are
+// aggregated by maximum.
+func parseBench(path string) (map[string]BaselineEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]BaselineEntry{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := BaselineEntry{NsPerOp: -1, AllocsPerOp: -1}
+		// fields[1] is the iteration count; then (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = int64(v)
+			}
+		}
+		if e.NsPerOp < 0 {
+			continue
+		}
+		if prev, ok := out[name]; ok {
+			if prev.NsPerOp > e.NsPerOp {
+				e.NsPerOp = prev.NsPerOp
+			}
+			if prev.AllocsPerOp > e.AllocsPerOp {
+				e.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		out[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in %s", path)
+	}
+	return out, nil
+}
+
+func writeBaseline(path string, measured map[string]BaselineEntry, note string) error {
+	b := Baseline{Note: note, Benchmarks: measured}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "committed baseline file")
+	benchPath := flag.String("bench", "bench-smoke.txt", "go test -bench output to check")
+	nsThreshold := flag.Float64("ns-threshold", 0.25, "allowed fractional ns/op regression (0.25 = +25%)")
+	update := flag.Bool("update", false, "rewrite the baseline from the bench output")
+	allowMissing := flag.Bool("allow-missing", false, "do not fail when a baseline benchmark is absent from the output")
+	flag.Parse()
+
+	measured, err := parseBench(*benchPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *update {
+		note := fmt.Sprintf("Regenerate with: go run ./cmd/benchdiff -bench <bench output> -update. "+
+			"Gate: ns/op > +%.0f%% or any allocs/op increase fails CI.", 100**nsThreshold)
+		if err := writeBaseline(*baselinePath, measured, note); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *baselinePath, len(measured))
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v (run with -update to create it)\n", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for n := range base.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got, ok := measured[name]
+		if !ok {
+			if *allowMissing {
+				fmt.Printf("SKIP  %-32s not in bench output\n", name)
+				continue
+			}
+			fmt.Printf("FAIL  %-32s missing from bench output (use -allow-missing to waive)\n", name)
+			failed = true
+			continue
+		}
+		status := "ok  "
+		var reasons []string
+		if want.NsPerOp > 0 && got.NsPerOp > want.NsPerOp*(1+*nsThreshold) {
+			reasons = append(reasons, fmt.Sprintf("ns/op +%.0f%% > +%.0f%% allowed",
+				100*(got.NsPerOp/want.NsPerOp-1), 100**nsThreshold))
+		}
+		if want.AllocsPerOp >= 0 && got.AllocsPerOp > want.AllocsPerOp {
+			reasons = append(reasons, fmt.Sprintf("allocs/op %d > %d", got.AllocsPerOp, want.AllocsPerOp))
+		}
+		if len(reasons) > 0 {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s  %-32s ns/op %12.0f -> %12.0f (%+.1f%%)  allocs/op %6d -> %6d  %s\n",
+			status, name, want.NsPerOp, got.NsPerOp, 100*(got.NsPerOp/want.NsPerOp-1),
+			want.AllocsPerOp, got.AllocsPerOp, strings.Join(reasons, "; "))
+	}
+	for name := range measured {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("NEW   %-32s not in baseline (add with -update)\n", name)
+		}
+	}
+	if failed {
+		fmt.Println("benchdiff: performance regression vs baseline")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: all benchmarks within budget")
+}

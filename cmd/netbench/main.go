@@ -1,4 +1,5 @@
-// Command netbench regenerates the paper's tables and figures. Each
+// Command netbench regenerates the paper's tables and figures, and runs
+// scenario matrices over the pluggable workload registry. Each
 // experiment prints the same rows/series the paper reports; absolute
 // numbers differ from the authors' gem5 testbed but the comparative
 // shapes hold (see EXPERIMENTS.md).
@@ -7,9 +8,16 @@
 //
 //	netbench -exp table2            # one experiment
 //	netbench -exp all -full         # everything at full fidelity
+//	netbench -matrix                # {pattern x rate x topology} matrix
+//	netbench -matrix -grid 4x4 -topos mesh -patterns uniform,tornado \
+//	    -rates 0.02,0.10 -smoke     # CI-scale smoke
 //
 // Experiments: fig1, table2, fig5, fig6, fig7, fig8, fig9, fig10,
-// fig11, all.
+// fig11, all. Matrix patterns are the traffic-registry names (see
+// -patterns default for the full set); parameterized forms use
+// "name:key=val:key=val", e.g. hotspot:weight=0.7:hot=0+19. Matrix
+// output (stdout summary, -csv dir matrix.csv/matrix.json) is
+// bit-identical across reruns and GOMAXPROCS settings.
 package main
 
 import (
@@ -18,16 +26,44 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"netsmith/internal/exp"
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+	"netsmith/internal/sim"
+	"netsmith/internal/synth"
+	"netsmith/internal/traffic"
 )
+
+// defaultMatrixPatterns lists every registry pattern constructible
+// without required parameters ("trace" needs -trace).
+const defaultMatrixPatterns = "uniform,shuffle,memory,transpose,bitcomp,bitrev,tornado,hotspot,bursty"
 
 func main() {
 	expName := flag.String("exp", "all", "experiment to run (fig1, table2, fig5..fig11, all)")
 	full := flag.Bool("full", false, "full fidelity (slower, tighter numbers)")
 	csvDir := flag.String("csv", "", "also write <dir>/<experiment>.csv data files")
+	matrix := flag.Bool("matrix", false, "run the scenario matrix instead of figure experiments")
+	grid := flag.String("grid", "4x5", "matrix: interposer grid RxC")
+	class := flag.String("class", "medium", "matrix: link-length class of the synthesized topology")
+	topos := flag.String("topos", "mesh,ns", "matrix: comma-separated topologies (mesh, ns)")
+	patterns := flag.String("patterns", defaultMatrixPatterns, "matrix: comma-separated registry patterns (name or name:key=val:...)")
+	rates := flag.String("rates", "0.02,0.08,0.14", "matrix: comma-separated offered rates (packets/node/cycle)")
+	traceFile := flag.String("trace", "", "matrix: trace file; appends the trace-replay pattern")
+	smoke := flag.Bool("smoke", false, "matrix: minimal cycle budgets (CI smoke)")
+	seed := flag.Int64("seed", 42, "matrix: base seed")
 	flag.Parse()
+
+	if *matrix {
+		if err := runMatrix(*grid, *class, *topos, *patterns, *rates, *traceFile, *csvDir, *smoke, *full, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "matrix: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	s := exp.NewSuite(!*full)
 	w := os.Stdout
@@ -141,4 +177,159 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expName)
 		os.Exit(2)
 	}
+}
+
+// parseGrid parses "RxC".
+func parseGrid(s string) (*layout.Grid, error) {
+	r, c, ok := strings.Cut(s, "x")
+	if ok {
+		rows, err1 := strconv.Atoi(r)
+		cols, err2 := strconv.Atoi(c)
+		if err1 == nil && err2 == nil && rows > 0 && cols > 0 {
+			return layout.NewGrid(rows, cols), nil
+		}
+	}
+	return nil, fmt.Errorf("bad grid %q (want RxC, e.g. 4x5)", s)
+}
+
+// matrixSetups prepares the requested topologies: the mesh baseline with
+// expert NDBT routing and/or a latency-optimized NetSmith topology
+// (fast-budget synthesis unless -full) with MCLB routing.
+func matrixSetups(topos string, g *layout.Grid, cl layout.Class, full bool, seed int64) ([]*sim.Setup, error) {
+	var setups []*sim.Setup
+	for _, name := range strings.Split(topos, ",") {
+		switch strings.TrimSpace(name) {
+		case "mesh":
+			st, err := sim.Prepare(expert.Mesh(g), sim.UseNDBT, seed)
+			if err != nil {
+				return nil, err
+			}
+			setups = append(setups, st)
+		case "ns":
+			iters := 20000
+			if full {
+				iters = 80000
+			}
+			res, err := synth.Generate(synth.Config{
+				Grid: g, Class: cl, Objective: synth.LatOp,
+				Seed: seed, Iterations: iters, Restarts: 4,
+			})
+			if err != nil {
+				return nil, err
+			}
+			st, err := sim.Prepare(res.Topology, sim.UseMCLB, seed)
+			if err != nil {
+				return nil, err
+			}
+			setups = append(setups, st)
+		default:
+			return nil, fmt.Errorf("unknown topology %q (want mesh or ns)", name)
+		}
+	}
+	return setups, nil
+}
+
+func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir string, smoke, full bool, seed int64) error {
+	g, err := parseGrid(grid)
+	if err != nil {
+		return err
+	}
+	cl, err := layout.ParseClass(class)
+	if err != nil {
+		return err
+	}
+	setups, err := matrixSetups(topos, g, cl, full, seed)
+	if err != nil {
+		return err
+	}
+
+	env := traffic.GridEnv(g)
+	reg := traffic.Default()
+	var factories []sim.PatternFactory
+	for _, arg := range strings.Split(patterns, ",") {
+		name, params, err := traffic.ParsePatternArg(strings.TrimSpace(arg))
+		if err != nil {
+			return err
+		}
+		// Fail fast on bad names/params before burning simulation time.
+		if _, err := reg.Build(name, env, params); err != nil {
+			return err
+		}
+		factories = append(factories, sim.RegistryFactory(reg, name, env, params))
+	}
+	if traceFile != "" {
+		// Parse the trace once; each cell replays the in-memory records
+		// (the registry's "trace" entry would re-read the file per cell).
+		tf, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		recs, err := traffic.ParseTrace(tf)
+		tf.Close()
+		if err != nil {
+			return err
+		}
+		tag := strings.TrimSuffix(filepath.Base(traceFile), ".csv")
+		if _, err := traffic.NewReplay(tag, env.N, recs, true); err != nil {
+			return err
+		}
+		factories = append(factories, sim.PatternFactory{
+			Name: "trace/" + tag,
+			New: func() (traffic.Pattern, error) {
+				return traffic.NewReplay(tag, env.N, recs, true)
+			},
+		})
+	}
+
+	var rateGrid []float64
+	for _, f := range strings.Split(rates, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad rate %q", f)
+		}
+		rateGrid = append(rateGrid, v)
+	}
+
+	var base sim.Config
+	switch {
+	case smoke:
+		base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 300, 800, 1600
+	case !full:
+		base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 1500, 4000, 6000
+	}
+
+	start := time.Now()
+	res, err := sim.RunMatrix(sim.MatrixConfig{
+		Setups: setups, Patterns: factories, Rates: rateGrid,
+		Base: base, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	exp.PrintMatrix(os.Stdout, res)
+	fmt.Printf("[matrix: %d topologies x %d patterns x %d rates in %v]\n",
+		len(setups), len(factories), len(rateGrid), time.Since(start).Round(time.Millisecond))
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		cf, err := os.Create(filepath.Join(csvDir, "matrix.csv"))
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := exp.MatrixCSV(cf, res); err != nil {
+			return err
+		}
+		jf, err := os.Create(filepath.Join(csvDir, "matrix.json"))
+		if err != nil {
+			return err
+		}
+		defer jf.Close()
+		if err := exp.MatrixJSON(jf, res); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,6 +1,10 @@
 // Quickstart: discover a latency-optimized 20-router interposer
 // topology, compare it against the Kite expert design, and simulate
 // uniform-random traffic on both.
+//
+// For the full workload registry (transpose, tornado, hotspot, bursty,
+// trace replay, ...) over many topologies at once, see
+// examples/scenarios and `netbench -matrix`.
 package main
 
 import (

@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+
+	"netsmith/internal/sim"
+)
+
+// Scenario-matrix emission. Rows are ordered by the matrix's fixed
+// (topology, pattern, rate) input order and floats are formatted with
+// the same deterministic rules as the figure CSVs, so matrix output is
+// bit-identical across reruns and GOMAXPROCS settings.
+
+// MatrixCSV emits one row per matrix cell.
+func MatrixCSV(w io.Writer, res *sim.MatrixResult) error {
+	var rows [][]string
+	for _, c := range res.Curves {
+		for _, p := range c.Points {
+			rows = append(rows, []string{c.Topology, c.Pattern,
+				f(p.OfferedRate), f(p.AvgLatencyNs), f(p.AcceptedPerNs),
+				strconv.FormatBool(p.Saturated), strconv.FormatBool(p.Stalled)})
+		}
+	}
+	return writeCSV(w, []string{"topology", "pattern", "offered_pkt_node_cycle",
+		"latency_ns", "accepted_pkt_node_ns", "saturated", "stalled"}, rows)
+}
+
+// MatrixJSON emits the full matrix (curves with per-point samples and
+// derived zero-load latency / saturation throughput) as indented JSON.
+func MatrixJSON(w io.Writer, res *sim.MatrixResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// PrintMatrix renders the per-curve summary (zero-load latency and
+// saturation throughput per topology x pattern) as an aligned table.
+func PrintMatrix(w io.Writer, res *sim.MatrixResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "topology\tpattern\tzero-load ns\tsaturation pkt/node/ns")
+	for _, c := range res.Curves {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.4f\n",
+			c.Topology, c.Pattern, c.ZeroLoadLatencyNs, c.SaturationPerNs)
+	}
+	tw.Flush()
+}

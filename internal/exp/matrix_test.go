@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+	"netsmith/internal/sim"
+	"netsmith/internal/traffic"
+)
+
+// smokeMatrix builds a small mesh matrix config exercising both
+// stateless and stateful (bursty) registry patterns.
+func smokeMatrix(t *testing.T) sim.MatrixConfig {
+	t.Helper()
+	g := layout.NewGrid(3, 3)
+	st, err := sim.Prepare(expert.Mesh(g), sim.UseNDBT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := traffic.GridEnv(g)
+	reg := traffic.Default()
+	return sim.MatrixConfig{
+		Setups: []*sim.Setup{st},
+		Patterns: []sim.PatternFactory{
+			sim.RegistryFactory(reg, "uniform", env, nil),
+			sim.RegistryFactory(reg, "tornado", env, nil),
+			sim.RegistryFactory(reg, "bursty", env, traffic.Params{"ponoff": "0.1", "poffon": "0.1"}),
+		},
+		Rates: []float64{0.02, 0.30},
+		Base: sim.Config{
+			WarmupCycles: 300, MeasureCycles: 800, DrainCycles: 1600,
+		},
+		Seed: 42,
+	}
+}
+
+func renderMatrix(t *testing.T, res *sim.MatrixResult) (csv, js []byte) {
+	t.Helper()
+	var cb, jb bytes.Buffer
+	if err := MatrixCSV(&cb, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := MatrixJSON(&jb, res); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), jb.Bytes()
+}
+
+// TestMatrixDeterministicAcrossGOMAXPROCS is the sweep-determinism
+// contract: the same seed must emit bit-identical CSV and JSON whether
+// cells run on one worker or eight.
+func TestMatrixDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	mc := smokeMatrix(t)
+	run := func(procs int) (csv, js []byte) {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		res, err := sim.RunMatrix(mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderMatrix(t, res)
+	}
+	csv1, js1 := run(1)
+	csv8, js8 := run(8)
+	if !bytes.Equal(csv1, csv8) {
+		t.Errorf("matrix CSV differs between GOMAXPROCS 1 and 8:\n%s\n----\n%s", csv1, csv8)
+	}
+	if !bytes.Equal(js1, js8) {
+		t.Error("matrix JSON differs between GOMAXPROCS 1 and 8")
+	}
+	// Rerun at the same parallelism: also bit-identical.
+	csvAgain, jsAgain := run(8)
+	if !bytes.Equal(csv8, csvAgain) || !bytes.Equal(js8, jsAgain) {
+		t.Error("matrix output differs across reruns")
+	}
+}
+
+func TestMatrixShapeAndCSVColumns(t *testing.T) {
+	mc := smokeMatrix(t)
+	res, err := sim.RunMatrix(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 3 {
+		t.Fatalf("curves = %d, want 3 (1 topology x 3 patterns)", len(res.Curves))
+	}
+	for _, c := range res.Curves {
+		if len(c.Points) != 2 {
+			t.Fatalf("%s/%s: %d points, want 2", c.Topology, c.Pattern, len(c.Points))
+		}
+		if c.ZeroLoadLatencyNs <= 0 {
+			t.Errorf("%s/%s: zero-load latency %v", c.Topology, c.Pattern, c.ZeroLoadLatencyNs)
+		}
+	}
+	if got := res.Curve("Mesh", "tornado"); got == nil || got.Pattern != "tornado" {
+		t.Error("Curve lookup failed")
+	}
+	if res.Curve("Mesh", "nosuch") != nil {
+		t.Error("Curve lookup invented a row")
+	}
+	csv, _ := renderMatrix(t, res)
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if len(lines) != 1+3*2 {
+		t.Fatalf("CSV rows = %d, want header + 6 cells", len(lines))
+	}
+	wantHeader := "topology,pattern,offered_pkt_node_cycle,latency_ns,accepted_pkt_node_ns,saturated,stalled"
+	if lines[0] != wantHeader {
+		t.Errorf("CSV header = %s", lines[0])
+	}
+	var buf bytes.Buffer
+	PrintMatrix(&buf, res)
+	if !strings.Contains(buf.String(), "tornado") {
+		t.Error("PrintMatrix dropped a pattern row")
+	}
+}
+
+func TestMatrixErrors(t *testing.T) {
+	if _, err := sim.RunMatrix(sim.MatrixConfig{}); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	mc := smokeMatrix(t)
+	mc.Patterns = append(mc.Patterns, sim.RegistryFactory(traffic.Default(), "nosuch", traffic.Env{N: 9}, nil))
+	if _, err := sim.RunMatrix(mc); err == nil {
+		t.Error("bad pattern factory did not propagate")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"netsmith/internal/expert"
 	"netsmith/internal/layout"
 	"netsmith/internal/sim"
+	"netsmith/internal/traffic"
 )
 
 var (
@@ -157,6 +158,80 @@ func TestWorkloadPattern(t *testing.T) {
 	// MC delivery generates a data reply.
 	if dst, flits, ok := w.OnDeliver(30, sys.MCRouters[0], rng); !ok || dst != 30 || flits != 9 {
 		t.Error("MC must reply with a 9-flit data packet")
+	}
+}
+
+// TestWorkloadInjectContract is the regression test for the
+// Inject-contract fix: an originating core must inject on EVERY
+// opportunity (the old code randomly returned ok=false when the
+// coherence draw picked the source itself, which dropped offered load
+// and miscounted injecting nodes), and the static Originator answer
+// must partition cores from MC/NoI routers exactly.
+func TestWorkloadInjectContract(t *testing.T) {
+	sys := buildMeshSystem(t)
+	b := Benchmarks()[5] // mid-range coherence fraction
+	w := sys.NewWorkload(b)
+	o, ok := w.(traffic.Originator)
+	if !ok {
+		t.Fatal("workload pattern must implement traffic.Originator")
+	}
+	isCore := map[int]bool{}
+	for _, c := range sys.CoreRouters {
+		isCore[c] = true
+	}
+	rng := rand.New(rand.NewSource(9))
+	for src := 0; src < sys.Net.N(); src++ {
+		if o.Originates(src) != isCore[src] {
+			t.Errorf("Originates(%d) = %v, want %v", src, o.Originates(src), isCore[src])
+		}
+	}
+	for _, src := range sys.CoreRouters {
+		for i := 0; i < 500; i++ {
+			dst, flits, ok := w.Inject(src, rng)
+			if !ok {
+				t.Fatalf("core %d dropped injection opportunity %d", src, i)
+			}
+			if dst == src || flits < 1 {
+				t.Fatalf("core %d: Inject = (%d, %d)", src, dst, flits)
+			}
+		}
+	}
+}
+
+func TestRecordTraceReplays(t *testing.T) {
+	sys := buildMeshSystem(t)
+	b := Benchmarks()[len(Benchmarks())-1] // highest injection rate
+	recs := sys.RecordTrace(b, 2000, 7)
+	if len(recs) == 0 {
+		t.Fatal("trace recorded no packets")
+	}
+	for _, r := range recs {
+		if r.Cycle < 0 || r.Cycle >= 2000 || r.Flits < 1 || r.Src == r.Dst {
+			t.Fatalf("bad record %+v", r)
+		}
+	}
+	// Deterministic for a seed.
+	again := sys.RecordTrace(b, 2000, 7)
+	if len(again) != len(recs) || again[0] != recs[0] || again[len(again)-1] != recs[len(recs)-1] {
+		t.Error("RecordTrace is not deterministic")
+	}
+	// The trace feeds straight into the replay pattern.
+	rp, err := traffic.NewReplay("parsec", sys.Net.N(), recs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	replayed := 0
+	for _, src := range sys.CoreRouters {
+		if !rp.Originates(src) {
+			continue
+		}
+		if _, _, ok := rp.Inject(src, rng); ok {
+			replayed++
+		}
+	}
+	if replayed == 0 {
+		t.Error("no core replayed a recorded packet")
 	}
 }
 

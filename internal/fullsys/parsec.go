@@ -68,23 +68,36 @@ func (w *workloadPattern) Name() string { return "parsec/" + w.bench.Name }
 
 // Inject implements traffic.Pattern: only cores inject; a coin weighted
 // by CoherenceFrac picks coherence (uniform core target, mixed size) or a
-// memory read request (control packet to a uniform MC).
+// memory read request (control packet to a uniform MC). Coherence
+// targets exclude src itself so an originating core injects on every
+// opportunity (the Pattern contract: ok=false is reserved for sources
+// that inject nothing, not a random drop).
 func (w *workloadPattern) Inject(src int, rng *rand.Rand) (int, int, bool) {
-	if w.isMC[src] || src < coreBase {
+	if !w.Originates(src) {
 		return 0, 0, false
 	}
 	if rng.Float64() < w.bench.CoherenceFrac {
-		dst := w.cores[rng.Intn(len(w.cores))]
-		if dst == src {
-			return 0, 0, false
+		for i := range w.cores {
+			if w.cores[i] == src {
+				j := rng.Intn(len(w.cores) - 1)
+				if j >= i {
+					j++
+				}
+				flits := traffic.ControlFlits
+				if rng.Intn(2) == 0 {
+					flits = traffic.DataFlits
+				}
+				return w.cores[j], flits, true
+			}
 		}
-		flits := traffic.ControlFlits
-		if rng.Intn(2) == 0 {
-			flits = traffic.DataFlits
-		}
-		return dst, flits, true
 	}
 	return w.mcs[rng.Intn(len(w.mcs))], traffic.ControlFlits, true
+}
+
+// Originates implements traffic.Originator: cores originate, MC and NoI
+// routers only forward or reply.
+func (w *workloadPattern) Originates(src int) bool {
+	return src >= coreBase && !w.isMC[src] && len(w.cores) > 1 && len(w.mcs) > 0
 }
 
 // OnDeliver implements traffic.Pattern: MC routers answer requests with
@@ -94,6 +107,30 @@ func (w *workloadPattern) OnDeliver(src, dst int, rng *rand.Rand) (int, int, boo
 		return src, traffic.DataFlits, true
 	}
 	return 0, 0, false
+}
+
+// RecordTrace samples the benchmark's workload model into a replayable
+// (cycle, src, dst, flits) trace of the given length: each cycle every
+// core draws the same Bernoulli injection coin the simulator uses at the
+// benchmark's injection rate. The result feeds traffic.NewReplay (or
+// traffic.WriteTrace for the on-disk form consumed by the registry's
+// "trace" pattern).
+func (s *System) RecordTrace(b Benchmark, cycles int, seed int64) []traffic.TraceRecord {
+	pat := s.NewWorkload(b)
+	rng := rand.New(rand.NewSource(seed))
+	rate := b.InjectionRate()
+	var recs []traffic.TraceRecord
+	for cycle := 0; cycle < cycles; cycle++ {
+		for _, src := range s.CoreRouters {
+			if rng.Float64() >= rate {
+				continue
+			}
+			if dst, flits, ok := pat.Inject(src, rng); ok {
+				recs = append(recs, traffic.TraceRecord{Cycle: int64(cycle), Src: src, Dst: dst, Flits: flits})
+			}
+		}
+	}
+	return recs
 }
 
 // ExecModel converts measured network latency into execution-time terms.

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"netsmith/internal/traffic"
+)
+
+// The scenario matrix generalizes Sweep from "one topology, one
+// pattern, a rate grid" to the full cross product
+// {topology x pattern x injection rate}. Cells run on the same bounded
+// worker pool, each with a deterministic seed derived from its matrix
+// position and a fresh pattern instance built from its factory, so the
+// emitted result is bit-identical across reruns and GOMAXPROCS settings
+// (the contract the synthesis engine pinned in PR 2, extended to
+// workloads).
+
+// PatternFactory names a workload and constructs fresh instances of it.
+// A fresh instance per simulation keeps stateful patterns (bursty MMPP,
+// trace replay) safe under the concurrent matrix pool.
+type PatternFactory struct {
+	Name string
+	New  func() (traffic.Pattern, error)
+}
+
+// RegistryFactory adapts a traffic-registry pattern to a PatternFactory.
+func RegistryFactory(reg *traffic.Registry, name string, env traffic.Env, params traffic.Params) PatternFactory {
+	return PatternFactory{
+		Name: name,
+		New:  func() (traffic.Pattern, error) { return reg.Build(name, env, params) },
+	}
+}
+
+// MatrixConfig drives a scenario matrix run.
+type MatrixConfig struct {
+	// Setups are the prepared topologies (routing + verified VCs).
+	Setups []*Setup
+	// Patterns are the workload factories; each cell builds its own
+	// instance.
+	Patterns []PatternFactory
+	// Rates is the offered-rate grid (packets/node/cycle); default
+	// DefaultRates().
+	Rates []float64
+	// Base supplies fidelity knobs (cycle budgets, VC counts, bandwidth);
+	// its Topo/Routing/VC/Pattern/InjectionRate/Seed fields are
+	// overridden per cell.
+	Base Config
+	// Seed is the matrix-level seed; cell i simulates with
+	// Seed + i*7919 where i is the cell's fixed matrix position.
+	Seed int64
+}
+
+// MatrixCurve is one (topology, pattern) row of the matrix: its
+// latency-vs-injection points plus the derived summary metrics.
+type MatrixCurve struct {
+	Topology string       `json:"topology"`
+	Pattern  string       `json:"pattern"`
+	Points   []SweepPoint `json:"points"`
+	// ZeroLoadLatencyNs is the latency at the lowest offered rate;
+	// SaturationPerNs the highest pre-saturation accepted throughput
+	// (packets/node/ns).
+	ZeroLoadLatencyNs float64 `json:"zero_load_latency_ns"`
+	SaturationPerNs   float64 `json:"saturation_pkt_node_ns"`
+}
+
+// MatrixResult is the full scenario matrix, ordered topology-major then
+// pattern (the Setups/Patterns input order).
+type MatrixResult struct {
+	Rates  []float64     `json:"rates"`
+	Curves []MatrixCurve `json:"curves"`
+}
+
+// Curve returns the row for a topology/pattern name pair.
+func (m *MatrixResult) Curve(topology, pattern string) *MatrixCurve {
+	for i := range m.Curves {
+		if m.Curves[i].Topology == topology && m.Curves[i].Pattern == pattern {
+			return &m.Curves[i]
+		}
+	}
+	return nil
+}
+
+// RunMatrix simulates every {topology x pattern x rate} cell on a
+// bounded worker pool and derives per-curve saturation. Results are
+// deterministic for a given config at any GOMAXPROCS.
+func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
+	if len(mc.Setups) == 0 || len(mc.Patterns) == 0 {
+		return nil, fmt.Errorf("sim: matrix needs at least one topology and one pattern")
+	}
+	rates := mc.Rates
+	if rates == nil {
+		rates = DefaultRates()
+	}
+	nT, nP, nR := len(mc.Setups), len(mc.Patterns), len(rates)
+	cells := nT * nP * nR
+	points := make([]SweepPoint, cells)
+	errs := make([]error, cells)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cells {
+		workers = cells
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cells {
+					return
+				}
+				ti := i / (nP * nR)
+				pi := (i / nR) % nP
+				ri := i % nR
+				pat, err := mc.Patterns[pi].New()
+				if err != nil {
+					errs[i] = fmt.Errorf("pattern %s: %w", mc.Patterns[pi].Name, err)
+					continue
+				}
+				cfg := mc.Base
+				cfg.Topo = mc.Setups[ti].Topo
+				cfg.Routing = mc.Setups[ti].Routing
+				cfg.VC = mc.Setups[ti].VC
+				cfg.Pattern = pat
+				cfg.InjectionRate = rates[ri]
+				cfg.Seed = mc.Seed + int64(i)*7919
+				res, err := Run(cfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s/%s@%g: %w", cfg.Topo.Name, mc.Patterns[pi].Name, rates[ri], err)
+					continue
+				}
+				points[i] = SweepPoint{
+					OfferedRate:   rates[ri],
+					AvgLatencyNs:  res.AvgLatencyNs,
+					AcceptedPerNs: res.AcceptedPerNs,
+					Stalled:       res.Stalled,
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &MatrixResult{Rates: rates, Curves: make([]MatrixCurve, 0, nT*nP)}
+	for ti := 0; ti < nT; ti++ {
+		for pi := 0; pi < nP; pi++ {
+			base := (ti*nP + pi) * nR
+			c := MatrixCurve{
+				Topology: mc.Setups[ti].Topo.Name,
+				Pattern:  mc.Patterns[pi].Name,
+				Points:   points[base : base+nR : base+nR],
+			}
+			c.ZeroLoadLatencyNs, c.SaturationPerNs = deriveSaturation(c.Points)
+			out.Curves = append(out.Curves, c)
+		}
+	}
+	return out, nil
+}

@@ -451,12 +451,14 @@ func (e *engine) run() (*Result, error) {
 	return res, nil
 }
 
-// injectingNodes counts nodes that originate traffic under the pattern.
+// injectingNodes counts nodes that originate traffic under the pattern,
+// via the static Originator contract when the pattern provides it (all
+// internal patterns do; the probing fallback would both miscount and
+// perturb stateful patterns like bursty modulation).
 func (e *engine) injectingNodes() int {
 	count := 0
-	probe := rand.New(rand.NewSource(1))
 	for r := 0; r < e.n; r++ {
-		if _, _, ok := e.cfg.Pattern.Inject(r, probe); ok {
+		if traffic.PatternOriginates(e.cfg.Pattern, r) {
 			count++
 		}
 	}

@@ -13,12 +13,13 @@ import (
 )
 
 // SweepPoint is one (offered rate, latency, accepted throughput) sample.
+// The JSON names match the scenario-matrix CSV columns.
 type SweepPoint struct {
-	OfferedRate   float64 // packets/node/cycle
-	AvgLatencyNs  float64
-	AcceptedPerNs float64 // packets/node/ns
-	Saturated     bool
-	Stalled       bool
+	OfferedRate   float64 `json:"offered_pkt_node_cycle"` // packets/node/cycle
+	AvgLatencyNs  float64 `json:"latency_ns"`
+	AcceptedPerNs float64 `json:"accepted_pkt_node_ns"` // packets/node/ns
+	Saturated     bool    `json:"saturated"`
+	Stalled       bool    `json:"stalled"`
 }
 
 // SweepResult is a latency-vs-injection curve plus derived summary
@@ -50,7 +51,10 @@ func DefaultRates() []float64 {
 
 // Sweep runs the rate grid on a bounded worker pool and derives
 // saturation. Each point is seeded deterministically from its index, so
-// sweep results do not depend on scheduling order.
+// sweep results do not depend on scheduling order. The configured
+// Pattern instance is shared across concurrently simulated points, so it
+// must be stateless; for stateful patterns (bursty, trace replay) use
+// RunMatrix, which builds a fresh instance per cell from a factory.
 func Sweep(sc SweepConfig) (*SweepResult, error) {
 	rates := sc.Rates
 	if rates == nil {
@@ -101,19 +105,29 @@ func Sweep(sc SweepConfig) (*SweepResult, error) {
 		Pattern:  sc.Base.Pattern.Name(),
 		Points:   points,
 	}
-	if len(points) > 0 {
-		out.ZeroLoadLatencyNs = points[0].AvgLatencyNs
+	out.ZeroLoadLatencyNs, out.SaturationPerNs = deriveSaturation(points)
+	return out, nil
+}
+
+// deriveSaturation marks saturated points in place (latency blow-up past
+// SaturationFactor x zero-load, watchdog stalls, or no measured packets)
+// and returns the zero-load latency and the highest pre-saturation
+// accepted throughput. Points must be in ascending offered-rate order.
+func deriveSaturation(points []SweepPoint) (zeroLoadNs, satPerNs float64) {
+	if len(points) == 0 {
+		return 0, 0
 	}
+	zeroLoadNs = points[0].AvgLatencyNs
 	for i := range points {
 		sat := points[i].Stalled ||
-			points[i].AvgLatencyNs > SaturationFactor*out.ZeroLoadLatencyNs ||
+			points[i].AvgLatencyNs > SaturationFactor*zeroLoadNs ||
 			points[i].Measured() == 0
 		points[i].Saturated = sat
-		if !sat && points[i].AcceptedPerNs > out.SaturationPerNs {
-			out.SaturationPerNs = points[i].AcceptedPerNs
+		if !sat && points[i].AcceptedPerNs > satPerNs {
+			satPerNs = points[i].AcceptedPerNs
 		}
 	}
-	return out, nil
+	return zeroLoadNs, satPerNs
 }
 
 // Measured reports whether the point produced latency data.

@@ -1,0 +1,177 @@
+package traffic
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"netsmith/internal/layout"
+)
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{"bitcomp", "bitrev", "bursty", "hotspot", "memory",
+		"shuffle", "tornado", "trace", "transpose", "uniform"}
+	if got := Default().Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryBuildsAllParamFree(t *testing.T) {
+	env := GridEnv(layout.Grid4x5)
+	reg := Default()
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range reg.Names() {
+		if name == "trace" { // requires a file parameter
+			continue
+		}
+		p, err := reg.Build(name, env, nil)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		// Every built pattern implements the static-originator contract
+		// and injects a valid packet from each originating source.
+		o, ok := p.(Originator)
+		if !ok {
+			t.Fatalf("%s does not implement Originator", name)
+		}
+		originating := 0
+		for src := 0; src < env.N; src++ {
+			if !o.Originates(src) {
+				continue
+			}
+			originating++
+			dst, flits, ok := p.Inject(src, rng)
+			for !ok { // bursty may be transiently OFF
+				dst, flits, ok = p.Inject(src, rng)
+			}
+			if dst < 0 || dst >= env.N || dst == src || flits < 1 {
+				t.Errorf("%s: Inject(%d) = (%d, %d)", name, src, dst, flits)
+			}
+		}
+		if originating == 0 {
+			t.Errorf("%s: no originating sources on 4x5", name)
+		}
+	}
+}
+
+// TestRegistryMemoryControllers is the regression test for the
+// Inject-contract bugfix: under the registry, memory-controller routers
+// must consistently report ok=false (they only reply) and the static
+// Originator answer must agree, so the simulator's injecting-node count
+// cannot be perturbed by rng draws.
+func TestRegistryMemoryControllers(t *testing.T) {
+	env := GridEnv(layout.Grid4x5)
+	p, err := Default().Build("memory", env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	isMC := map[int]bool{}
+	for _, mc := range env.MCs {
+		isMC[mc] = true
+	}
+	for src := 0; src < env.N; src++ {
+		if got := PatternOriginates(p, src); got != !isMC[src] {
+			t.Errorf("Originates(%d) = %v, want %v", src, got, !isMC[src])
+		}
+		for i := 0; i < 200; i++ {
+			dst, _, ok := p.Inject(src, rng)
+			if isMC[src] && ok {
+				t.Fatalf("MC %d injected", src)
+			}
+			if !isMC[src] {
+				if !ok {
+					t.Fatalf("core %d dropped an injection opportunity", src)
+				}
+				if !isMC[dst] {
+					t.Fatalf("core %d sent a request to non-MC %d", src, dst)
+				}
+			}
+		}
+	}
+}
+
+func TestRegistryTraceFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	recs := []TraceRecord{{Cycle: 0, Src: 1, Dst: 2, Flits: 9}}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	env := GridEnv(layout.Grid4x5)
+	p, err := Default().Build("trace", env, Params{"file": path, "loop": "false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if dst, flits, ok := p.Inject(1, rng); !ok || dst != 2 || flits != 9 {
+		t.Errorf("trace replay = (%d,%d,%v)", dst, flits, ok)
+	}
+	if _, err := Default().Build("trace", env, nil); err == nil {
+		t.Error("trace without file accepted")
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	env := GridEnv(layout.Grid4x5)
+	reg := Default()
+	if _, err := reg.Build("nosuch", env, nil); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if _, err := reg.Build("hotspot", env, Params{"heat": "1"}); err == nil {
+		t.Error("undeclared parameter accepted")
+	}
+	if _, err := reg.Build("hotspot", env, Params{"weight": "nan%"}); err == nil {
+		t.Error("malformed weight accepted")
+	}
+	if _, err := reg.Build("bursty", env, Params{"base": "bursty"}); err == nil {
+		t.Error("self-referential bursty accepted")
+	}
+	if _, err := reg.Build("uniform", Env{N: 1}, nil); err != nil {
+		t.Error("uniform over one node should build (it just never injects)")
+	}
+	if err := reg.Register(Entry{Name: "uniform", Build: func(Env, Params) (Pattern, error) { return nil, nil }}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestRegistryHotspotParams(t *testing.T) {
+	env := GridEnv(layout.Grid4x5)
+	p, err := Default().Build("hotspot", env, Params{"weight": "1", "hot": "7+11"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		dst, _, ok := p.Inject(0, rng)
+		if !ok || (dst != 7 && dst != 11) {
+			t.Fatalf("weight=1 hotspot sent to %d", dst)
+		}
+	}
+}
+
+func TestParsePatternArg(t *testing.T) {
+	name, params, err := ParsePatternArg("hotspot:weight=0.7:hot=0+19")
+	if err != nil || name != "hotspot" {
+		t.Fatalf("parse: %v name=%s", err, name)
+	}
+	if params["weight"] != "0.7" || params["hot"] != "0+19" {
+		t.Errorf("params = %v", params)
+	}
+	if name, params, err := ParsePatternArg("uniform"); err != nil || name != "uniform" || params != nil {
+		t.Errorf("bare name parse = %s %v %v", name, params, err)
+	}
+	if _, _, err := ParsePatternArg("hotspot:weight"); err == nil {
+		t.Error("missing value accepted")
+	}
+	if _, _, err := ParsePatternArg(""); err == nil {
+		t.Error("empty arg accepted")
+	}
+}

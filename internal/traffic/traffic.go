@@ -26,13 +26,40 @@ type Pattern interface {
 	// Name identifies the pattern in reports.
 	Name() string
 	// Inject returns the destination and flit count for a new packet
-	// injected at src. ok=false means src does not inject under this
-	// pattern (e.g. memory controllers do not originate requests).
+	// injected at src. ok=false means this opportunity injects nothing —
+	// either because src never originates traffic (e.g. memory
+	// controllers do not issue requests, permutation fixed points have
+	// no partner) or, for stateful patterns, because the source is
+	// transiently silent (e.g. the OFF phase of bursty modulation).
+	// A source that does originate must return ok=true with a valid
+	// dst != src on every opportunity it injects; patterns must not
+	// randomly drop opportunities of an originating source (resample
+	// internally instead). The static property lives in Originator.
 	Inject(src int, rng *rand.Rand) (dst, flits int, ok bool)
 	// OnDeliver is called when a packet reaches dst; a returned reply
 	// (ok=true) is injected at dst back toward src. Patterns without
 	// replies return ok=false.
 	OnDeliver(src, dst int, rng *rand.Rand) (replyDst, replyFlits int, ok bool)
+}
+
+// Originator is implemented by patterns that can statically report
+// whether a source ever originates traffic. Unlike Inject's ok result it
+// must not depend on rng draws or mutable state, so the simulator can
+// count injecting nodes (for per-node throughput normalization) without
+// perturbing the pattern. All patterns in this package implement it.
+type Originator interface {
+	Originates(src int) bool
+}
+
+// PatternOriginates reports whether src originates traffic under p,
+// using the static Originator answer when available and falling back to
+// a single probing Inject call (with a throwaway rng) otherwise.
+func PatternOriginates(p Pattern, src int) bool {
+	if o, ok := p.(Originator); ok {
+		return o.Originates(src)
+	}
+	_, _, ok := p.Inject(src, rand.New(rand.NewSource(1)))
+	return ok
 }
 
 // mixedSize returns control or data size with equal likelihood.
@@ -66,6 +93,9 @@ func (u Uniform) Inject(src int, rng *rand.Rand) (int, int, bool) {
 // OnDeliver implements Pattern.
 func (u Uniform) OnDeliver(src, dst int, rng *rand.Rand) (int, int, bool) { return 0, 0, false }
 
+// Originates implements Originator.
+func (u Uniform) Originates(src int) bool { return u.N >= 2 }
+
 // Shuffle is the gem5 shuffle permutation: dst = 2*src for the lower
 // half, (2*src+1) mod n for the upper half (far source-destination
 // pairs). Nodes whose shuffle target is themselves do not inject.
@@ -93,6 +123,9 @@ func (s Shuffle) Inject(src int, rng *rand.Rand) (int, int, bool) {
 
 // OnDeliver implements Pattern.
 func (s Shuffle) OnDeliver(src, dst int, rng *rand.Rand) (int, int, bool) { return 0, 0, false }
+
+// Originates implements Originator.
+func (s Shuffle) Originates(src int) bool { return s.Dest(src) != src }
 
 // WeightMatrix returns the demand matrix of the shuffle pattern for
 // pattern-optimized synthesis (NS-ShufOpt).
@@ -149,6 +182,9 @@ func (m *Memory) OnDeliver(src, dst int, rng *rand.Rand) (int, int, bool) {
 	return src, DataFlits, true
 }
 
+// Originates implements Originator: only cores issue requests.
+func (m *Memory) Originates(src int) bool { return m.core[src] }
+
 // Permutation routes each source to a fixed destination given by perm.
 type Permutation struct {
 	Perm []int
@@ -174,3 +210,6 @@ func (p Permutation) Inject(src int, rng *rand.Rand) (int, int, bool) {
 
 // OnDeliver implements Pattern.
 func (p Permutation) OnDeliver(src, dst int, rng *rand.Rand) (int, int, bool) { return 0, 0, false }
+
+// Originates implements Originator.
+func (p Permutation) Originates(src int) bool { return p.Perm[src] != src }

@@ -64,6 +64,16 @@ type (
 	Pattern = traffic.Pattern
 	// Objective selects what Generate optimizes.
 	Objective = synth.Objective
+	// SimConfig parameterizes one simulation run (cycle budgets, VC and
+	// buffer geometry); used as the Base of a MatrixConfig.
+	SimConfig = sim.Config
+	// MatrixConfig drives a {topology x pattern x rate} scenario matrix.
+	MatrixConfig = sim.MatrixConfig
+	// MatrixResult is a scenario matrix outcome (per-curve points plus
+	// zero-load latency and saturation throughput).
+	MatrixResult = sim.MatrixResult
+	// PatternFactory names a workload and builds fresh instances of it.
+	PatternFactory = sim.PatternFactory
 )
 
 // Link-length classes (small (1,1), medium (2,0), large (2,1)).
@@ -187,6 +197,29 @@ func MemoryTraffic(g *Grid) Pattern {
 // ShuffleWeights returns the shuffle demand matrix for PatternOp
 // synthesis.
 func ShuffleWeights(n int) [][]float64 { return traffic.Shuffle{N: n}.WeightMatrix() }
+
+// PatternNames lists the workload registry's built-in traffic patterns
+// (uniform, shuffle, memory, transpose, bitcomp, bitrev, tornado,
+// hotspot, bursty, trace).
+func PatternNames() []string { return traffic.Default().Names() }
+
+// BuildPattern constructs a fresh instance of a registered pattern for a
+// grid. params may be nil; see the registry's ParamSpecs (e.g. hotspot
+// takes "weight" and "hot", bursty takes "base", "ponoff", "poffon").
+func BuildPattern(name string, g *Grid, params map[string]string) (Pattern, error) {
+	return traffic.Default().Build(name, traffic.GridEnv(g), traffic.Params(params))
+}
+
+// PatternFactoryFor returns a RunMatrix factory for a registered pattern.
+func PatternFactoryFor(name string, g *Grid, params map[string]string) PatternFactory {
+	return sim.RegistryFactory(traffic.Default(), name, traffic.GridEnv(g), traffic.Params(params))
+}
+
+// RunMatrix simulates every {topology x pattern x rate} cell of a
+// scenario matrix on a bounded worker pool. Results are deterministic
+// for a given config at any GOMAXPROCS; cmd/netbench -matrix is the CLI
+// front end.
+func RunMatrix(c MatrixConfig) (*MatrixResult, error) { return sim.RunMatrix(c) }
 
 // Sweep runs a latency-vs-injection sweep for a prepared network under a
 // pattern. rates nil selects the standard grid; fast trades fidelity for
