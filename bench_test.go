@@ -388,6 +388,36 @@ func BenchmarkEngineSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSteadyStateEnergy is BenchmarkEngineSteadyState with
+// activity counters enabled: the same fixed-window simulation plus
+// per-router/per-link energy accounting. The benchdiff gate holds it to
+// the usual allocs/op ceiling (the counters are flat arrays sized at
+// setup) and its ns/op must track the non-energy benchmark within a few
+// percent — the counting is three predictable branch+increment pairs on
+// already-hot cache lines.
+func BenchmarkEngineSteadyStateEnergy(b *testing.B) {
+	s, err := sim.Prepare(expert.Mesh(layout.Grid4x5), sim.UseNDBT, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+			Pattern: traffic.Uniform{N: 20}, InjectionRate: 0.09,
+			WarmupCycles: 2000, MeasureCycles: 8000, DrainCycles: 8000,
+			CollectEnergy: true,
+			Seed:          int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stalled || res.Energy == nil {
+			b.Fatal("bad energy run")
+		}
+	}
+}
+
 // BenchmarkExactLatOpTiny measures the branch-and-bound optimality
 // certification on a small instance.
 func BenchmarkExactLatOpTiny(b *testing.B) {

@@ -11,6 +11,8 @@
 //	netbench -matrix                # {pattern x rate x topology} matrix
 //	netbench -matrix -grid 4x4 -topos mesh -patterns uniform,tornado \
 //	    -rates 0.02,0.10 -smoke     # CI-scale smoke
+//	netbench -matrix -energy        # measured-energy columns per cell
+//	netbench -matrix -topos ns -energy-weight 2  # energy-aware synthesis
 //
 // Experiments: fig1, table2, fig5, fig6, fig7, fig8, fig9, fig10,
 // fig11, all. Matrix patterns are the traffic-registry names (see
@@ -55,10 +57,12 @@ func main() {
 	traceFile := flag.String("trace", "", "matrix: trace file; appends the trace-replay pattern")
 	smoke := flag.Bool("smoke", false, "matrix: minimal cycle budgets (CI smoke)")
 	seed := flag.Int64("seed", 42, "matrix: base seed")
+	energy := flag.Bool("energy", false, "matrix: collect measured energy (activity counters; fills the avg_power_mw / energy_per_flit_pj columns)")
+	energyWeight := flag.Float64("energy-weight", 0, "matrix: weight of the energy-proxy term in the ns topology's synthesis objective")
 	flag.Parse()
 
 	if *matrix {
-		if err := runMatrix(*grid, *class, *topos, *patterns, *rates, *traceFile, *csvDir, *smoke, *full, *seed); err != nil {
+		if err := runMatrix(*grid, *class, *topos, *patterns, *rates, *traceFile, *csvDir, *smoke, *full, *energy, *energyWeight, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "matrix: %v\n", err)
 			os.Exit(1)
 		}
@@ -195,7 +199,7 @@ func parseGrid(s string) (*layout.Grid, error) {
 // matrixSetups prepares the requested topologies: the mesh baseline with
 // expert NDBT routing and/or a latency-optimized NetSmith topology
 // (fast-budget synthesis unless -full) with MCLB routing.
-func matrixSetups(topos string, g *layout.Grid, cl layout.Class, full bool, seed int64) ([]*sim.Setup, error) {
+func matrixSetups(topos string, g *layout.Grid, cl layout.Class, full bool, energyWeight float64, seed int64) ([]*sim.Setup, error) {
 	var setups []*sim.Setup
 	for _, name := range strings.Split(topos, ",") {
 		switch strings.TrimSpace(name) {
@@ -212,7 +216,8 @@ func matrixSetups(topos string, g *layout.Grid, cl layout.Class, full bool, seed
 			}
 			res, err := synth.Generate(synth.Config{
 				Grid: g, Class: cl, Objective: synth.LatOp,
-				Seed: seed, Iterations: iters, Restarts: 4,
+				EnergyWeight: energyWeight,
+				Seed:         seed, Iterations: iters, Restarts: 4,
 			})
 			if err != nil {
 				return nil, err
@@ -229,7 +234,7 @@ func matrixSetups(topos string, g *layout.Grid, cl layout.Class, full bool, seed
 	return setups, nil
 }
 
-func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir string, smoke, full bool, seed int64) error {
+func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir string, smoke, full, energy bool, energyWeight float64, seed int64) error {
 	g, err := parseGrid(grid)
 	if err != nil {
 		return err
@@ -238,7 +243,7 @@ func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir string, sm
 	if err != nil {
 		return err
 	}
-	setups, err := matrixSetups(topos, g, cl, full, seed)
+	setups, err := matrixSetups(topos, g, cl, full, energyWeight, seed)
 	if err != nil {
 		return err
 	}
@@ -297,6 +302,7 @@ func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir string, sm
 	case !full:
 		base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 1500, 4000, 6000
 	}
+	base.CollectEnergy = energy
 
 	start := time.Now()
 	res, err := sim.RunMatrix(sim.MatrixConfig{

@@ -56,6 +56,15 @@ type Eval struct {
 
 	cuts []evalCut
 
+	// Optional per-link cost aggregate (energy-aware synthesis): costOf
+	// prices a directed link and costTotal tracks the sum over present
+	// links. Costs are integers (callers pre-scale, e.g. milli-pJ) so the
+	// incremental sum is exact and independent of mutation order — the
+	// bit-identical incremental-vs-recompute contract extends to it.
+	costOf    func(a, b int) int64
+	costTotal int64
+	snapCost  int64
+
 	scratch *bfsScratch
 	oldRow  []int16
 	preds   []int32
@@ -324,6 +333,29 @@ func (e *Eval) Dist(s, d int) int {
 	return int(e.dist[s*e.n+d])
 }
 
+// SetLinkCost attaches a per-link integer cost function and initializes
+// the maintained sum over the current link set. Subsequent Add/Remove
+// calls keep the sum exact in O(1); Rollback restores it from the Begin
+// snapshot. Must be called outside transactions. cost must be pure (the
+// same (a,b) always prices identically).
+func (e *Eval) SetLinkCost(cost func(a, b int) int64) {
+	if e.inTxn {
+		panic("bitgraph: SetLinkCost inside transaction")
+	}
+	e.costOf = cost
+	e.costTotal = 0
+	if cost == nil {
+		return
+	}
+	for _, l := range e.g.Links() {
+		e.costTotal += cost(l.A, l.B)
+	}
+}
+
+// LinkCost returns the maintained cost sum over present links (0 when no
+// cost function is set). Never triggers a BFS.
+func (e *Eval) LinkCost() int64 { return e.costTotal }
+
 // NumCuts returns the cut-pool size.
 func (e *Eval) NumCuts() int { return len(e.cuts) }
 
@@ -389,6 +421,7 @@ func (e *Eval) Begin() {
 	e.snapUnreach = e.unreachable
 	e.snapWTotal = e.wTotal
 	e.snapWUnreach = e.wUnreach
+	e.snapCost = e.costTotal
 	if e.trackDiameter {
 		copy(e.snapHisto, e.histo)
 		e.snapMaxDist = e.maxDist
@@ -479,6 +512,7 @@ func (e *Eval) Rollback() {
 	e.unreachable = e.snapUnreach
 	e.wTotal = e.snapWTotal
 	e.wUnreach = e.snapWUnreach
+	e.costTotal = e.snapCost
 	if e.trackDiameter {
 		copy(e.histo, e.snapHisto)
 		e.maxDist = e.snapMaxDist
@@ -523,6 +557,9 @@ func (e *Eval) Add(a, b int) {
 		}
 		e.g.Add(a, b)
 		e.cutCounters(a, b, +1)
+		if e.costOf != nil {
+			e.costTotal += e.costOf(a, b)
+		}
 		if e.inTxn {
 			e.ops = append(e.ops, linkOp{a, b, true})
 		}
@@ -551,6 +588,9 @@ func (e *Eval) Add(a, b int) {
 	}
 	e.g.Add(a, b)
 	e.cutCounters(a, b, +1)
+	if e.costOf != nil {
+		e.costTotal += e.costOf(a, b)
+	}
 	if e.inTxn {
 		e.ops = append(e.ops, linkOp{a, b, true})
 	}
@@ -629,6 +669,9 @@ func (e *Eval) Remove(a, b int) {
 	}
 	e.g.Remove(a, b)
 	e.cutCounters(a, b, -1)
+	if e.costOf != nil {
+		e.costTotal -= e.costOf(a, b)
+	}
 	if e.inTxn {
 		e.ops = append(e.ops, linkOp{a, b, false})
 	}
@@ -1193,6 +1236,15 @@ func (e *Eval) CheckConsistency() error {
 		if math.Abs(wTotal-e.wTotal) > 1e-6*(1+math.Abs(wTotal)) || wUnreach != e.wUnreach {
 			return fmt.Errorf("bitgraph: eval weighted (%v,%d) != recomputed (%v,%d)",
 				e.wTotal, e.wUnreach, wTotal, wUnreach)
+		}
+	}
+	if e.costOf != nil {
+		var want int64
+		for _, l := range e.g.Links() {
+			want += e.costOf(l.A, l.B)
+		}
+		if want != e.costTotal {
+			return fmt.Errorf("bitgraph: eval link cost %d != recomputed %d", e.costTotal, want)
 		}
 	}
 	return nil

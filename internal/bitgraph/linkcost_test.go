@@ -1,0 +1,73 @@
+package bitgraph
+
+import "testing"
+
+// costOf prices links asymmetrically so direction mistakes show up.
+func testCost(a, b int) int64 { return int64(31*a + b + 1) }
+
+func recomputeCost(g *Graph) int64 {
+	var sum int64
+	for _, l := range g.Links() {
+		sum += testCost(l.A, l.B)
+	}
+	return sum
+}
+
+// TestEvalLinkCostMaintained drives the maintained link-cost sum through
+// adds, removes, duplicate no-ops and transactional commit/rollback and
+// requires exact agreement with a from-scratch pricing at every step.
+func TestEvalLinkCostMaintained(t *testing.T) {
+	g := New(12)
+	for i := 0; i < 12; i++ {
+		g.Add(i, (i+1)%12)
+	}
+	e := NewEval(g, nil)
+	e.SetLinkCost(testCost)
+	if got, want := e.LinkCost(), recomputeCost(g); got != want {
+		t.Fatalf("initial cost %d != %d", got, want)
+	}
+
+	check := func(step string) {
+		t.Helper()
+		if got, want := e.LinkCost(), recomputeCost(e.Graph()); got != want {
+			t.Fatalf("%s: cost %d != recomputed %d", step, got, want)
+		}
+		if err := e.CheckConsistency(); err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+	}
+
+	e.Add(0, 5)
+	e.Add(0, 5) // duplicate: must not double-charge
+	check("add")
+	e.Remove(0, 5)
+	e.Remove(0, 5) // absent: must not refund twice
+	check("remove")
+
+	e.Begin()
+	e.Add(2, 7)
+	e.Remove(3, 4)
+	e.Commit()
+	check("commit")
+
+	before := e.LinkCost()
+	e.Begin()
+	e.Add(5, 9)
+	e.Remove(6, 7)
+	e.Add(1, 8)
+	e.Rollback()
+	check("rollback")
+	if e.LinkCost() != before {
+		t.Fatalf("rollback: cost %d != pre-transaction %d", e.LinkCost(), before)
+	}
+
+	// Re-pricing resets the sum for the current link set.
+	e.SetLinkCost(func(a, b int) int64 { return 2 * testCost(a, b) })
+	if got := e.LinkCost(); got != 2*before {
+		t.Fatalf("re-priced cost %d != %d", got, 2*before)
+	}
+	e.SetLinkCost(nil)
+	if e.LinkCost() != 0 {
+		t.Fatal("nil pricer must clear the sum")
+	}
+}

@@ -15,18 +15,22 @@ import (
 // the same deterministic rules as the figure CSVs, so matrix output is
 // bit-identical across reruns and GOMAXPROCS settings.
 
-// MatrixCSV emits one row per matrix cell.
+// MatrixCSV emits one row per matrix cell. The energy columns carry the
+// measured averages when the matrix ran with Base.CollectEnergy and
+// zeros otherwise.
 func MatrixCSV(w io.Writer, res *sim.MatrixResult) error {
 	var rows [][]string
 	for _, c := range res.Curves {
 		for _, p := range c.Points {
 			rows = append(rows, []string{c.Topology, c.Pattern,
 				f(p.OfferedRate), f(p.AvgLatencyNs), f(p.AcceptedPerNs),
-				strconv.FormatBool(p.Saturated), strconv.FormatBool(p.Stalled)})
+				strconv.FormatBool(p.Saturated), strconv.FormatBool(p.Stalled),
+				f(p.AvgPowerMW), f(p.EnergyPerFlitPJ)})
 		}
 	}
 	return writeCSV(w, []string{"topology", "pattern", "offered_pkt_node_cycle",
-		"latency_ns", "accepted_pkt_node_ns", "saturated", "stalled"}, rows)
+		"latency_ns", "accepted_pkt_node_ns", "saturated", "stalled",
+		"avg_power_mw", "energy_per_flit_pj"}, rows)
 }
 
 // MatrixJSON emits the full matrix (curves with per-point samples and
@@ -38,13 +42,30 @@ func MatrixJSON(w io.Writer, res *sim.MatrixResult) error {
 }
 
 // PrintMatrix renders the per-curve summary (zero-load latency and
-// saturation throughput per topology x pattern) as an aligned table.
+// saturation throughput per topology x pattern) as an aligned table,
+// with measured-energy columns (power and dynamic pJ/flit at the lowest
+// offered rate) when the matrix collected energy.
 func PrintMatrix(w io.Writer, res *sim.MatrixResult) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "topology\tpattern\tzero-load ns\tsaturation pkt/node/ns")
+	energy := false
 	for _, c := range res.Curves {
-		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.4f\n",
+		if len(c.Points) > 0 && c.Points[0].AvgPowerMW > 0 {
+			energy = true
+			break
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := "topology\tpattern\tzero-load ns\tsaturation pkt/node/ns"
+	if energy {
+		header += "\tzero-load mW\tzero-load pJ/flit"
+	}
+	fmt.Fprintln(tw, header)
+	for _, c := range res.Curves {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.4f",
 			c.Topology, c.Pattern, c.ZeroLoadLatencyNs, c.SaturationPerNs)
+		if energy {
+			fmt.Fprintf(tw, "\t%.2f\t%.2f", c.Points[0].AvgPowerMW, c.Points[0].EnergyPerFlitPJ)
+		}
+		fmt.Fprintln(tw)
 	}
 	tw.Flush()
 }

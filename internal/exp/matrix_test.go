@@ -12,11 +12,13 @@ import (
 	"netsmith/internal/traffic"
 )
 
-// smokeMatrix builds a small mesh matrix config exercising both
-// stateless and stateful (bursty) registry patterns.
+// smokeMatrix builds a small 4x4 mesh matrix config exercising both
+// stateless and stateful (bursty) registry patterns, with energy
+// collection on so the determinism comparisons cover the measured
+// counters.
 func smokeMatrix(t *testing.T) sim.MatrixConfig {
 	t.Helper()
-	g := layout.NewGrid(3, 3)
+	g := layout.NewGrid(4, 4)
 	st, err := sim.Prepare(expert.Mesh(g), sim.UseNDBT, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -33,6 +35,10 @@ func smokeMatrix(t *testing.T) sim.MatrixConfig {
 		Rates: []float64{0.02, 0.30},
 		Base: sim.Config{
 			WarmupCycles: 300, MeasureCycles: 800, DrainCycles: 1600,
+			// Energy columns are part of the determinism contract: the
+			// GOMAXPROCS/rerun comparisons below cover the measured
+			// counters bit-for-bit.
+			CollectEnergy: true,
 		},
 		Seed: 42,
 	}
@@ -107,14 +113,25 @@ func TestMatrixShapeAndCSVColumns(t *testing.T) {
 	if len(lines) != 1+3*2 {
 		t.Fatalf("CSV rows = %d, want header + 6 cells", len(lines))
 	}
-	wantHeader := "topology,pattern,offered_pkt_node_cycle,latency_ns,accepted_pkt_node_ns,saturated,stalled"
+	wantHeader := "topology,pattern,offered_pkt_node_cycle,latency_ns,accepted_pkt_node_ns,saturated,stalled,avg_power_mw,energy_per_flit_pj"
 	if lines[0] != wantHeader {
 		t.Errorf("CSV header = %s", lines[0])
+	}
+	for _, c := range res.Curves {
+		for _, p := range c.Points {
+			if p.AvgPowerMW <= 0 || p.EnergyPerFlitPJ <= 0 {
+				t.Errorf("%s/%s@%g: energy columns not populated: %+v",
+					c.Topology, c.Pattern, p.OfferedRate, p)
+			}
+		}
 	}
 	var buf bytes.Buffer
 	PrintMatrix(&buf, res)
 	if !strings.Contains(buf.String(), "tornado") {
 		t.Error("PrintMatrix dropped a pattern row")
+	}
+	if !strings.Contains(buf.String(), "zero-load mW") {
+		t.Error("PrintMatrix dropped the energy columns for an energy-collecting matrix")
 	}
 }
 

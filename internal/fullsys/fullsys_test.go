@@ -265,6 +265,13 @@ func TestRunWorkloadProducesLatency(t *testing.T) {
 	if res.CPI <= b.IPCtoCPI() {
 		t.Error("network latency must add to base CPI")
 	}
+	// Per-workload energy: the combined NoC+NoI run always collects
+	// activity counters, so each PARSEC measurement carries measured
+	// network power and per-flit energy.
+	if res.NetPowerMW <= 0 || res.NetEnergyPerFlitPJ <= 0 {
+		t.Errorf("workload energy not measured: power %v mW, %v pJ/flit",
+			res.NetPowerMW, res.NetEnergyPerFlitPJ)
+	}
 }
 
 func TestFullSystemSimulates(t *testing.T) {

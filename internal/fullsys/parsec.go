@@ -160,6 +160,11 @@ type WorkloadResult struct {
 	CPI              float64
 	Speedup          float64
 	LatencyReduction float64
+	// NetPowerMW is the combined network's measured average power over
+	// the run (dynamic + leakage) and NetEnergyPerFlitPJ the dynamic
+	// energy per delivered flit, from the engine's activity counters.
+	NetPowerMW         float64
+	NetEnergyPerFlitPJ float64
 }
 
 // InjectionRate converts the benchmark's miss intensity into offered
@@ -173,6 +178,7 @@ func (b Benchmark) InjectionRate() float64 {
 // execution model.
 func (s *System) RunWorkload(b Benchmark, m ExecModel, seed int64, fast bool) (*WorkloadResult, error) {
 	cfg := s.SimConfig(s.NewWorkload(b), b.InjectionRate(), seed)
+	cfg.CollectEnergy = true
 	if fast {
 		cfg.WarmupCycles = 1500
 		cfg.MeasureCycles = 4000
@@ -189,12 +195,17 @@ func (s *System) RunWorkload(b Benchmark, m ExecModel, seed int64, fast bool) (*
 	memFrac := 1 - b.CoherenceFrac
 	missLatency := 2*netCycles + memFrac*m.MemLatencyCycles
 	cpi := b.IPCtoCPI() + b.L2MPKI/1000*m.Exposure*missLatency
-	return &WorkloadResult{
+	out := &WorkloadResult{
 		Benchmark:   b,
 		Topology:    s.NoI.Name,
 		AvgPacketNs: res.AvgLatencyNs,
 		CPI:         cpi,
-	}, nil
+	}
+	if res.Energy != nil {
+		out.NetPowerMW = res.Energy.AvgTotalMW
+		out.NetEnergyPerFlitPJ = res.Energy.PerFlitPJ()
+	}
+	return out, nil
 }
 
 // IPCtoCPI returns the benchmark's ideal-network CPI.

@@ -1,0 +1,107 @@
+package power
+
+import (
+	"fmt"
+
+	"netsmith/internal/topo"
+)
+
+// Activity is the raw counter set a cycle-accurate simulation measures
+// (see sim.EnergyReport for the producer). Counters cover the whole run;
+// energy conversion multiplies them by the Model constants, so the
+// measured report is cross-checkable against the analytic Analyze
+// estimate at the same offered load (Figure 9's fidelity claim).
+type Activity struct {
+	// Cycles is the simulated cycle count; ClockGHz converts it to time.
+	Cycles   int64
+	ClockGHz float64
+	// RouterFlits counts switch traversals per router (each flit pops out
+	// of a VC buffer once per router it visits, including the final
+	// ejection pop — hops+1 traversals per flit).
+	RouterFlits []uint64
+	// LinkFlits counts flit crossings per dense directed-link ID
+	// (topo.LinkID order).
+	LinkFlits []uint64
+}
+
+// ActivityReport is measured energy: dynamic picojoules by component,
+// leakage energy over the run, and per-router/per-link breakdowns. The
+// component sums are computed from the breakdown arrays in index order,
+// so SumPJ conservation (per-router + per-link == dynamic) is exact.
+type ActivityReport struct {
+	Topology   string
+	Cycles     int64
+	DurationNs float64
+
+	// Dynamic energy split by component: router switch/buffer traversals
+	// and wire (link) crossings.
+	RouterDynPJ float64
+	WireDynPJ   float64
+	DynamicPJ   float64
+	// LeakagePJ is the load-independent leakage power integrated over the
+	// run duration; TotalPJ = DynamicPJ + LeakagePJ.
+	LeakagePJ float64
+	TotalPJ   float64
+
+	// Average power over the run (pJ/ns == mW), comparable to the
+	// analytic Report's DynamicMW/TotalMW at the same offered load.
+	AvgDynamicMW float64
+	AvgTotalMW   float64
+
+	// PerRouterPJ[r] is router r's dynamic traversal energy; PerLinkPJ[id]
+	// the wire energy of dense link id.
+	PerRouterPJ []float64
+	PerLinkPJ   []float64
+}
+
+// ActivityReport converts measured counters into energy with the model
+// constants. The topology supplies link lengths (wire energy) and port
+// counts (leakage), mirroring Analyze so measured and analytic reports
+// share every constant.
+func (m Model) ActivityReport(t *topo.Topology, a Activity) (*ActivityReport, error) {
+	n := t.N()
+	if len(a.RouterFlits) != n {
+		return nil, fmt.Errorf("power: %d router counters for %d routers", len(a.RouterFlits), n)
+	}
+	if len(a.LinkFlits) != t.NumDirectedLinks() {
+		return nil, fmt.Errorf("power: %d link counters for %d links", len(a.LinkFlits), t.NumDirectedLinks())
+	}
+	if a.ClockGHz <= 0 {
+		return nil, fmt.Errorf("power: non-positive clock %v", a.ClockGHz)
+	}
+	r := &ActivityReport{
+		Topology:    t.Name,
+		Cycles:      a.Cycles,
+		DurationNs:  float64(a.Cycles) / a.ClockGHz,
+		PerRouterPJ: make([]float64, n),
+		PerLinkPJ:   make([]float64, len(a.LinkFlits)),
+	}
+	for v := 0; v < n; v++ {
+		r.PerRouterPJ[v] = m.RouterDynPJPerFlit * float64(a.RouterFlits[v])
+		r.RouterDynPJ += r.PerRouterPJ[v]
+	}
+	for id := range a.LinkFlits {
+		l := t.LinkByID(id)
+		r.PerLinkPJ[id] = m.WireDynPJPerFlitMM * t.Grid.LengthMM(l.From, l.To) * float64(a.LinkFlits[id])
+		r.WireDynPJ += r.PerLinkPJ[id]
+	}
+	r.DynamicPJ = r.RouterDynPJ + r.WireDynPJ
+	r.LeakagePJ = m.LeakageMW(t) * r.DurationNs
+	r.TotalPJ = r.DynamicPJ + r.LeakagePJ
+	if r.DurationNs > 0 {
+		r.AvgDynamicMW = r.DynamicPJ / r.DurationNs
+		r.AvgTotalMW = r.TotalPJ / r.DurationNs
+	}
+	return r, nil
+}
+
+// LeakageMW is the topology's load-independent leakage power: per-port
+// router leakage plus wire repeater leakage (the leak term of Analyze,
+// shared so measured and analytic reports agree by construction).
+func (m Model) LeakageMW(t *topo.Topology) float64 {
+	ports := 0
+	for v := 0; v < t.N(); v++ {
+		ports += t.OutDegree(v) + t.InDegree(v) + m.LocalPorts
+	}
+	return m.RouterLeakMWPerPort*float64(ports)/2 + m.WireLeakMWPerMM*t.TotalWireLengthMM()
+}

@@ -1,0 +1,127 @@
+package power_test
+
+// External test package: the cross-check drives the cycle-accurate
+// simulator (internal/sim), which itself imports power for the energy
+// conversion — an in-package test would close an import cycle.
+
+import (
+	"math"
+	"testing"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+	"netsmith/internal/power"
+	"netsmith/internal/sim"
+	"netsmith/internal/traffic"
+)
+
+// TestActivityReportMatchesAnalytic pins the Figure-9 fidelity claim:
+// the measured-energy report of a uniform-traffic run must agree with
+// the analytic estimate at the same offered load. The analytic model
+// predicts average dynamic power from the routing's exact channel loads
+// and the Bernoulli injection process; the measured report integrates
+// the same constants over the engine's actual activity counters, so the
+// two may differ only through edge effects (warm-up fill, drain tail)
+// and the stochastic flit mix — well under the 20% tolerance at the
+// chosen window sizes.
+func TestActivityReportMatchesAnalytic(t *testing.T) {
+	s, err := sim.Prepare(expert.Mesh(layout.Grid4x5), sim.UseMCLB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rate = 0.08
+	res, err := sim.Run(sim.Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: traffic.Uniform{N: 20}, InjectionRate: rate,
+		WarmupCycles: 2000, MeasureCycles: 20000, DrainCycles: 20000,
+		CollectEnergy: true, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled || res.Energy == nil {
+		t.Fatalf("bad run: stalled=%v energy=%v", res.Stalled, res.Energy != nil)
+	}
+	analytic := power.Analyze(s.Topo, s.Routing, rate, power.Default22nm())
+	measured := res.Energy
+
+	const tol = 0.20
+	checkRatio := func(name string, got, want float64) {
+		t.Helper()
+		if want <= 0 || got <= 0 {
+			t.Fatalf("%s: non-positive (measured %v, analytic %v)", name, got, want)
+		}
+		if r := got / want; r < 1-tol || r > 1+tol {
+			t.Errorf("%s: measured %v vs analytic %v (ratio %.3f outside [%.2f, %.2f])",
+				name, got, want, r, 1-tol, 1+tol)
+		}
+	}
+	checkRatio("dynamic mW", measured.AvgDynamicMW, analytic.DynamicMW)
+	checkRatio("total mW", measured.AvgTotalMW, analytic.TotalMW)
+
+	// Leakage shares the exact same formula on both sides; the only
+	// freedom is the run duration, so the measured leakage power must
+	// equal the analytic leakage exactly.
+	leakMW := measured.LeakagePJ / measured.DurationNs
+	if math.Abs(leakMW-analytic.LeakageMW) > 1e-9*(1+analytic.LeakageMW) {
+		t.Errorf("leakage %v mW != analytic %v mW", leakMW, analytic.LeakageMW)
+	}
+}
+
+// TestActivityReportScalesWithLoad checks the measured counterpart of
+// TestDynamicScalesWithLoad: doubling the offered rate roughly doubles
+// measured dynamic power while leakage power stays fixed.
+func TestActivityReportScalesWithLoad(t *testing.T) {
+	s, err := sim.Prepare(expert.Mesh(layout.Grid4x5), sim.UseMCLB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAt := func(rate float64) *sim.EnergyReport {
+		t.Helper()
+		res, err := sim.Run(sim.Config{
+			Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+			Pattern: traffic.Uniform{N: 20}, InjectionRate: rate,
+			WarmupCycles: 1000, MeasureCycles: 8000, DrainCycles: 12000,
+			CollectEnergy: true, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Energy
+	}
+	low, high := runAt(0.04), runAt(0.08)
+	ratio := high.AvgDynamicMW / low.AvgDynamicMW
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("dynamic power ratio %.3f at 2x load, want ~2", ratio)
+	}
+	lowLeak := low.LeakagePJ / low.DurationNs
+	highLeak := high.LeakagePJ / high.DurationNs
+	if math.Abs(lowLeak-highLeak) > 1e-9*(1+lowLeak) {
+		t.Errorf("leakage power load-dependent: %v vs %v mW", lowLeak, highLeak)
+	}
+}
+
+// TestActivityReportValidates covers the conversion's input validation.
+func TestActivityReportValidates(t *testing.T) {
+	mesh := expert.Mesh(layout.Grid4x5)
+	m := power.Default22nm()
+	if _, err := m.ActivityReport(mesh, power.Activity{Cycles: 10, ClockGHz: 1}); err == nil {
+		t.Error("mismatched counter lengths accepted")
+	}
+	act := power.Activity{
+		Cycles:      10,
+		RouterFlits: make([]uint64, mesh.N()),
+		LinkFlits:   make([]uint64, mesh.NumDirectedLinks()),
+	}
+	if _, err := m.ActivityReport(mesh, act); err == nil {
+		t.Error("zero clock accepted")
+	}
+	act.ClockGHz = 3.0
+	rep, err := m.ActivityReport(mesh, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DynamicPJ != 0 || rep.LeakagePJ <= 0 {
+		t.Errorf("idle activity: dynamic %v (want 0), leakage %v (want > 0)", rep.DynamicPJ, rep.LeakagePJ)
+	}
+}

@@ -87,7 +87,7 @@ func Analyze(t *topo.Topology, r *route.Routing, rate float64, m Model) Report {
 	for v := 0; v < t.N(); v++ {
 		ports += t.OutDegree(v) + t.InDegree(v) + m.LocalPorts
 	}
-	leak := m.RouterLeakMWPerPort*float64(ports)/2 + m.WireLeakMWPerMM*wireMM
+	leak := m.LeakageMW(t)
 
 	routerArea := m.RouterAreaMM2PerPort * float64(ports) / 2
 	wireArea := m.WireAreaMM2PerMM * wireMM

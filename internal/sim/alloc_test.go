@@ -12,7 +12,7 @@ import (
 // every pool and ring has reached its steady-state capacity. The measure
 // window is set huge so the stepped cycles below stay in the generating
 // phase.
-func steadyEngine(t testing.TB, rate float64) *engine {
+func steadyEngine(t testing.TB, rate float64, energy bool) *engine {
 	s, err := Prepare(expert.Mesh(layout.Grid4x5), UseNDBT, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -20,7 +20,8 @@ func steadyEngine(t testing.TB, rate float64) *engine {
 	cfg, err := defaulted(Config{
 		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
 		Pattern: traffic.Uniform{N: 20}, InjectionRate: rate,
-		WarmupCycles: 1000, MeasureCycles: 1 << 30, DrainCycles: 1000, Seed: 6,
+		CollectEnergy: energy,
+		WarmupCycles:  1000, MeasureCycles: 1 << 30, DrainCycles: 1000, Seed: 6,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -40,17 +41,22 @@ func steadyEngine(t testing.TB, rate float64) *engine {
 // per-packet or per-flit allocation shows up as >= 1 alloc per window.
 // Rates stay below mesh saturation: past saturation the injection
 // backlog (and hence the packet pool) grows without bound by design.
+// Energy-enabled engines must hold the same property: the activity
+// counters are fixed uint64 arrays sized at setup, so counting adds no
+// steady-state allocation.
 func TestSteadyStateCyclesDoNotAllocate(t *testing.T) {
-	for _, rate := range []float64{0.05, 0.09} {
-		e := steadyEngine(t, rate)
-		avg := testing.AllocsPerRun(10, func() {
-			for i := 0; i < 200; i++ {
-				e.step(true, false)
-				e.cycle++
+	for _, energy := range []bool{false, true} {
+		for _, rate := range []float64{0.05, 0.09} {
+			e := steadyEngine(t, rate, energy)
+			avg := testing.AllocsPerRun(10, func() {
+				for i := 0; i < 200; i++ {
+					e.step(true, false)
+					e.cycle++
+				}
+			})
+			if avg > 0.5 {
+				t.Errorf("rate %v energy=%v: %.1f allocs per 200 warm cycles, want 0", rate, energy, avg)
 			}
-		})
-		if avg > 0.5 {
-			t.Errorf("rate %v: %.1f allocs per 200 warm cycles, want 0", rate, avg)
 		}
 	}
 }
@@ -59,7 +65,7 @@ func TestSteadyStateCyclesDoNotAllocate(t *testing.T) {
 // by the allocation guard is actually doing work (delivering packets),
 // so the zero-alloc assertion is not vacuous.
 func TestSteadyStateRunStaysLive(t *testing.T) {
-	e := steadyEngine(t, 0.10)
+	e := steadyEngine(t, 0.10, true)
 	before := e.delivered
 	for i := 0; i < 2000; i++ {
 		e.step(true, false)

@@ -44,7 +44,8 @@ func TestRunBitIdenticalOnSynthesizedTopology(t *testing.T) {
 	cfg := Config{
 		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
 		Pattern: traffic.Uniform{N: 20}, InjectionRate: 0.12,
-		WarmupCycles: 600, MeasureCycles: 2000, DrainCycles: 4000, Seed: 33,
+		CollectEnergy: true,
+		WarmupCycles:  600, MeasureCycles: 2000, DrainCycles: 4000, Seed: 33,
 	}
 	a, err := Run(cfg)
 	if err != nil {
@@ -54,10 +55,15 @@ func TestRunBitIdenticalOnSynthesizedTopology(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// DeepEqual covers Energy too: every activity counter and derived
+	// picojoule value must be bit-identical across reruns.
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("identical Config must reproduce bit-identical Results:\n%+v\n%+v", a, b)
 	}
 	if a.Measured == 0 {
 		t.Fatal("determinism check measured nothing")
+	}
+	if a.Energy == nil || b.Energy == nil {
+		t.Fatal("energy reports missing from determinism check")
 	}
 }

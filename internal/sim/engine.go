@@ -15,6 +15,9 @@ func (e *engine) pushFlit(s int32, r int, f flit) {
 	e.bufData[int(s)*e.bufCap+int((e.bufHead[s]+e.bufCount[s])&e.bufMask)] = f
 	e.bufCount[s]++
 	e.bufferedFlits++
+	if e.actBufWrite != nil {
+		e.actBufWrite[r]++
+	}
 	if e.bufCount[s] == 1 {
 		e.retarget(s, r)
 	}
@@ -27,6 +30,9 @@ func (e *engine) popFlit(s int32, r int) flit {
 	e.bufHead[s] = (e.bufHead[s] + 1) & e.bufMask
 	e.bufCount[s]--
 	e.bufferedFlits--
+	if e.actBufRead != nil {
+		e.actBufRead[r]++
+	}
 	e.retarget(s, r)
 	return f
 }
@@ -108,6 +114,9 @@ func (e *engine) linkPush(lid int32, inf inflight) {
 	e.lqData[int(lid)*e.lqCap+int((e.lqHead[lid]+cnt)&e.lqMask)] = inf
 	e.lqCount[lid] = cnt + 1
 	e.linkFlits++
+	if e.actLinkFlits != nil {
+		e.actLinkFlits[lid]++
+	}
 }
 
 // growLinkRings doubles the shared link-ring stride. Occupancy is
@@ -211,6 +220,9 @@ func (e *engine) drainLocal(r, lb int, budget *int) {
 		e.free[s]++
 		e.forwardedThisCycle = true
 		*budget--
+		if e.actBufRead != nil {
+			e.actEjected++
+		}
 		if f.isTail {
 			e.completePacket(f.pkt)
 		}
@@ -364,6 +376,9 @@ func (e *engine) inject() {
 			p.flitsQueued++
 			budget--
 			e.forwardedThisCycle = true
+			if e.actBufRead != nil {
+				e.actInjected++
+			}
 			if f.isTail {
 				e.owner[s] = nil
 				q.pop()

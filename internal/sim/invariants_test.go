@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 
 	"netsmith/internal/expert"
@@ -143,6 +145,164 @@ func TestOccupancyMaskConsistency(t *testing.T) {
 	}
 	if bufferedSeen != e.bufferedFlits {
 		t.Fatalf("bufferedFlits counter %d != actual %d", e.bufferedFlits, bufferedSeen)
+	}
+}
+
+// recordingPattern wraps a pattern and logs every accepted injection so
+// tests can recompute expected activity from the routing tables.
+type recordingPattern struct {
+	traffic.Pattern
+	recs [][3]int // src, dst, flits
+}
+
+func (r *recordingPattern) Inject(src int, rng *rand.Rand) (int, int, bool) {
+	dst, flits, ok := r.Pattern.Inject(src, rng)
+	if ok {
+		r.recs = append(r.recs, [3]int{src, dst, flits})
+	}
+	return dst, flits, ok
+}
+
+// Originates must answer statically: the probing fallback would log a
+// spurious injection through the recorder.
+func (r *recordingPattern) Originates(src int) bool {
+	return traffic.PatternOriginates(r.Pattern, src)
+}
+
+// TestEnergyConservation pins the activity-counter semantics after a
+// fully drained run:
+//
+//  1. flit conservation per component: buffer writes = injections +
+//     link arrivals, buffer reads = link departures + ejections, and
+//     injected == ejected once the network is empty;
+//  2. measured traversal/hop counters equal delivered-flit x hop-count
+//     recomputed from the routing tables (every recorded packet of f
+//     flits over an h-hop path contributes f*h link crossings and
+//     f*(h+1) buffer reads);
+//  3. energy conservation in the converted report: the per-router plus
+//     per-link dynamic breakdowns sum to the dynamic total, and dynamic
+//     plus leakage equals the total.
+func TestEnergyConservation(t *testing.T) {
+	s, err := Prepare(expert.Mesh(layout.Grid4x5), UseNDBT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingPattern{Pattern: traffic.Uniform{N: 20}}
+	cfg, err := defaulted(Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: rec, InjectionRate: 0.10, CollectEnergy: true,
+		WarmupCycles: 600, MeasureCycles: 2500, DrainCycles: 30000, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(cfg)
+	res, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled {
+		t.Fatal("stalled")
+	}
+	if !e.networkEmpty() {
+		t.Fatal("network not drained; conservation invariants need a full drain")
+	}
+	for r := 0; r < e.n; r++ {
+		if !e.injectQ[r].empty() {
+			t.Fatalf("router %d still has queued packets", r)
+		}
+	}
+	rep := res.Energy
+	if rep == nil {
+		t.Fatal("CollectEnergy run returned no energy report")
+	}
+
+	// (1) Component-level flit conservation.
+	var writes, reads, cross uint64
+	for _, v := range rep.BufWrites {
+		writes += v
+	}
+	for _, v := range rep.BufReads {
+		reads += v
+	}
+	for _, v := range rep.LinkFlits {
+		cross += v
+	}
+	if writes != rep.InjectedFlits+cross {
+		t.Errorf("buffer writes %d != injected %d + link crossings %d", writes, rep.InjectedFlits, cross)
+	}
+	if reads != rep.EjectedFlits+cross {
+		t.Errorf("buffer reads %d != ejected %d + link crossings %d", reads, rep.EjectedFlits, cross)
+	}
+	if rep.InjectedFlits != rep.EjectedFlits {
+		t.Errorf("drained network: injected %d != ejected %d flits", rep.InjectedFlits, rep.EjectedFlits)
+	}
+
+	// (2) Counters vs the routing tables: every recorded injection of f
+	// flits rides its table path end to end.
+	var wantFlits, wantFlitHops uint64
+	for _, r := range rec.recs {
+		hops := s.Routing.PathFor(r[0], r[1]).Hops()
+		wantFlits += uint64(r[2])
+		wantFlitHops += uint64(r[2] * hops)
+	}
+	if wantFlits == 0 {
+		t.Fatal("pattern recorded no injections")
+	}
+	if rep.InjectedFlits != wantFlits {
+		t.Errorf("injected flits %d != recorded %d", rep.InjectedFlits, wantFlits)
+	}
+	if cross != wantFlitHops {
+		t.Errorf("link crossings %d != recorded flit-hops %d from routing tables", cross, wantFlitHops)
+	}
+	if reads != wantFlitHops+wantFlits {
+		t.Errorf("router traversals %d != flit-hops %d + delivered flits %d", reads, wantFlitHops, wantFlits)
+	}
+
+	// (3) Energy conservation in the converted report.
+	var routerPJ, linkPJ float64
+	for _, v := range rep.PerRouterPJ {
+		routerPJ += v
+	}
+	for _, v := range rep.PerLinkPJ {
+		linkPJ += v
+	}
+	closeEnough := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-9*(1+math.Abs(a))
+	}
+	if !closeEnough(routerPJ, rep.RouterDynPJ) || !closeEnough(linkPJ, rep.WireDynPJ) {
+		t.Errorf("component sums (%v, %v) != report components (%v, %v)",
+			routerPJ, linkPJ, rep.RouterDynPJ, rep.WireDynPJ)
+	}
+	if !closeEnough(routerPJ+linkPJ, rep.DynamicPJ) {
+		t.Errorf("per-router %v + per-link %v != dynamic total %v", routerPJ, linkPJ, rep.DynamicPJ)
+	}
+	if !closeEnough(rep.DynamicPJ+rep.LeakagePJ, rep.TotalPJ) {
+		t.Errorf("dynamic %v + leakage %v != total %v", rep.DynamicPJ, rep.LeakagePJ, rep.TotalPJ)
+	}
+	if rep.DynamicPJ <= 0 || rep.LeakagePJ <= 0 || rep.DurationNs <= 0 {
+		t.Errorf("degenerate report: %+v", rep.ActivityReport)
+	}
+}
+
+// TestEnergyDisabledCollectsNothing guards the zero-overhead contract:
+// without CollectEnergy the engine allocates no counters and the result
+// carries no report.
+func TestEnergyDisabledCollectsNothing(t *testing.T) {
+	s, err := Prepare(expert.Mesh(layout.Grid4x5), UseNDBT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern: traffic.Uniform{N: 20}, InjectionRate: 0.05,
+		WarmupCycles: 200, MeasureCycles: 500, DrainCycles: 2000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy != nil {
+		t.Error("energy report present without CollectEnergy")
 	}
 }
 

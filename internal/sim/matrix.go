@@ -46,7 +46,8 @@ type MatrixConfig struct {
 	Rates []float64
 	// Base supplies fidelity knobs (cycle budgets, VC counts, bandwidth);
 	// its Topo/Routing/VC/Pattern/InjectionRate/Seed fields are
-	// overridden per cell.
+	// overridden per cell. Setting Base.CollectEnergy fills every cell's
+	// energy columns (avg power, dynamic pJ per delivered flit).
 	Base Config
 	// Seed is the matrix-level seed; cell i simulates with
 	// Seed + i*7919 where i is the cell's fixed matrix position.
@@ -140,6 +141,7 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 					AcceptedPerNs: res.AcceptedPerNs,
 					Stalled:       res.Stalled,
 				}
+				points[i].energize(res)
 			}
 		}()
 	}

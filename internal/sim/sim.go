@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"netsmith/internal/power"
 	"netsmith/internal/route"
 	"netsmith/internal/topo"
 	"netsmith/internal/traffic"
@@ -54,6 +55,15 @@ type Config struct {
 	MeasureCycles int
 	DrainCycles   int
 
+	// CollectEnergy enables per-router/per-link activity counters on the
+	// hot path (plain uint64 increments; no extra allocations) and fills
+	// Result.Energy with the measured-energy report. The counting branches
+	// are gated on nil slices, so runs without it pay nothing.
+	CollectEnergy bool
+	// EnergyModel supplies the technology constants for the energy
+	// conversion; nil selects power.Default22nm().
+	EnergyModel *power.Model
+
 	// NodeRate optionally scales each router's service rate relative to
 	// the base clock (multi-clock domains); 0 entries default to 1.0.
 	NodeRate []float64
@@ -84,6 +94,50 @@ type Result struct {
 	// Stalled is set when the watchdog detected no forward progress
 	// (should never happen with verified deadlock-free VC assignments).
 	Stalled bool
+	// Energy is the measured-energy report (nil unless
+	// Config.CollectEnergy was set).
+	Energy *EnergyReport
+}
+
+// EnergyReport is the measured-energy outcome of one run: the raw
+// activity counters the engine accumulated plus their conversion into
+// picojoules via power.Model (dynamic by component, leakage x run
+// duration, per-router and per-link breakdowns).
+//
+// Counter semantics (the conservation invariants pinned by
+// TestEnergyConservation):
+//
+//   - BufWrites[r] counts flits written into router r's VC buffers: one
+//     per injection at r plus one per link arrival at r.
+//   - BufReads[r] counts flits popped out of router r's buffers — the
+//     switch/ejection traversals the router dynamic energy is charged
+//     on: one per link departure plus one per local ejection. A flit
+//     crossing h links is read h+1 times network-wide.
+//   - LinkFlits[id] counts flit crossings of dense directed link id
+//     (topo.LinkID order); wire dynamic energy is charged per crossing
+//     times the link's length.
+//
+// At full drain: sum(BufWrites) == InjectedFlits + sum(LinkFlits),
+// sum(BufReads) == EjectedFlits + sum(LinkFlits), and InjectedFlits ==
+// EjectedFlits == the flit count of every delivered packet.
+type EnergyReport struct {
+	power.ActivityReport
+
+	BufReads      []uint64
+	BufWrites     []uint64
+	LinkFlits     []uint64
+	InjectedFlits uint64
+	EjectedFlits  uint64
+}
+
+// PerFlitPJ is the dynamic energy per delivered flit (0 when the run
+// delivered nothing) — the single definition behind every
+// energy_per_flit_pj column.
+func (r *EnergyReport) PerFlitPJ() float64 {
+	if r.EjectedFlits == 0 {
+		return 0
+	}
+	return r.DynamicPJ / float64(r.EjectedFlits)
 }
 
 type flit struct {
@@ -217,6 +271,17 @@ type engine struct {
 	rate    []float64
 
 	pktFree []*packet // packet pool
+
+	// Activity counters (nil unless CollectEnergy): per-router buffer
+	// reads/writes, per-link flit crossings, and the injection/ejection
+	// totals. Plain uint64 increments on the existing hot-path events —
+	// no allocation, no extra passes, gated on a nil check that predicts
+	// perfectly when disabled.
+	actBufRead   []uint64
+	actBufWrite  []uint64
+	actLinkFlits []uint64
+	actInjected  uint64
+	actEjected   uint64
 
 	cycle int64
 
@@ -393,6 +458,11 @@ func newEngine(cfg Config) *engine {
 	e.injectQ = make([]pktRing, n)
 	e.rrEject = make([]int32, n)
 	e.activeNow = make([]bool, n)
+	if cfg.CollectEnergy {
+		e.actBufRead = make([]uint64, n)
+		e.actBufWrite = make([]uint64, n)
+		e.actLinkFlits = make([]uint64, L)
+	}
 	return e
 }
 
@@ -448,7 +518,40 @@ func (e *engine) run() (*Result, error) {
 	}
 	res.AcceptedPerCycle = float64(e.delivered) / float64(cfg.MeasureCycles) / float64(injectingNodes)
 	res.AcceptedPerNs = res.AcceptedPerCycle * cfg.ClockGHz
+	if cfg.CollectEnergy {
+		energy, err := e.energyReport()
+		if err != nil {
+			return nil, err
+		}
+		res.Energy = energy
+	}
 	return res, nil
+}
+
+// energyReport converts the run's activity counters into the measured
+// energy report.
+func (e *engine) energyReport() (*EnergyReport, error) {
+	m := power.Default22nm()
+	if e.cfg.EnergyModel != nil {
+		m = *e.cfg.EnergyModel
+	}
+	rep, err := m.ActivityReport(e.cfg.Topo, power.Activity{
+		Cycles:      e.cycle,
+		ClockGHz:    e.cfg.ClockGHz,
+		RouterFlits: e.actBufRead,
+		LinkFlits:   e.actLinkFlits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &EnergyReport{
+		ActivityReport: *rep,
+		BufReads:       e.actBufRead,
+		BufWrites:      e.actBufWrite,
+		LinkFlits:      e.actLinkFlits,
+		InjectedFlits:  e.actInjected,
+		EjectedFlits:   e.actEjected,
+	}, nil
 }
 
 // injectingNodes counts nodes that originate traffic under the pattern,

@@ -20,6 +20,20 @@ type SweepPoint struct {
 	AcceptedPerNs float64 `json:"accepted_pkt_node_ns"` // packets/node/ns
 	Saturated     bool    `json:"saturated"`
 	Stalled       bool    `json:"stalled"`
+	// Measured-energy summary (zero unless the run's Config set
+	// CollectEnergy): average total power over the run and dynamic energy
+	// per delivered flit.
+	AvgPowerMW      float64 `json:"avg_power_mw"`
+	EnergyPerFlitPJ float64 `json:"energy_per_flit_pj"`
+}
+
+// energize fills the point's energy summary from a run result.
+func (p *SweepPoint) energize(res *Result) {
+	if res.Energy == nil {
+		return
+	}
+	p.AvgPowerMW = res.Energy.AvgTotalMW
+	p.EnergyPerFlitPJ = res.Energy.PerFlitPJ()
 }
 
 // SweepResult is a latency-vs-injection curve plus derived summary
@@ -91,6 +105,7 @@ func Sweep(sc SweepConfig) (*SweepResult, error) {
 					AcceptedPerNs: res.AcceptedPerNs,
 					Stalled:       res.Stalled,
 				}
+				points[i].energize(res)
 			}
 		}()
 	}

@@ -275,6 +275,9 @@ func (a *annealer) newSearchCtx(g *bitgraph.Graph) *searchCtx {
 	if a.cfg.MaxDiameter > 0 {
 		ev.TrackDiameter()
 	}
+	if a.eval.linkCostMilli != nil {
+		ev.SetLinkCost(a.eval.linkCostMilli)
+	}
 	if a.cfg.Objective == SCOp || a.cfg.MinCutBW > 0 {
 		for _, m := range a.eval.cutPool {
 			ev.AddCut(m)
@@ -579,6 +582,13 @@ func (a *annealer) annealRestart(restart int64, iters int) restartResult {
 	cooling := math.Pow(tEnd/t0, 1/float64(max(1, iters)))
 	temp := t0
 
+	// The monotonicity fast paths below assume additions never worsen and
+	// removals never improve any score component. A positive EnergyWeight
+	// breaks both directions (adds pay energy, removals recoup it), so
+	// energy-aware runs route every move through the exact transactional
+	// Metropolis path.
+	mono := a.eval.linkCostMilli == nil
+
 	const checkEvery = 1024
 	for i := 0; i < iters; i++ {
 		if i%checkEvery == 0 && a.expired() {
@@ -589,7 +599,7 @@ func (a *annealer) annealRestart(restart int64, iters int) restartResult {
 		if !ok {
 			continue
 		}
-		if mv.kind == moveAdd {
+		if mv.kind == moveAdd && mono {
 			// Every score component is monotone non-worsening under a
 			// link addition (distances and unreachable pairs shrink, cut
 			// crossings grow), so the Metropolis test always accepts:
@@ -601,7 +611,7 @@ func (a *annealer) annealRestart(restart int64, iters int) restartResult {
 		}
 		refresh()
 		temp *= cooling // cooling applies to every applied move below
-		if mv.kind == moveRemove && !cfg.Symmetric && cfg.Objective != Weighted {
+		if mono && mv.kind == moveRemove && !cfg.Symmetric && cfg.Objective != Weighted {
 			// Peek-first removal: detection without mutation. A removal
 			// the bound already rejects costs nothing but the peek — no
 			// transaction, no graph churn, no rollback. (Symmetric
@@ -634,16 +644,19 @@ func (a *annealer) annealRestart(restart int64, iters int) restartResult {
 			}
 		}
 		ctx.begin()
-		if mv.kind == moveSwap {
+		if mv.kind == moveSwap || mv.kind == moveAdd {
 			// A swap keeps the union semantics: the add and remove halves
 			// often dirty the same sources near the touched endpoints,
 			// and the lazy queue recomputes each exactly once against
-			// the final graph.
+			// the final graph. (A bare add only reaches this path in
+			// energy mode, where it needs the exact test.)
 			ctx.doAdd(mv.af, mv.at)
 		}
-		ctx.doRemove(mv.rf, mv.rt)
+		if mv.kind != moveAdd {
+			ctx.doRemove(mv.rf, mv.rt)
+		}
 		pending := ctx.ev.Pending()
-		if pending == 0 && !ctx.poolInScore() {
+		if mono && pending == 0 && !ctx.poolInScore() {
 			// The removal changed no distance row and the pool is not
 			// scored, so the delta is the add half's (non-positive)
 			// contribution: provably accepted with no extra BFS. For a
@@ -665,7 +678,7 @@ func (a *annealer) annealRestart(restart int64, iters int) restartResult {
 		// or for Weighted, whose demands can be zero on the affected
 		// pairs.)
 		bound := float64(pending)
-		if mv.kind == moveRemove && cfg.Objective != Weighted {
+		if mono && mv.kind == moveRemove && cfg.Objective != Weighted {
 			if bound >= 30*temp {
 				// exp(-30) < 1e-13 is below any realistic uniform draw:
 				// reject without even drawing.
@@ -780,6 +793,9 @@ func (a *annealer) finish() (*Result, error) {
 	case Weighted:
 		wt, _ := a.best.WeightedHops(a.cfg.Weights)
 		res.Objective = wt
+	}
+	if a.eval.linkCostMilli != nil {
+		res.EnergyProxy = energyProxyOf(a.eval.energyProxySum(a.best))
 	}
 	res.Gap = a.gapOf(res.Objective)
 	res.Optimal = res.Gap <= 1e-9

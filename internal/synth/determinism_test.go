@@ -99,6 +99,10 @@ func TestIncrementalScoreMatchesRecompute(t *testing.T) {
 		{"weighted", Config{Grid: layout.Grid4x5, Class: layout.Large, Objective: Weighted, Radix: 4, Weights: shuffle}},
 		{"symmetric", Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: LatOp, Radix: 4, Symmetric: true}},
 		{"multiword", Config{Grid: layout.NewGrid(9, 9), Class: layout.Medium, Objective: LatOp, Radix: 4}},
+		// Energy term: integer milli-unit link costs keep the maintained
+		// sum exact, so bit-identity must hold here too.
+		{"energy", Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: LatOp, Radix: 4, EnergyWeight: 2.5}},
+		{"energy-scop", Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: SCOp, Radix: 4, EnergyWeight: 1.25}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,91 @@
+package synth
+
+import (
+	"testing"
+
+	"netsmith/internal/layout"
+	"netsmith/internal/power"
+)
+
+// The proxy constants are duplicated from power.Default22nm (synth must
+// not import power outside tests; see objective.go). This pin keeps the
+// copies from drifting.
+func TestEnergyProxyConstantsMatchPowerModel(t *testing.T) {
+	m := power.Default22nm()
+	if energyWirePJPerFlitMM != m.WireDynPJPerFlitMM {
+		t.Errorf("energyWirePJPerFlitMM = %v, power model has %v", energyWirePJPerFlitMM, m.WireDynPJPerFlitMM)
+	}
+	if energyPortLeakMW != m.RouterLeakMWPerPort {
+		t.Errorf("energyPortLeakMW = %v, power model has %v", energyPortLeakMW, m.RouterLeakMWPerPort)
+	}
+}
+
+// TestEnergyWeightPrunesLinks checks the objective actually trades
+// connectivity richness for energy: at a meaningful weight the chosen
+// topology uses fewer, shorter links than the unweighted optimum while
+// staying feasible, and the reported proxy reflects the saving.
+func TestEnergyWeightPrunesLinks(t *testing.T) {
+	base := Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: LatOp,
+		Seed: 4, Iterations: 8000, Restarts: 2}
+	plain, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.EnergyProxy != 0 {
+		t.Errorf("EnergyProxy %v reported without EnergyWeight", plain.EnergyProxy)
+	}
+
+	weighted := base
+	weighted.EnergyWeight = 30
+	green, err := Generate(weighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !green.Topology.IsConnected() {
+		t.Fatal("energy-weighted topology disconnected")
+	}
+	if !green.Topology.RespectsRadix(4) || !green.Topology.RespectsLinkLengths() {
+		t.Fatal("energy-weighted topology violates constraints")
+	}
+	if green.EnergyProxy <= 0 {
+		t.Fatalf("EnergyProxy = %v, want > 0", green.EnergyProxy)
+	}
+	if gl, pl := green.Topology.NumLinks(), plain.Topology.NumLinks(); gl >= pl {
+		t.Errorf("energy weight kept %d links, unweighted uses %d — no pruning", gl, pl)
+	}
+	if gw, pw := green.Topology.TotalWireLengthMM(), plain.Topology.TotalWireLengthMM(); gw >= pw {
+		t.Errorf("energy weight kept %.1f mm of wire, unweighted uses %.1f mm", gw, pw)
+	}
+	// Cross-check the reported proxy against a from-scratch pricing of
+	// the returned topology.
+	cfg, err := (&weighted).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := newEvaluator(cfg)
+	if want := energyProxyOf(ev.energyProxySum(stateFromTopology(green.Topology))); green.EnergyProxy != want {
+		t.Errorf("EnergyProxy %v != recomputed %v", green.EnergyProxy, want)
+	}
+}
+
+// TestEnergyWeightDeterministic extends the determinism contract to
+// energy-aware runs (which bypass the monotone fast paths and take the
+// exact transactional route for every move).
+func TestEnergyWeightDeterministic(t *testing.T) {
+	cfg := Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: LatOp,
+		EnergyWeight: 10, Seed: 9, Iterations: 4000, Restarts: 2}
+	first, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Topology.CanonicalLinkList() != again.Topology.CanonicalLinkList() {
+		t.Fatal("energy-weighted Generate not deterministic")
+	}
+	if first.EnergyProxy != again.EnergyProxy {
+		t.Fatalf("EnergyProxy differs across runs: %v vs %v", first.EnergyProxy, again.EnergyProxy)
+	}
+}

@@ -23,17 +23,64 @@ type evaluator struct {
 	cfg     Config
 	full    bitgraph.Set
 	cutPool []bitgraph.Set
+	// linkCostMilli prices a directed link in integer milli-units of the
+	// energy proxy (non-nil iff EnergyWeight > 0). Integer costs keep the
+	// incrementally maintained sum exact and order-independent, so the
+	// incremental score stays bit-identical to fullScore.
+	linkCostMilli func(a, b int) int64
+}
+
+// Energy-proxy constants. These mirror power.Default22nm()'s
+// WireDynPJPerFlitMM and RouterLeakMWPerPort; synth cannot import power
+// (power's analytic model imports route, and expert's calibration
+// imports synth, which would close an import cycle through the route
+// and power test binaries), so the two constants are duplicated here
+// and pinned equal by TestEnergyProxyConstantsMatchPowerModel.
+const (
+	energyWirePJPerFlitMM = 0.18
+	energyPortLeakMW      = 0.25
+)
+
+// energyCostMilli builds the per-link energy-proxy pricer: wire dynamic
+// energy per flit-crossing (22nm wire constant times the link's physical
+// length) plus a per-port leakage proxy (each directed link occupies one
+// output and one input port), scaled by 1000 and rounded to an integer.
+func energyCostMilli(cfg *Config) func(a, b int) int64 {
+	g := cfg.Grid
+	return func(a, b int) int64 {
+		wire := energyWirePJPerFlitMM * g.LengthMM(a, b)
+		return int64(math.Round(1000 * (wire + energyPortLeakMW)))
+	}
+}
+
+// energyProxyOf converts the maintained milli-unit sum back to proxy
+// units for scoring and reporting.
+func energyProxyOf(sumMilli int64) float64 { return float64(sumMilli) / 1000 }
+
+// energyProxySum prices a whole link set (the from-scratch counterpart
+// of Eval.LinkCost; integer additions commute, so any iteration order
+// yields the same sum).
+func (e *evaluator) energyProxySum(s *bitgraph.Graph) int64 {
+	var sum int64
+	for _, l := range s.Links() {
+		sum += e.linkCostMilli(l.A, l.B)
+	}
+	return sum
 }
 
 // newEvaluator seeds the cut pool with geometric cuts (row and column
 // prefixes): these are the bottleneck candidates on grid layouts, and the
 // pool grows lazily as the exact separation oracle finds sparser cuts.
 func newEvaluator(cfg Config) *evaluator {
-	return &evaluator{
+	e := &evaluator{
 		cfg:     cfg,
 		full:    bitgraph.FullSet(cfg.Grid.N()),
 		cutPool: GeometricCuts(cfg.Grid),
 	}
+	if cfg.EnergyWeight > 0 {
+		e.linkCostMilli = energyCostMilli(&e.cfg)
+	}
+	return e
 }
 
 // addCut registers a new separating cut if not already present. A cut
@@ -78,6 +125,9 @@ func (e *evaluator) fullScore(s *bitgraph.Graph) float64 {
 		wt, wUnreach := s.WeightedHops(e.cfg.Weights)
 		v += wt + float64(wUnreach)*penaltyDisconnected
 	}
+	if e.linkCostMilli != nil {
+		v += e.cfg.EnergyWeight * energyProxyOf(e.energyProxySum(s))
+	}
 	return v
 }
 
@@ -110,6 +160,9 @@ func (c *searchCtx) score() float64 {
 	case Weighted:
 		wt, wUnreach := ev.WeightedTotal()
 		v += wt + float64(wUnreach)*penaltyDisconnected
+	}
+	if c.a.eval.linkCostMilli != nil {
+		v += cfg.EnergyWeight * energyProxyOf(ev.LinkCost())
 	}
 	return v
 }

@@ -89,6 +89,18 @@ type Config struct {
 	// at least this value (constraint C7). Applies to any objective.
 	MinCutBW float64
 
+	// EnergyWeight, when positive, adds an energy proxy to the scalarized
+	// score: per candidate link, wire dynamic energy (pJ/flit, length
+	// times the 22nm wire constant) plus a per-port leakage proxy (one
+	// output plus one input port per link). The proxy is linear in the
+	// link set, so the annealer maintains it incrementally through
+	// bitgraph.Eval Add/Remove; costs are pre-scaled to integer
+	// milli-units, keeping incremental and recomputed scores
+	// bit-identical. Weight 1 trades one hop of total path length against
+	// one proxy unit; Result.Objective still reports the raw objective
+	// while Result.EnergyProxy reports the proxy of the chosen topology.
+	EnergyWeight float64
+
 	// Seed makes runs reproducible. Iterations is the annealing step
 	// count per restart; Restarts the number of independent restarts.
 	// Defaults: Iterations 60000, Restarts 4.
@@ -135,6 +147,10 @@ type Result struct {
 	// Optimal is true when the search proved the result optimal (bound
 	// met, or exact branch-and-bound completed).
 	Optimal bool
+	// EnergyProxy is the topology's energy-proxy value (wire dynamic +
+	// per-port leakage proxies summed over links, in the proxy's native
+	// units); filled whenever EnergyWeight > 0.
+	EnergyProxy float64
 	// Trace holds solver-progress samples.
 	Trace []ProgressPoint
 }
@@ -149,6 +165,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.Radix < 1 {
 		return cfg, fmt.Errorf("synth: invalid radix %d", cfg.Radix)
+	}
+	if cfg.EnergyWeight < 0 {
+		return cfg, fmt.Errorf("synth: negative energy weight %v", cfg.EnergyWeight)
 	}
 	if cfg.Iterations == 0 {
 		cfg.Iterations = 60000

@@ -29,6 +29,7 @@ import (
 
 	"netsmith/internal/expert"
 	"netsmith/internal/layout"
+	"netsmith/internal/power"
 	"netsmith/internal/route"
 	"netsmith/internal/sim"
 	"netsmith/internal/synth"
@@ -74,6 +75,15 @@ type (
 	MatrixResult = sim.MatrixResult
 	// PatternFactory names a workload and builds fresh instances of it.
 	PatternFactory = sim.PatternFactory
+	// EnergyReport is a run's measured-energy outcome: raw activity
+	// counters plus their picojoule conversion (set SimConfig's
+	// CollectEnergy, or use RunEnergy).
+	EnergyReport = sim.EnergyReport
+	// PowerModel holds the 22nm technology constants shared by the
+	// analytic estimate and the measured conversion.
+	PowerModel = power.Model
+	// PowerReport is the analytic power/area estimate (paper Figure 9).
+	PowerReport = power.Report
 )
 
 // Link-length classes (small (1,1), medium (2,0), large (2,1)).
@@ -121,9 +131,13 @@ type Options struct {
 	MaxDiameter int
 	MinCutBW    float64
 	Weights     [][]float64 // for PatternOp
-	Seed        int64
-	TimeBudget  time.Duration
-	Progress    func(ProgressPoint)
+	// EnergyWeight > 0 adds the energy-proxy term (wire dynamic +
+	// per-port leakage) to the synthesis objective; the chosen topology's
+	// proxy value is reported in Result.EnergyProxy.
+	EnergyWeight float64
+	Seed         int64
+	TimeBudget   time.Duration
+	Progress     func(ProgressPoint)
 }
 
 // Generate discovers a topology for the given options.
@@ -131,8 +145,8 @@ func Generate(o Options) (*Result, error) {
 	cfg := synth.Config{
 		Grid: o.Grid, Class: o.Class, Objective: o.Objective,
 		Radix: o.Radix, Symmetric: o.Symmetric, MaxDiameter: o.MaxDiameter,
-		MinCutBW: o.MinCutBW, Weights: o.Weights, Seed: o.Seed,
-		TimeBudget: o.TimeBudget, Progress: o.Progress,
+		MinCutBW: o.MinCutBW, Weights: o.Weights, EnergyWeight: o.EnergyWeight,
+		Seed: o.Seed, TimeBudget: o.TimeBudget, Progress: o.Progress,
 	}
 	if o.TimeBudget > 0 {
 		// Time-bounded runs should not stop early on iteration count.
@@ -231,4 +245,32 @@ func Sweep(n *Network, p Pattern, rates []float64, fast bool, seed int64) (*Swee
 // SweepUniform is Sweep with uniform-random traffic.
 func SweepUniform(n *Network, rates []float64, seed int64) (*SweepResult, error) {
 	return n.Curve(traffic.Uniform{N: n.Topo.N()}, rates, true, seed)
+}
+
+// Default22nm returns the calibrated 22nm technology constants used by
+// both the analytic power model and the measured-energy conversion.
+func Default22nm() PowerModel { return power.Default22nm() }
+
+// AnalyzePower is the analytic power/area estimate for a prepared
+// network at a uniform offered load (packets/node/cycle) — the model
+// behind the paper's Figure 9.
+func AnalyzePower(n *Network, rate float64, m PowerModel) PowerReport {
+	return power.Analyze(n.Topo, n.Routing, rate, m)
+}
+
+// RunEnergy simulates a prepared network under a pattern with activity
+// counters enabled and returns the measured-energy report alongside the
+// run result. cfg-level control (cycle budgets, custom models) is
+// available through SimConfig.CollectEnergy / SimConfig.EnergyModel with
+// RunMatrix or sim.Run.
+func RunEnergy(n *Network, p Pattern, rate float64, seed int64) (*sim.Result, *EnergyReport, error) {
+	res, err := sim.Run(sim.Config{
+		Topo: n.Topo, Routing: n.Routing, VC: n.VC,
+		Pattern: p, InjectionRate: rate, Seed: seed,
+		CollectEnergy: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, res.Energy, nil
 }
