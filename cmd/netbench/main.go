@@ -13,6 +13,8 @@
 //	    -rates 0.02,0.10 -smoke     # CI-scale smoke
 //	netbench -matrix -energy        # measured-energy columns per cell
 //	netbench -matrix -topos ns -energy-weight 2  # energy-aware synthesis
+//	netbench -matrix -store .netsmith-store     # cached + resumable
+//	netbench -matrix -store S -shard 0/2        # this machine's half
 //
 // Experiments: fig1, table2, fig5, fig6, fig7, fig8, fig9, fig10,
 // fig11, all. Matrix patterns are the traffic-registry names (see
@@ -20,9 +22,19 @@
 // "name:key=val:key=val", e.g. hotspot:weight=0.7:hot=0+19. Matrix
 // output (stdout summary, -csv dir matrix.csv/matrix.json) is
 // bit-identical across reruns and GOMAXPROCS settings.
+//
+// With -store, every matrix cell is content-addressed in the given
+// directory: a killed run resumes where it stopped, and a re-run is
+// served from cache. -shard i/n restricts simulation to a
+// deterministic 1/n of the cells (requires -store); once all n shards
+// have run against a shared store, the last one (or any re-run)
+// assembles CSV/JSON byte-identical to an unsharded run.
 package main
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,10 +45,9 @@ import (
 	"time"
 
 	"netsmith/internal/exp"
-	"netsmith/internal/expert"
 	"netsmith/internal/layout"
 	"netsmith/internal/sim"
-	"netsmith/internal/synth"
+	"netsmith/internal/store"
 	"netsmith/internal/traffic"
 )
 
@@ -59,10 +70,12 @@ func main() {
 	seed := flag.Int64("seed", 42, "matrix: base seed")
 	energy := flag.Bool("energy", false, "matrix: collect measured energy (activity counters; fills the avg_power_mw / energy_per_flit_pj columns)")
 	energyWeight := flag.Float64("energy-weight", 0, "matrix: weight of the energy-proxy term in the ns topology's synthesis objective")
+	storeDir := flag.String("store", "", "matrix: content-addressed result store directory (cells cached; runs resume)")
+	shardArg := flag.String("shard", "", "matrix: compute only shard i/n of the cells (e.g. 0/2; requires -store)")
 	flag.Parse()
 
 	if *matrix {
-		if err := runMatrix(*grid, *class, *topos, *patterns, *rates, *traceFile, *csvDir, *smoke, *full, *energy, *energyWeight, *seed); err != nil {
+		if err := runMatrix(*grid, *class, *topos, *patterns, *rates, *traceFile, *csvDir, *storeDir, *shardArg, *smoke, *full, *energy, *energyWeight, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "matrix: %v\n", err)
 			os.Exit(1)
 		}
@@ -183,59 +196,23 @@ func main() {
 	}
 }
 
-// parseGrid parses "RxC".
-func parseGrid(s string) (*layout.Grid, error) {
-	r, c, ok := strings.Cut(s, "x")
-	if ok {
-		rows, err1 := strconv.Atoi(r)
-		cols, err2 := strconv.Atoi(c)
-		if err1 == nil && err2 == nil && rows > 0 && cols > 0 {
-			return layout.NewGrid(rows, cols), nil
-		}
-	}
-	return nil, fmt.Errorf("bad grid %q (want RxC, e.g. 4x5)", s)
-}
-
-// matrixSetups prepares the requested topologies: the mesh baseline with
+// matrixSetups prepares the requested topologies through the builder
+// shared with netsmith serve (exp.MatrixSetups): mesh baseline with
 // expert NDBT routing and/or a latency-optimized NetSmith topology
-// (fast-budget synthesis unless -full) with MCLB routing.
-func matrixSetups(topos string, g *layout.Grid, cl layout.Class, full bool, energyWeight float64, seed int64) ([]*sim.Setup, error) {
-	var setups []*sim.Setup
-	for _, name := range strings.Split(topos, ",") {
-		switch strings.TrimSpace(name) {
-		case "mesh":
-			st, err := sim.Prepare(expert.Mesh(g), sim.UseNDBT, seed)
-			if err != nil {
-				return nil, err
-			}
-			setups = append(setups, st)
-		case "ns":
-			iters := 20000
-			if full {
-				iters = 80000
-			}
-			res, err := synth.Generate(synth.Config{
-				Grid: g, Class: cl, Objective: synth.LatOp,
-				EnergyWeight: energyWeight,
-				Seed:         seed, Iterations: iters, Restarts: 4,
-			})
-			if err != nil {
-				return nil, err
-			}
-			st, err := sim.Prepare(res.Topology, sim.UseMCLB, seed)
-			if err != nil {
-				return nil, err
-			}
-			setups = append(setups, st)
-		default:
-			return nil, fmt.Errorf("unknown topology %q (want mesh or ns)", name)
-		}
+// (fast-budget synthesis unless -full) with MCLB routing. With a
+// store, synthesis results are content-addressed too (fixed budgets
+// are deterministic), so re-runs skip the search.
+func matrixSetups(topos string, g *layout.Grid, cl layout.Class, st *store.Store, full bool, energyWeight float64, seed int64) ([]*sim.Setup, error) {
+	iters := 20000
+	if full {
+		iters = 80000
 	}
-	return setups, nil
+	setups, _, err := exp.MatrixSetups(strings.Split(topos, ","), g, cl, st, energyWeight, seed, iters)
+	return setups, err
 }
 
-func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir string, smoke, full, energy bool, energyWeight float64, seed int64) error {
-	g, err := parseGrid(grid)
+func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir, storeDir, shardArg string, smoke, full, energy bool, energyWeight float64, seed int64) error {
+	g, err := layout.ParseGrid(grid)
 	if err != nil {
 		return err
 	}
@@ -243,7 +220,17 @@ func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir string, sm
 	if err != nil {
 		return err
 	}
-	setups, err := matrixSetups(topos, g, cl, full, energyWeight, seed)
+	shard, err := sim.ParseShard(shardArg)
+	if err != nil {
+		return err
+	}
+	var st *store.Store
+	if storeDir != "" {
+		if st, err = store.Open(storeDir); err != nil {
+			return err
+		}
+	}
+	setups, err := matrixSetups(topos, g, cl, st, full, energyWeight, seed)
 	if err != nil {
 		return err
 	}
@@ -265,12 +252,11 @@ func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir string, sm
 	if traceFile != "" {
 		// Parse the trace once; each cell replays the in-memory records
 		// (the registry's "trace" entry would re-read the file per cell).
-		tf, err := os.Open(traceFile)
+		raw, err := os.ReadFile(traceFile)
 		if err != nil {
 			return err
 		}
-		recs, err := traffic.ParseTrace(tf)
-		tf.Close()
+		recs, err := traffic.ParseTrace(bytes.NewReader(raw))
 		if err != nil {
 			return err
 		}
@@ -278,8 +264,12 @@ func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir string, sm
 		if _, err := traffic.NewReplay(tag, env.N, recs, true); err != nil {
 			return err
 		}
+		// The store key must follow the trace's content, not its file
+		// name: two different traces named alike may not collide.
+		sum := sha256.Sum256(raw)
 		factories = append(factories, sim.PatternFactory{
 			Name: "trace/" + tag,
+			Key:  fmt.Sprintf("trace:%x:loop=true", sum[:8]),
 			New: func() (traffic.Pattern, error) {
 				return traffic.NewReplay(tag, env.N, recs, true)
 			},
@@ -295,12 +285,18 @@ func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir string, sm
 		rateGrid = append(rateGrid, v)
 	}
 
+	// Use the shared presets: the budgets feed cell cache keys, so CLI
+	// and serve runs sharing a store must agree on them.
 	var base sim.Config
+	fidelity := sim.FidelityFast
 	switch {
 	case smoke:
-		base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 300, 800, 1600
-	case !full:
-		base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 1500, 4000, 6000
+		fidelity = sim.FidelitySmoke
+	case full:
+		fidelity = sim.FidelityFull
+	}
+	if err := sim.ApplyFidelity(&base, fidelity); err != nil {
+		return err
 	}
 	base.CollectEnergy = energy
 
@@ -308,13 +304,30 @@ func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir string, sm
 	res, err := sim.RunMatrix(sim.MatrixConfig{
 		Setups: setups, Patterns: factories, Rates: rateGrid,
 		Base: base, Seed: seed,
+		Store: st, Shard: shard,
 	})
+	var inc *sim.IncompleteError
+	if errors.As(err, &inc) {
+		// Not a failure: this shard's cells are persisted; the matrix
+		// assembles once the remaining shards run against the store.
+		fmt.Printf("[shard %s done: %d computed, %d cached of %d cells; %d pending — run the other shards against %s, then any re-run emits the merged matrix]\n",
+			inc.Shard, inc.Computed, inc.CacheHits, inc.Cells, inc.Missing, storeDir)
+		return nil
+	}
 	if err != nil {
 		return err
 	}
 	exp.PrintMatrix(os.Stdout, res)
 	fmt.Printf("[matrix: %d topologies x %d patterns x %d rates in %v]\n",
 		len(setups), len(factories), len(rateGrid), time.Since(start).Round(time.Millisecond))
+	if st != nil {
+		fmt.Printf("[store %s: %d cells simulated, %d from cache]\n",
+			storeDir, res.Stats.Computed, res.Stats.CacheHits)
+		if res.Stats.StoreErrors > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d cells could not be persisted to %s (results above are complete; those cells will recompute on resume)\n",
+				res.Stats.StoreErrors, storeDir)
+		}
+	}
 
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {

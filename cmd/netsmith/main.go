@@ -7,22 +7,74 @@
 // Example:
 //
 //	netsmith -rows 4 -cols 5 -class medium -objective latop -seconds 10
+//
+// The serve subcommand instead runs the HTTP API: synthesis and
+// scenario-matrix jobs on a bounded worker pool, backed by the
+// content-addressed result store so repeated requests are answered
+// from cache without re-simulating.
+//
+//	netsmith serve -addr :8080 -store .netsmith-store
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/matrix -d '{"grid":"4x4"}'
+//	curl -s localhost:8080/v1/jobs/j000001
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"netsmith/internal/layout"
 	"netsmith/internal/route"
+	"netsmith/internal/serve"
+	"netsmith/internal/store"
 	"netsmith/internal/synth"
 	"netsmith/internal/traffic"
 	"netsmith/internal/vc"
 )
 
+// runServe is the serve subcommand: netsmith serve [flags].
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	storeDir := fs.String("store", ".netsmith-store", "content-addressed result store directory")
+	workers := fs.Int("workers", 2, "concurrent jobs")
+	queue := fs.Int("queue", 32, "pending-job queue depth (full queue answers 503)")
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Store: st, Workers: *workers, QueueDepth: *queue})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("netsmith serve: listening on %s (store %s, %d workers, queue %d)\n",
+		*addr, *storeDir, *workers, *queue)
+	// Header/read timeouts keep slow clients (slowloris) from pinning
+	// connections and file descriptors indefinitely; request bodies are
+	// small JSON, so tight bounds are safe.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+	}
+	if err := hs.ListenAndServe(); err != nil {
+		fatal(err)
+	}
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	rows := flag.Int("rows", 4, "router grid rows")
 	cols := flag.Int("cols", 5, "router grid columns")
 	className := flag.String("class", "medium", "link-length class: small, medium, large")

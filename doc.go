@@ -1,0 +1,111 @@
+// Package netsmith is an optimization framework for machine-discovered
+// network topologies, reproducing Green and Thottethodi, "NetSmith: An
+// Optimization Framework for Machine-Discovered Network Topologies"
+// (ICPP 2024), and growing it toward a servable, cache-backed system.
+//
+// Given the physical layout of interposer routers, a link-length budget
+// and a router radix, NetSmith discovers network-on-interposer (NoI)
+// topologies that minimize average hop count (LatOp) or maximize
+// sparsest-cut bandwidth (SCOp), complete with minimum-max-channel-load
+// (MCLB) shortest-path routing tables and deadlock-free virtual-channel
+// assignments. Expert-designed baselines (Mesh, Folded Torus, the Kite
+// family, Butter Donut, Double Butterfly, LPBT) and a flit-level network
+// simulator are included for evaluation.
+//
+// # Synthesis
+//
+// Generate searches the constrained topology space (simulated annealing
+// with exact incremental evaluation plus branch-and-bound bounds; see
+// DESIGN.md) for a router grid and objective:
+//
+//	res, err := netsmith.Generate(netsmith.Options{
+//		Grid:      netsmith.Grid4x5,
+//		Class:     netsmith.Medium,
+//		Objective: netsmith.LatOp,
+//	})
+//	// res.Topology has the discovered network; res.Bound/res.Gap the
+//	// optimality certificate.
+//
+// Grids are not capped at the paper's sizes: NewGrid(rows, cols)
+// accepts any shape (Grid10x10 exercises the >64-router path).
+// Baseline and Mesh/FoldedTorus return the expert-designed comparison
+// topologies. Fixed-budget runs (Iterations/Restarts set, no
+// TimeBudget) are deterministic: the same Options produce the same
+// topology at any GOMAXPROCS.
+//
+// # Preparation and simulation
+//
+// Prepare builds the standard pipeline — MCLB routing plus a verified
+// deadlock-free VC assignment — and the resulting Network feeds the
+// flit-level simulator:
+//
+//	net, err := netsmith.Prepare(res.Topology)          // MCLB + VCs
+//	curve, err := netsmith.SweepUniform(net, nil, 1)    // latency curve
+//
+// Sweep and SweepUniform trace latency-vs-injection curves; MCLB, NDBT
+// and AssignVCs expose the pipeline stages individually.
+//
+// # Scenario matrices
+//
+// RunMatrix crosses prepared topologies with registered workloads
+// (PatternNames, BuildPattern, PatternFactoryFor) and a rate grid on a
+// bounded worker pool. Matrix output is bit-identical across reruns
+// and GOMAXPROCS — the determinism contract that also makes results
+// cacheable:
+//
+//	mc := netsmith.MatrixConfig{
+//		Setups:   []*netsmith.Network{net},
+//		Patterns: []netsmith.PatternFactory{netsmith.PatternFactoryFor("tornado", g, nil)},
+//		Rates:    []float64{0.02, 0.10},
+//	}
+//	res, err := netsmith.RunMatrix(mc)
+//
+// # Caching, sharding and resume
+//
+// OpenStore opens a content-addressed on-disk result store. Attached
+// to a MatrixConfig, it caches every cell under a canonical hash of
+// its full input (prepared-network fingerprint, workload, rate,
+// simulator knobs, seed, schema version): an interrupted run resumed
+// with the same store recomputes only missing cells, and re-runs are
+// served without simulating, byte-identical to a fresh run.
+// MatrixConfig.Shard splits one matrix deterministically across
+// machines sharing a store; RunMatrix returns *IncompleteError until
+// every shard has contributed, then any run assembles the merged
+// result. GenerateCached is the synthesis analogue (fixed-budget
+// configs only; time-budgeted searches are wall-clock-dependent and
+// never cached):
+//
+//	st, err := netsmith.OpenStore(".netsmith-store")
+//	mc.Store = st
+//	mc.Shard = netsmith.Shard{Index: 0, Count: 2} // this machine's half
+//	res, err := netsmith.RunMatrix(mc)
+//
+// # Energy
+//
+// RunEnergy simulates with activity counters enabled and converts them
+// to picojoules with the same 22nm constants as the analytic
+// AnalyzePower model (Default22nm), so measured and modeled energy are
+// cross-checkable. Options.EnergyWeight adds an energy proxy to the
+// synthesis objective.
+//
+// # Full system
+//
+// BuildFullSystem assembles the paper's 64-core, 4-chiplet
+// configuration around a NoI topology; RunWorkload plays the modelled
+// PARSEC benchmarks (PARSECWorkloads) through it.
+//
+// # Command-line tools and serving
+//
+// cmd/netsmith synthesizes one topology ("netsmith -rows 4 -cols 5")
+// and hosts the HTTP API ("netsmith serve": POST /v1/synth and
+// /v1/matrix enqueue async jobs on a bounded pool, GET /v1/jobs/{id}
+// polls, the store answers repeats from cache). cmd/netbench
+// regenerates the paper's tables and figures and runs scenario
+// matrices (-matrix, with -store/-shard for cached, resumable,
+// distributed runs). cmd/netsim sweeps a single configuration;
+// cmd/calibrate fits the power model; cmd/benchdiff gates CI on
+// benchmark regressions.
+//
+// Runnable walkthroughs live under examples/ (see examples/README.md);
+// design notes and fidelity arguments in DESIGN.md.
+package netsmith

@@ -1,0 +1,146 @@
+// Serve: run the netsmith HTTP API in-process and walk through its job
+// lifecycle as a client — enqueue a scenario-matrix job, poll it to
+// completion, then repeat the request and watch the content-addressed
+// store answer it without simulating a single cell.
+//
+// Outside an example you would run the server standalone:
+//
+//	netsmith serve -addr :8080 -store .netsmith-store
+//	curl -s -X POST localhost:8080/v1/matrix -d '{"grid":"4x4"}'
+//	curl -s localhost:8080/v1/jobs/j000001
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"netsmith/internal/serve"
+	"netsmith/internal/store"
+)
+
+func main() {
+	// 1. A server needs a result store; every synthesis and matrix cell
+	//    it computes is content-addressed there.
+	dir, err := os.MkdirTemp("", "netsmith-serve-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Store: st, Workers: 2, QueueDepth: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s (store %s)\n\n", base, dir)
+
+	// 2. Health first — load balancers poll this.
+	fmt.Println("GET /healthz ->", getBody(base+"/healthz"))
+
+	// 3. Enqueue a small matrix job: 4x4 mesh, two adversarial
+	//    patterns, two rates, smoke fidelity.
+	req := `{"grid":"4x4","patterns":["uniform","tornado"],"rates":[0.02,0.10],"fidelity":"smoke","energy":true,"seed":7}`
+	job := post(base+"/v1/matrix", req)
+	fmt.Printf("POST /v1/matrix -> job %s (%s)\n", job.ID, job.Status)
+
+	// 4. Poll until done. Real clients back off; we spin fast.
+	done := poll(base, job.ID)
+	var res serve.MatrixJobResult
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  finished in %d ms: %d cells simulated, %d cached\n",
+		done.ElapsedMS, res.Stats.Computed, res.Stats.CacheHits)
+	for _, c := range res.Matrix.Curves {
+		fmt.Printf("  %s/%-8s zero-load %.2f ns, saturation %.4f pkt/node/ns\n",
+			c.Topology, c.Pattern, c.ZeroLoadLatencyNs, c.SaturationPerNs)
+	}
+
+	// 5. The same POST again: every cell is already in the store, so the
+	//    job completes from cache — cache_hit true, nothing simulated,
+	//    and the matrix payload is byte-identical.
+	job2 := post(base+"/v1/matrix", req)
+	done2 := poll(base, job2.ID)
+	var res2 serve.MatrixJobResult
+	if err := json.Unmarshal(done2.Result, &res2); err != nil {
+		log.Fatal(err)
+	}
+	m1, _ := json.Marshal(res.Matrix)
+	m2, _ := json.Marshal(res2.Matrix)
+	fmt.Printf("\nrepeated POST -> job %s: cache_hit=%v in %d ms (%d simulated), payload identical: %v\n",
+		job2.ID, done2.CacheHit, done2.ElapsedMS, res2.Stats.Computed, bytes.Equal(m1, m2))
+}
+
+func getBody(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		log.Fatal(err)
+	}
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+func post(url, body string) serve.JobView {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	var v serve.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func poll(base, id string) serve.JobView {
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// A non-200 means the job is gone (evicted, or the server
+		// restarted) — bail out instead of spinning on an empty view.
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			log.Fatalf("job %s: HTTP %d", id, resp.StatusCode)
+		}
+		var v serve.JobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch v.Status {
+		case serve.StatusDone:
+			return v
+		case serve.StatusFailed:
+			log.Fatalf("job %s failed: %s", id, v.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

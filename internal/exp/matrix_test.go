@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"errors"
 	"runtime"
 	"strings"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"netsmith/internal/expert"
 	"netsmith/internal/layout"
 	"netsmith/internal/sim"
+	"netsmith/internal/store"
 	"netsmith/internal/traffic"
 )
 
@@ -132,6 +134,82 @@ func TestMatrixShapeAndCSVColumns(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "zero-load mW") {
 		t.Error("PrintMatrix dropped the energy columns for an energy-collecting matrix")
+	}
+}
+
+// TestMatrixShardMergeBytesIdentical is the acceptance pin for sharded
+// execution: a 2-shard run merged through a shared store must emit CSV
+// and JSON byte-identical to the unsharded run.
+func TestMatrixShardMergeBytesIdentical(t *testing.T) {
+	mc := smokeMatrix(t)
+	res, err := sim.RunMatrix(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvWant, jsWant := renderMatrix(t, res)
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.Store = st
+	mc.Shard = sim.Shard{Index: 0, Count: 2}
+	var inc *sim.IncompleteError
+	if _, err := sim.RunMatrix(mc); !errors.As(err, &inc) {
+		t.Fatalf("first shard: got err %v, want IncompleteError", err)
+	}
+	mc.Shard = sim.Shard{Index: 1, Count: 2}
+	merged, err := sim.RunMatrix(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvGot, jsGot := renderMatrix(t, merged)
+	if !bytes.Equal(csvWant, csvGot) {
+		t.Errorf("sharded CSV differs from unsharded:\n%s\n----\n%s", csvWant, csvGot)
+	}
+	if !bytes.Equal(jsWant, jsGot) {
+		t.Error("sharded JSON differs from unsharded")
+	}
+}
+
+// TestMatrixResumeBytesIdentical is the acceptance pin for resume: an
+// interrupted run's partial store plus a re-run must emit bytes
+// identical to an uninterrupted run.
+func TestMatrixResumeBytesIdentical(t *testing.T) {
+	mc := smokeMatrix(t)
+	res, err := sim.RunMatrix(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvWant, jsWant := renderMatrix(t, res)
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interrupted: a third of the cells reach the store, then the
+	// process "dies" (IncompleteError stands in for the kill).
+	mc.Store = st
+	mc.Shard = sim.Shard{Index: 0, Count: 3}
+	var inc *sim.IncompleteError
+	if _, err := sim.RunMatrix(mc); !errors.As(err, &inc) {
+		t.Fatalf("partial shard: got err %v, want IncompleteError", err)
+	}
+	// Resumed: same config, same store, unsharded.
+	mc.Shard = sim.Shard{}
+	resumed, err := sim.RunMatrix(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Stats.CacheHits == 0 {
+		t.Fatalf("resume did not use the store: %+v", resumed.Stats)
+	}
+	csvGot, jsGot := renderMatrix(t, resumed)
+	if !bytes.Equal(csvWant, csvGot) {
+		t.Error("resumed CSV differs from uninterrupted run")
+	}
+	if !bytes.Equal(jsWant, jsGot) {
+		t.Error("resumed JSON differs from uninterrupted run")
 	}
 }
 

@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/layout"
+	"netsmith/internal/sim"
+	"netsmith/internal/store"
+	"netsmith/internal/synth"
+)
+
+// MatrixSetups prepares scenario-matrix topologies the one way every
+// front end (netbench -matrix, netsmith serve) must share: "mesh" is
+// the expert baseline with NDBT routing, "ns" is synthesized through
+// the cache (synth.MatrixNSConfig) with MCLB routing, and both Prepare
+// with the matrix seed. The routing and seed are baked into every
+// cell's Setup fingerprint, so a private copy of this logic that
+// drifted would silently stop CLI and HTTP runs from sharing store
+// cells — it lives here, next to the other experiment drivers, for the
+// same reason sim.ApplyFidelity and synth.MatrixNSConfig are shared.
+// The returned bool reports whether every "ns" synthesis came from the
+// cache.
+func MatrixSetups(topos []string, g *layout.Grid, cl layout.Class, st *store.Store, energyWeight float64, seed int64, synthIters int) ([]*sim.Setup, bool, error) {
+	var setups []*sim.Setup
+	synthAllCached := true
+	for _, name := range topos {
+		switch strings.TrimSpace(name) {
+		case "mesh":
+			setup, err := sim.Prepare(expert.Mesh(g), sim.UseNDBT, seed)
+			if err != nil {
+				return nil, false, err
+			}
+			setups = append(setups, setup)
+		case "ns":
+			res, hit, err := synth.CachedGenerate(st,
+				synth.MatrixNSConfig(g, cl, energyWeight, seed, synthIters))
+			if err != nil {
+				return nil, false, err
+			}
+			if !hit {
+				synthAllCached = false
+			}
+			setup, err := sim.Prepare(res.Topology, sim.UseMCLB, seed)
+			if err != nil {
+				return nil, false, err
+			}
+			setups = append(setups, setup)
+		default:
+			return nil, false, fmt.Errorf("unknown topology %q (want mesh or ns)", name)
+		}
+	}
+	return setups, synthAllCached, nil
+}

@@ -13,6 +13,8 @@ package layout
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 )
 
 // Class is a link-length budget category from the Kite taxonomy. Networks
@@ -58,6 +60,20 @@ func ParseClass(s string) (Class, error) {
 		return Large, nil
 	}
 	return 0, fmt.Errorf("layout: unknown link-length class %q", s)
+}
+
+// ParseGrid converts the CLI/API "RxC" notation (e.g. "4x5") to a
+// Grid; the single parser shared by cmd/netbench and the serve API.
+func ParseGrid(s string) (*Grid, error) {
+	r, c, ok := strings.Cut(s, "x")
+	if ok {
+		rows, err1 := strconv.Atoi(r)
+		cols, err2 := strconv.Atoi(c)
+		if err1 == nil && err2 == nil && rows > 0 && cols > 0 {
+			return NewGrid(rows, cols), nil
+		}
+	}
+	return nil, fmt.Errorf("layout: bad grid %q (want RxC, e.g. 4x5)", s)
 }
 
 // Classes lists all link-length classes in increasing length order.

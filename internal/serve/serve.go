@@ -1,0 +1,736 @@
+// Package serve exposes topology synthesis and scenario-matrix
+// simulation as an HTTP API with async job semantics, backed by the
+// content-addressed result store. POST /v1/synth and POST /v1/matrix
+// validate the request, enqueue a job on a bounded worker pool and
+// return its ID; GET /v1/jobs/{id} polls status and, once done, the
+// result. Because every unit of work is content-addressed (synthesis
+// runs by config+seed, matrix cells by their canonical input hash),
+// repeating a request re-simulates nothing: the job completes from the
+// store in milliseconds and reports cache_hit — the "serve heavy
+// repeated load at near-zero marginal cost" move the ROADMAP asks for.
+//
+// The package is transport only. All semantics live in internal/synth
+// (CachedGenerate), internal/sim (store-backed RunMatrix) and
+// internal/store; the server adds request validation, the job registry
+// and the pool.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"netsmith/internal/exp"
+	"netsmith/internal/layout"
+	"netsmith/internal/sim"
+	"netsmith/internal/store"
+	"netsmith/internal/synth"
+	"netsmith/internal/traffic"
+)
+
+// Config parameterizes a server.
+type Config struct {
+	// Store is the content-addressed result cache; required.
+	Store *store.Store
+	// Workers is the job pool size (default 2): at most this many
+	// synthesis/matrix jobs execute concurrently. Each matrix job's
+	// cells additionally fan out on the RunMatrix worker pool.
+	Workers int
+	// QueueDepth bounds the pending-job queue (default 32). A full
+	// queue rejects new POSTs with 503 rather than buffering unbounded
+	// work.
+	QueueDepth int
+	// MaxJobs bounds the job registry (default 1000). When a new job
+	// would exceed it, the oldest finished jobs are evicted (their
+	// results live on in the store; polling an evicted ID returns 404).
+	// Queued and running jobs are never evicted.
+	MaxJobs int
+	// MaxResultBytes bounds the total marshaled result bytes retained
+	// across finished jobs (default 64 MiB) — count-based eviction
+	// alone would let a few huge matrix results accumulate multi-GB
+	// memory. Over the cap, oldest finished jobs are evicted; their
+	// results remain reproducible from the store.
+	MaxResultBytes int
+}
+
+// Job statuses.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// job is the registry entry; mutable fields are guarded by Server.mu.
+type job struct {
+	id       string
+	seq      int    // creation order (authoritative; IDs are display only)
+	finSeq   int    // finish order (eviction spares the newest-finished)
+	kind     string // "synth" | "matrix"
+	status   string
+	cacheHit bool
+	err      string
+	result   json.RawMessage
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	run      func() (result any, cacheHit bool, err error)
+}
+
+// JobView is the wire form of a job.
+type JobView struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Status string `json:"status"`
+	// CacheHit reports that the job's entire result came from the
+	// store: no synthesis search, no simulated cells.
+	CacheHit bool   `json:"cache_hit"`
+	Error    string `json:"error,omitempty"`
+	// ElapsedMS is the execution time (0 until started; queued wait
+	// excluded).
+	ElapsedMS int64           `json:"elapsed_ms"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+// Server is the HTTP front end. Create with New, mount Handler, and
+// Close when done.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *job
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu          sync.Mutex
+	jobs        map[string]*job
+	nextID      int
+	nextFin     int
+	closed      bool
+	resultBytes int // total len(job.result) across finished jobs
+}
+
+// New validates the config and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: Config.Store is required")
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 32
+	}
+	if cfg.MaxJobs == 0 {
+		cfg.MaxJobs = 1000
+	}
+	if cfg.MaxResultBytes == 0 {
+		cfg.MaxResultBytes = 64 << 20
+	}
+	if cfg.Workers < 1 || cfg.QueueDepth < 1 || cfg.MaxJobs < 1 || cfg.MaxResultBytes < 1 {
+		return nil, fmt.Errorf("serve: need at least 1 worker, queue slot, job slot and result byte")
+	}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		queue: make(chan *job, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+		jobs:  map[string]*job{},
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/synth", s.handleSynth)
+	s.mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP handler (mount on any server or mux).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close rejects new jobs (POSTs answer 503) and stops the worker pool.
+// In-flight jobs finish (a worker racing the stop signal may even pick
+// up one last queued job); jobs still queued afterwards are marked
+// failed so pollers terminate instead of spinning on a job that will
+// never run.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.queue:
+			s.mu.Lock()
+			j.status = StatusFailed
+			j.err = "server shut down before the job started"
+			j.finished = time.Now()
+			s.nextFin++
+			j.finSeq = s.nextFin
+			j.run = nil
+			s.mu.Unlock()
+		default:
+			return
+		}
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			s.execute(j)
+		}
+	}
+}
+
+func (s *Server) execute(j *job) {
+	s.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+
+	result, cacheHit, err := runContained(j.run)
+	// Marshal outside the lock: a big matrix result must not stall
+	// every handler and enqueue behind one critical section.
+	var b []byte
+	if err == nil {
+		b, err = json.Marshal(result)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = time.Now()
+	s.nextFin++
+	j.finSeq = s.nextFin
+	// The closure captures the whole validated request (pattern
+	// factories, weight matrices); release it — the job never runs
+	// again.
+	j.run = nil
+	if err != nil {
+		j.status = StatusFailed
+		j.err = err.Error()
+		return
+	}
+	j.status = StatusDone
+	j.cacheHit = cacheHit
+	j.result = b
+	s.resultBytes += len(b)
+	s.evictLocked()
+}
+
+// overBudgetLocked reports whether the registry exceeds either bound.
+func (s *Server) overBudgetLocked() bool {
+	return len(s.jobs) >= s.cfg.MaxJobs || s.resultBytes > s.cfg.MaxResultBytes
+}
+
+// evictLocked keeps the registry within MaxJobs and MaxResultBytes by
+// dropping the oldest-finished jobs (by finish sequence, not creation
+// order or ID string: a slow early job that just completed must not be
+// the first evicted). The most recently finished job is always
+// retained so a client gets at least one poll at its result. Caller
+// holds s.mu.
+func (s *Server) evictLocked() {
+	if !s.overBudgetLocked() {
+		return
+	}
+	finished := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if j.status == StatusDone || j.status == StatusFailed {
+			finished = append(finished, j)
+		}
+	}
+	sort.Slice(finished, func(i, k int) bool { return finished[i].finSeq < finished[k].finSeq })
+	for i, j := range finished {
+		if !s.overBudgetLocked() || i == len(finished)-1 {
+			return
+		}
+		s.resultBytes -= len(j.result)
+		delete(s.jobs, j.id)
+	}
+}
+
+// runContained executes a job function, converting a panic anywhere in
+// the synthesis/simulation stack into a failed job instead of a dead
+// server (workers share the process with every other job and the
+// listener).
+func runContained(run func() (any, bool, error)) (result any, cacheHit bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result, cacheHit = nil, false
+			err = fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	return run()
+}
+
+// enqueue registers the job and hands it to the pool; a full queue or
+// a closed server is the caller's 503. Registration and the
+// (non-blocking) queue send happen under one critical section, so
+// Close — which flips closed under the same mutex before draining —
+// can never leave a job stranded in the queue with nobody to run it.
+func (s *Server) enqueue(kind string, run func() (any, bool, error)) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server shutting down")
+	}
+	s.evictLocked()
+	s.nextID++
+	j := &job{
+		id:     fmt.Sprintf("j%06d", s.nextID),
+		seq:    s.nextID,
+		kind:   kind,
+		status: StatusQueued, created: time.Now(),
+		run: run,
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		return j, nil
+	default:
+		return nil, fmt.Errorf("job queue full (%d pending)", s.cfg.QueueDepth)
+	}
+}
+
+func (s *Server) view(j *job, withResult bool) JobView {
+	v := JobView{
+		ID: j.id, Kind: j.kind, Status: j.status,
+		CacheHit: j.cacheHit, Error: j.err,
+	}
+	switch {
+	case j.started.IsZero():
+		// Never executed (still queued, or failed at shutdown).
+	case !j.finished.IsZero():
+		v.ElapsedMS = j.finished.Sub(j.started).Milliseconds()
+	default:
+		v.ElapsedMS = time.Since(j.started).Milliseconds()
+	}
+	if withResult {
+		v.Result = j.result
+	}
+	return v
+}
+
+// ---- handlers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs, queued := len(s.jobs), len(s.queue)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"jobs":   jobs,
+		"queued": queued,
+		"store":  s.cfg.Store.Dir(),
+	})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var v JobView
+	if ok {
+		v = s.view(j, true)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	type seqView struct {
+		seq  int
+		view JobView
+	}
+	s.mu.Lock()
+	entries := make([]seqView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		entries = append(entries, seqView{j.seq, s.view(j, false)})
+	}
+	s.mu.Unlock()
+	// Deterministic creation-order listing (by sequence, not ID string:
+	// the zero padding runs out past a million jobs).
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	views := make([]JobView, len(entries))
+	for i, e := range entries {
+		views[i] = e.view
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// ---- synth ----
+
+// SynthRequest is the POST /v1/synth body. Zero values select the
+// paper defaults (radix 4, asymmetric, fixed 60000x4 search budget).
+type SynthRequest struct {
+	Grid         string  `json:"grid"`      // "RxC", e.g. "4x5"
+	Class        string  `json:"class"`     // small | medium | large
+	Objective    string  `json:"objective"` // latop | scop | shufopt
+	Radix        int     `json:"radix,omitempty"`
+	Symmetric    bool    `json:"symmetric,omitempty"`
+	MaxDiameter  int     `json:"max_diameter,omitempty"`
+	MinCutBW     float64 `json:"min_cut_bw,omitempty"`
+	EnergyWeight float64 `json:"energy_weight,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+	Iterations   int     `json:"iterations,omitempty"`
+	Restarts     int     `json:"restarts,omitempty"`
+}
+
+// SynthResult is a synth job's result payload.
+type SynthResult struct {
+	Topology    json.RawMessage `json:"topology"` // topo JSON (name, grid, links)
+	Objective   float64         `json:"objective"`
+	Bound       float64         `json:"bound"`
+	Gap         float64         `json:"gap"`
+	Optimal     bool            `json:"optimal"`
+	EnergyProxy float64         `json:"energy_proxy,omitempty"`
+	Links       int             `json:"links"`
+	Diameter    int             `json:"diameter"`
+	AvgHops     float64         `json:"avg_hops"`
+}
+
+func (req *SynthRequest) config() (synth.Config, error) {
+	g, err := parseBoundedGrid(req.Grid)
+	if err != nil {
+		return synth.Config{}, err
+	}
+	if req.Iterations < 0 || req.Iterations > maxSynthIters {
+		return synth.Config{}, fmt.Errorf("iterations %d outside [0, %d]", req.Iterations, maxSynthIters)
+	}
+	if req.Restarts < 0 || req.Restarts > maxSynthRestarts {
+		return synth.Config{}, fmt.Errorf("restarts %d outside [0, %d]", req.Restarts, maxSynthRestarts)
+	}
+	// Statically invalid knobs must 400 at POST time, not fail the job
+	// after consuming a queue slot.
+	if req.Radix < 0 {
+		return synth.Config{}, fmt.Errorf("negative radix %d", req.Radix)
+	}
+	if req.EnergyWeight < 0 {
+		return synth.Config{}, fmt.Errorf("negative energy_weight %v", req.EnergyWeight)
+	}
+	if req.MaxDiameter < 0 || req.MinCutBW < 0 {
+		return synth.Config{}, fmt.Errorf("negative constraint bound")
+	}
+	cl, err := layout.ParseClass(defaultStr(req.Class, "medium"))
+	if err != nil {
+		return synth.Config{}, err
+	}
+	cfg := synth.Config{
+		Grid: g, Class: cl,
+		Radix: req.Radix, Symmetric: req.Symmetric,
+		MaxDiameter: req.MaxDiameter, MinCutBW: req.MinCutBW,
+		EnergyWeight: req.EnergyWeight,
+		Seed:         req.Seed, Iterations: req.Iterations, Restarts: req.Restarts,
+	}
+	switch defaultStr(req.Objective, "latop") {
+	case "latop":
+		cfg.Objective = synth.LatOp
+	case "scop":
+		cfg.Objective = synth.SCOp
+	case "shufopt":
+		cfg.Objective = synth.Weighted
+		cfg.Weights = traffic.Shuffle{N: g.N()}.WeightMatrix()
+	default:
+		return synth.Config{}, fmt.Errorf("unknown objective %q (want latop, scop or shufopt)", req.Objective)
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleSynth(w http.ResponseWriter, r *http.Request) {
+	var req SynthRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	cfg, err := req.config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, qerr := s.enqueue("synth", func() (any, bool, error) {
+		res, hit, err := synth.CachedGenerate(s.cfg.Store, cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		payload, err := synthResult(res)
+		return payload, hit, err
+	})
+	if qerr != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", qerr)
+		return
+	}
+	s.mu.Lock()
+	v := s.view(j, false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func synthResult(res *synth.Result) (any, error) {
+	tj, err := json.Marshal(res.Topology)
+	if err != nil {
+		return nil, err
+	}
+	return SynthResult{
+		Topology:  tj,
+		Objective: res.Objective, Bound: res.Bound, Gap: res.Gap,
+		Optimal: res.Optimal, EnergyProxy: res.EnergyProxy,
+		Links:    res.Topology.NumLinks(),
+		Diameter: res.Topology.Diameter(),
+		AvgHops:  res.Topology.AverageHops(),
+	}, nil
+}
+
+// ---- matrix ----
+
+// MatrixRequest is the POST /v1/matrix body; it mirrors the
+// netbench -matrix flags.
+type MatrixRequest struct {
+	Grid     string    `json:"grid"`               // "RxC"
+	Class    string    `json:"class,omitempty"`    // synthesized-topology class
+	Topos    []string  `json:"topos,omitempty"`    // "mesh" and/or "ns"; default mesh
+	Patterns []string  `json:"patterns,omitempty"` // registry args; default uniform
+	Rates    []float64 `json:"rates,omitempty"`    // default 0.02, 0.08, 0.14
+	// Fidelity selects the cycle budgets: smoke, fast (default) or
+	// full.
+	Fidelity string `json:"fidelity,omitempty"`
+	// Seed is the matrix base seed. Omitted means 42 — the
+	// netbench -matrix default, so a bare HTTP request and a bare CLI
+	// run share cache cells (an explicit 0 is honored as 0).
+	Seed         *int64  `json:"seed,omitempty"`
+	Energy       bool    `json:"energy,omitempty"`
+	EnergyWeight float64 `json:"energy_weight,omitempty"`
+	// SynthIterations bounds "ns" topology synthesis (default 20000,
+	// fixed 4 restarts; deterministic, hence cacheable).
+	SynthIterations int `json:"synth_iterations,omitempty"`
+}
+
+// MatrixJobResult is a matrix job's result payload: the matrix itself
+// plus the cache accounting the byte-identical JSON emission omits.
+type MatrixJobResult struct {
+	Matrix *sim.MatrixResult `json:"matrix"`
+	// Stats reports the simulated/cached/persist-failure split (see
+	// sim.MatrixStats; a nonzero StoreErrors means the matrix is
+	// complete but some cells will re-simulate on the next request).
+	Stats         sim.MatrixStats `json:"stats"`
+	SynthCacheHit bool            `json:"synth_cache_hit"` // true when no ns topology was searched
+}
+
+func defaultStr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// Request size caps. The bounded queue sheds load across jobs; these
+// bound the work inside one accepted job, so a single well-formed POST
+// cannot monopolize a worker for hours or exhaust memory.
+const (
+	maxGridRouters   = 1024
+	maxSynthIters    = 1_000_000
+	maxSynthRestarts = 64
+	maxTopos         = 8
+	maxRatePoints    = 64
+	maxPatterns      = 64
+)
+
+// parseBoundedGrid is layout.ParseGrid plus the router-count cap.
+func parseBoundedGrid(s string) (*layout.Grid, error) {
+	g, err := layout.ParseGrid(s)
+	if err != nil {
+		return nil, err
+	}
+	if g.N() > maxGridRouters {
+		return nil, fmt.Errorf("grid %q has %d routers (cap %d)", s, g.N(), maxGridRouters)
+	}
+	return g, nil
+}
+
+// matrixPlan is the validated, executable form of a MatrixRequest.
+type matrixPlan struct {
+	grid      *layout.Grid
+	class     layout.Class
+	topos     []string
+	factories []sim.PatternFactory
+	rates     []float64
+	base      sim.Config
+	seed      int64
+	ew        float64
+	synthIter int
+}
+
+func (req *MatrixRequest) plan() (*matrixPlan, error) {
+	g, err := parseBoundedGrid(req.Grid)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := layout.ParseClass(defaultStr(req.Class, "medium"))
+	if err != nil {
+		return nil, err
+	}
+	// Defaulting matters for cache sharing: a bare request must key its
+	// cells exactly like a bare `netbench -matrix` run (seed 42).
+	seed := int64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	p := &matrixPlan{grid: g, class: cl, seed: seed, ew: req.EnergyWeight}
+	p.topos = req.Topos
+	if len(p.topos) == 0 {
+		p.topos = []string{"mesh"}
+	}
+	if len(p.topos) > maxTopos {
+		return nil, fmt.Errorf("%d topologies over cap %d", len(p.topos), maxTopos)
+	}
+	for _, name := range p.topos {
+		if name != "mesh" && name != "ns" {
+			return nil, fmt.Errorf("unknown topology %q (want mesh or ns)", name)
+		}
+	}
+	patterns := req.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"uniform"}
+	}
+	if len(patterns) > maxPatterns {
+		return nil, fmt.Errorf("%d patterns over cap %d", len(patterns), maxPatterns)
+	}
+	env := traffic.GridEnv(g)
+	reg := traffic.Default()
+	for _, arg := range patterns {
+		name, params, err := traffic.ParsePatternArg(strings.TrimSpace(arg))
+		if err != nil {
+			return nil, err
+		}
+		// Trace replay is CLI-only: over HTTP it would make the server
+		// open client-chosen local file paths, and its cache key would
+		// follow the file name, not the file content (netbench hashes
+		// the trace bytes into the key; a path-keyed cell would serve
+		// stale results after the file changes).
+		if name == "trace" {
+			return nil, fmt.Errorf("trace replay is not available over the API; use netbench -matrix -trace")
+		}
+		if _, err := reg.Build(name, env, params); err != nil {
+			return nil, err
+		}
+		p.factories = append(p.factories, sim.RegistryFactory(reg, name, env, params))
+	}
+	p.rates = req.Rates
+	if len(p.rates) == 0 {
+		p.rates = []float64{0.02, 0.08, 0.14}
+	}
+	if len(p.rates) > maxRatePoints {
+		return nil, fmt.Errorf("%d rates over cap %d", len(p.rates), maxRatePoints)
+	}
+	for _, r := range p.rates {
+		if r <= 0 {
+			return nil, fmt.Errorf("bad rate %g", r)
+		}
+	}
+	// The shared presets keep the cycle budgets — part of every cell's
+	// cache key — in lockstep with netbench -matrix.
+	if err := sim.ApplyFidelity(&p.base, defaultStr(req.Fidelity, sim.FidelityFast)); err != nil {
+		return nil, err
+	}
+	p.base.CollectEnergy = req.Energy
+	if req.EnergyWeight < 0 {
+		return nil, fmt.Errorf("negative energy_weight %v", req.EnergyWeight)
+	}
+	p.synthIter = req.SynthIterations
+	if p.synthIter == 0 {
+		// Match netbench -matrix exactly (fast: 20000, -full: 80000) —
+		// the synthesis budget decides the ns topology, whose
+		// fingerprint anchors every cell key, so a different default
+		// here would stop "full" CLI and HTTP runs from sharing cells.
+		p.synthIter = 20000
+		if defaultStr(req.Fidelity, sim.FidelityFast) == sim.FidelityFull {
+			p.synthIter = 80000
+		}
+	}
+	if p.synthIter < 0 || p.synthIter > maxSynthIters {
+		return nil, fmt.Errorf("synth_iterations %d outside [0, %d]", p.synthIter, maxSynthIters)
+	}
+	return p, nil
+}
+
+// execute builds the setups through the builder shared with
+// netbench -matrix (exp.MatrixSetups: mesh expert-routed, ns via
+// cached synthesis) and runs the store-backed matrix.
+func (p *matrixPlan) execute(st *store.Store) (any, bool, error) {
+	setups, synthAllCached, err := exp.MatrixSetups(p.topos, p.grid, p.class, st, p.ew, p.seed, p.synthIter)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := sim.RunMatrix(sim.MatrixConfig{
+		Setups: setups, Patterns: p.factories, Rates: p.rates,
+		Base: p.base, Seed: p.seed, Store: st,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	out := MatrixJobResult{Matrix: res, Stats: res.Stats, SynthCacheHit: synthAllCached}
+	cacheHit := res.Stats.Computed == 0 && synthAllCached
+	return out, cacheHit, nil
+}
+
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	var req MatrixRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	plan, err := req.plan()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, qerr := s.enqueue("matrix", func() (any, bool, error) {
+		return plan.execute(s.cfg.Store)
+	})
+	if qerr != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", qerr)
+		return
+	}
+	s.mu.Lock()
+	v := s.view(j, false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, v)
+}

@@ -1,0 +1,393 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"netsmith/internal/store"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Store: st, Workers: 2, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, JobView) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, v
+}
+
+// pollDone polls the job until it leaves the queue/running states.
+func pollDone(t *testing.T, base, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v JobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == StatusDone || v.Status == StatusFailed {
+			return v
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobView{}
+}
+
+// waitStatus spins until the job reaches the wanted status (registry
+// access; only usable from this package's tests).
+func waitStatus(t *testing.T, s *Server, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		j, ok := s.jobs[id]
+		var status string
+		if ok {
+			status = j.status
+		}
+		s.mu.Unlock()
+		if status == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v["status"] != "ok" {
+		t.Fatalf("healthz body %v", v)
+	}
+}
+
+// TestSynthJobLifecycleAndCacheHit: first POST computes, second POST of
+// the identical request completes from the store with cache_hit set and
+// an identical topology.
+func TestSynthJobLifecycleAndCacheHit(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"grid":"4x5","class":"medium","objective":"latop","seed":3,"iterations":1500,"restarts":1}`
+
+	code, j1 := postJSON(t, ts.URL+"/v1/synth", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+	if j1.Status != StatusQueued && j1.Status != StatusRunning {
+		t.Fatalf("fresh job status %q", j1.Status)
+	}
+	done1 := pollDone(t, ts.URL, j1.ID)
+	if done1.Status != StatusDone {
+		t.Fatalf("job 1: %+v", done1)
+	}
+	if done1.CacheHit {
+		t.Error("first synthesis claims a cache hit")
+	}
+	var r1 SynthResult
+	if err := json.Unmarshal(done1.Result, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Links == 0 || r1.Diameter == 0 || r1.Objective == 0 {
+		t.Fatalf("implausible synth result: %+v", r1)
+	}
+
+	code, j2 := postJSON(t, ts.URL+"/v1/synth", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST 2 status %d", code)
+	}
+	done2 := pollDone(t, ts.URL, j2.ID)
+	if done2.Status != StatusDone || !done2.CacheHit {
+		t.Fatalf("repeated request not served from cache: %+v", done2)
+	}
+	var r2 SynthResult
+	if err := json.Unmarshal(done2.Result, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if string(r1.Topology) != string(r2.Topology) {
+		t.Error("cached topology differs from computed one")
+	}
+	if r1.Objective != r2.Objective || r1.AvgHops != r2.AvgHops {
+		t.Errorf("cached metrics differ: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestMatrixJobCacheHit: the serve-smoke contract — a repeated matrix
+// POST simulates zero cells.
+func TestMatrixJobCacheHit(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"grid":"3x3","patterns":["uniform","tornado"],"rates":[0.02,0.1],"fidelity":"smoke","energy":true,"seed":9}`
+
+	code, j1 := postJSON(t, ts.URL+"/v1/matrix", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+	done1 := pollDone(t, ts.URL, j1.ID)
+	if done1.Status != StatusDone {
+		t.Fatalf("matrix job failed: %+v", done1)
+	}
+	if done1.CacheHit {
+		t.Error("first matrix run claims a cache hit")
+	}
+	var r1 MatrixJobResult
+	if err := json.Unmarshal(done1.Result, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Cells != 4 || r1.Stats.Computed != 4 || r1.Stats.CacheHits != 0 {
+		t.Fatalf("first run stats: %+v", r1.Stats)
+	}
+	if len(r1.Matrix.Curves) != 2 {
+		t.Fatalf("curves: %d", len(r1.Matrix.Curves))
+	}
+
+	code, j2 := postJSON(t, ts.URL+"/v1/matrix", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST 2 status %d", code)
+	}
+	done2 := pollDone(t, ts.URL, j2.ID)
+	if done2.Status != StatusDone || !done2.CacheHit {
+		t.Fatalf("repeated matrix not served from cache: %+v", done2)
+	}
+	var r2 MatrixJobResult
+	if err := json.Unmarshal(done2.Result, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats.Computed != 0 || r2.Stats.CacheHits != 4 {
+		t.Fatalf("second run stats: %+v", r2.Stats)
+	}
+	// The served matrices are byte-identical (Stats ride outside).
+	m1, _ := json.Marshal(r1.Matrix)
+	m2, _ := json.Marshal(r2.Matrix)
+	if string(m1) != string(m2) {
+		t.Error("cache-served matrix differs from computed one")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct{ path, body string }{
+		{"/v1/synth", `{"grid":"bogus"}`},
+		{"/v1/synth", `{"grid":"4x5","objective":"nope"}`},
+		{"/v1/synth", `{"grid":"4x5","unknown_field":1}`},
+		{"/v1/synth", `{"grid":"100x100"}`},                                                                       // router cap
+		{"/v1/synth", `{"grid":"4x5","iterations":2000000}`},                                                      // iteration cap
+		{"/v1/synth", `{"grid":"4x5","restarts":1000}`},                                                           // restart cap
+		{"/v1/matrix", `{"grid":"4x4","topos":["mesh","mesh","mesh","mesh","mesh","mesh","mesh","mesh","mesh"]}`}, // topo cap
+		{"/v1/matrix", `{"grid":"4x5","patterns":["nosuch"]}`},
+		{"/v1/matrix", `{"grid":"4x5","rates":[-1]}`},
+		{"/v1/matrix", `{"grid":"4x5","topos":["ring"]}`},
+		{"/v1/matrix", `{"grid":"4x5","fidelity":"warp"}`},
+		{"/v1/matrix", `{"grid":"200x200"}`},                              // router cap
+		{"/v1/matrix", `{"grid":"4x5","synth_iterations":2000000}`},       // iteration cap
+		{"/v1/matrix", `{"grid":"4x5","patterns":["trace:file=/etc/x"]}`}, // trace is CLI-only
+		{"/v1/synth", `{"grid":"4x5","iterations":-1}`},                   // negative budget
+		{"/v1/synth", `{"grid":"4x5","energy_weight":-1}`},                // negative weight
+		{"/v1/synth", `{"grid":"4x5","radix":-2}`},                        // negative radix
+		{"/v1/matrix", `{"grid":"4x5","energy_weight":-1}`},               // negative weight
+		{"/v1/matrix", `not json`},
+	}
+	for _, c := range cases {
+		code, _ := postJSON(t, ts.URL+c.path, c.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("POST %s %s: status %d, want 400", c.path, c.body, code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/j999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMatrixSeedDefault: an omitted seed must mean 42 — the
+// netbench -matrix default — so bare HTTP and CLI runs share cache
+// cells; an explicit 0 is honored.
+func TestMatrixSeedDefault(t *testing.T) {
+	req := MatrixRequest{Grid: "3x3"}
+	p, err := req.plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.seed != 42 {
+		t.Errorf("omitted seed = %d, want 42", p.seed)
+	}
+	zero := int64(0)
+	req.Seed = &zero
+	if p, err = req.plan(); err != nil || p.seed != 0 {
+		t.Errorf("explicit zero seed = %d (err %v), want 0", p.seed, err)
+	}
+}
+
+// TestCloseTerminatesQueuedJobs: after Close, every accepted job is in
+// a terminal state — pollers never spin on a job that will not run.
+func TestCloseTerminatesQueuedJobs(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Store: st, Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	j1, err := s.enqueue("block", func() (any, bool, error) { <-gate; return "ok", false, nil })
+	if err != nil {
+		t.Fatal("job 1 rejected:", err)
+	}
+	waitStatus(t, s, j1.id, StatusRunning)
+	j2, err := s.enqueue("noop", func() (any, bool, error) { return "ok", false, nil })
+	if err != nil {
+		t.Fatal("job 2 rejected:", err)
+	}
+	close(gate)
+	s.Close()
+	s.mu.Lock()
+	got := s.jobs[j2.id].status
+	s.mu.Unlock()
+	if got != StatusDone && got != StatusFailed {
+		t.Fatalf("queued job left in %q after Close", got)
+	}
+	// A closed server accepts nothing further.
+	if _, err := s.enqueue("noop", func() (any, bool, error) { return "ok", false, nil }); err == nil {
+		t.Error("closed server accepted a job")
+	}
+}
+
+// TestJobEviction: the registry stays bounded — finished jobs beyond
+// MaxJobs are evicted oldest-first, queued/running jobs never are.
+func TestJobEviction(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Store: st, Workers: 1, QueueDepth: 8, MaxJobs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		j, err := s.enqueue("noop", func() (any, bool, error) { return "ok", false, nil })
+		if err != nil {
+			t.Fatalf("job %d rejected: %v", i, err)
+		}
+		waitStatus(t, s, j.id, StatusDone)
+	}
+	s.mu.Lock()
+	n := len(s.jobs)
+	_, oldest := s.jobs["j000001"]
+	_, newest := s.jobs["j000005"]
+	s.mu.Unlock()
+	if n > 3 {
+		t.Errorf("registry holds %d jobs, cap 3", n)
+	}
+	if oldest {
+		t.Error("oldest finished job not evicted")
+	}
+	if !newest {
+		t.Error("newest job evicted")
+	}
+}
+
+// TestQueueBounded: a 1-worker, depth-1 server sheds load with 503
+// instead of buffering unbounded jobs.
+func TestQueueBounded(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Store: st, Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	// Saturate deterministically: a gated job occupies the single
+	// worker, a second fills the single queue slot; the next POST must
+	// shed with 503.
+	gate := make(chan struct{})
+	blocked := func() (any, bool, error) { <-gate; return "ok", false, nil }
+	if _, err := s.enqueue("block", blocked); err != nil {
+		t.Fatal("first job rejected:", err)
+	}
+	waitStatus(t, s, "j000001", StatusRunning)
+	if _, err := s.enqueue("block", blocked); err != nil {
+		t.Fatal("second job rejected with a free queue slot:", err)
+	}
+	code, _ := postJSON(t, ts.URL+"/v1/synth", `{"grid":"4x5","seed":11,"iterations":1000,"restarts":1}`)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("POST against a full queue: status %d, want 503", code)
+	}
+	close(gate)
+	pollDone(t, ts.URL, "j000002")
+	// With the gate open the queue drains and POSTs flow again.
+	code, j := postJSON(t, ts.URL+"/v1/synth", `{"grid":"4x5","seed":11,"iterations":1000,"restarts":1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST after drain: status %d", code)
+	}
+	if v := pollDone(t, ts.URL, j.ID); v.Status != StatusDone {
+		t.Fatalf("post-drain job: %+v", v)
+	}
+
+	// The jobs listing endpoint stays responsive and well-formed.
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) == 0 {
+		t.Error("jobs listing empty after accepted POSTs")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"netsmith/internal/store"
 	"netsmith/internal/traffic"
 )
 
@@ -16,22 +17,43 @@ import (
 // position and a fresh pattern instance built from its factory, so the
 // emitted result is bit-identical across reruns and GOMAXPROCS settings
 // (the contract the synthesis engine pinned in PR 2, extended to
-// workloads).
+// workloads). That determinism is also what makes cells
+// content-addressable: with a Store attached, each cell's result is
+// cached under a canonical hash of its inputs, giving killed runs a
+// resume path and letting Shard split one matrix across machines.
 
 // PatternFactory names a workload and constructs fresh instances of it.
 // A fresh instance per simulation keeps stateful patterns (bursty MMPP,
 // trace replay) safe under the concurrent matrix pool.
 type PatternFactory struct {
 	Name string
-	New  func() (traffic.Pattern, error)
+	// Key is the workload's canonical content key for the result store
+	// (traffic.CanonicalPatternKey form: name plus sorted, escaped
+	// parameters). Factories built by RegistryFactory always fill it;
+	// hand-built factories must set it before running with a Store —
+	// RunMatrix refuses keyless factories there, because a Name-only
+	// fallback would let two differently-parameterized closures collide
+	// on the same cached cells.
+	Key string
+	New func() (traffic.Pattern, error)
 }
 
 // RegistryFactory adapts a traffic-registry pattern to a PatternFactory.
 func RegistryFactory(reg *traffic.Registry, name string, env traffic.Env, params traffic.Params) PatternFactory {
-	return PatternFactory{
+	f := PatternFactory{
 		Name: name,
+		Key:  traffic.CanonicalPatternKey(name, params),
 		New:  func() (traffic.Pattern, error) { return reg.Build(name, env, params) },
 	}
+	// The registry's trace entry is keyed by its file PATH parameter,
+	// which is not a content address: the file can change under the
+	// same name and serve stale cells. Leave the Key empty so
+	// store-backed runs reject it (netbench -trace builds a
+	// content-hashed factory instead).
+	if name == "trace" {
+		f.Key = ""
+	}
+	return f
 }
 
 // MatrixConfig drives a scenario matrix run.
@@ -52,6 +74,20 @@ type MatrixConfig struct {
 	// Seed is the matrix-level seed; cell i simulates with
 	// Seed + i*7919 where i is the cell's fixed matrix position.
 	Seed int64
+
+	// Store, when non-nil, content-addresses every cell: results are
+	// looked up before simulating and persisted after, so an
+	// interrupted run resumed with the same Store recomputes only the
+	// missing cells and reproduces the uninterrupted output byte for
+	// byte.
+	Store *store.Store
+	// Shard, when enabled (Count > 1), restricts simulation to the
+	// cells this shard owns (deterministic i % Count == Index
+	// partitioning, independent of GOMAXPROCS). Sharded runs require a
+	// Store: owned cells are persisted there, and the full matrix is
+	// assembled from it once every shard has run. Until then RunMatrix
+	// returns *IncompleteError.
+	Shard Shard
 }
 
 // MatrixCurve is one (topology, pattern) row of the matrix: its
@@ -72,6 +108,10 @@ type MatrixCurve struct {
 type MatrixResult struct {
 	Rates  []float64     `json:"rates"`
 	Curves []MatrixCurve `json:"curves"`
+	// Stats reports the simulated/cached split of a store-backed run.
+	// It is excluded from JSON so cached, resumed and fresh runs emit
+	// byte-identical files.
+	Stats MatrixStats `json:"-"`
 }
 
 // Curve returns the row for a topology/pattern name pair.
@@ -84,12 +124,65 @@ func (m *MatrixResult) Curve(topology, pattern string) *MatrixCurve {
 	return nil
 }
 
+// Fidelity presets shared by the matrix front ends (netbench -matrix,
+// netsmith serve). The budgets are hashed into every cell's cache key,
+// so front ends sharing a store MUST take them from here: a drifted
+// copy would silently stop cache-sharing between CLI and HTTP runs.
+const (
+	FidelitySmoke = "smoke" // minimal budgets (CI smoke)
+	FidelityFast  = "fast"  // reduced fidelity (default for matrices)
+	FidelityFull  = "full"  // simulator defaults (tightest numbers)
+)
+
+// ApplyFidelity sets the preset cycle budgets on cfg; FidelityFull
+// leaves the simulator defaults in place.
+func ApplyFidelity(cfg *Config, name string) error {
+	switch name {
+	case FidelitySmoke:
+		cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 300, 800, 1600
+	case FidelityFast:
+		cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 1500, 4000, 6000
+	case FidelityFull:
+		// defaulted() fills the full-fidelity budgets.
+	default:
+		return fmt.Errorf("sim: unknown fidelity %q (want %s, %s or %s)",
+			name, FidelitySmoke, FidelityFast, FidelityFull)
+	}
+	return nil
+}
+
+// cellPoint derives a cell's sweep point from its run result — the one
+// conversion both fresh and cached cells go through, keeping their
+// emitted bytes identical.
+func cellPoint(rate float64, res *Result) SweepPoint {
+	p := SweepPoint{
+		OfferedRate:   rate,
+		AvgLatencyNs:  res.AvgLatencyNs,
+		AcceptedPerNs: res.AcceptedPerNs,
+		Stalled:       res.Stalled,
+	}
+	p.energize(res)
+	return p
+}
+
 // RunMatrix simulates every {topology x pattern x rate} cell on a
 // bounded worker pool and derives per-curve saturation. Results are
 // deterministic for a given config at any GOMAXPROCS.
+//
+// With a Store attached, cells hit the cache before simulating and
+// persist after (the resume path). With Shard enabled, only owned
+// cells are simulated; the rest are read from the store, and if any
+// are still missing the run returns *IncompleteError after persisting
+// its own share.
 func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 	if len(mc.Setups) == 0 || len(mc.Patterns) == 0 {
 		return nil, fmt.Errorf("sim: matrix needs at least one topology and one pattern")
+	}
+	if err := mc.Shard.validate(); err != nil {
+		return nil, err
+	}
+	if mc.Shard.enabled() && mc.Store == nil {
+		return nil, fmt.Errorf("sim: sharded matrix runs need a Store to merge through")
 	}
 	rates := mc.Rates
 	if rates == nil {
@@ -98,8 +191,43 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 	nT, nP, nR := len(mc.Setups), len(mc.Patterns), len(rates)
 	cells := nT * nP * nR
 	points := make([]SweepPoint, cells)
+	have := make([]bool, cells)
 	errs := make([]error, cells)
 
+	// Setup fingerprints anchor every cell key; compute each once.
+	var fps []string
+	if mc.Store != nil {
+		for _, f := range mc.Patterns {
+			if f.Key == "" {
+				return nil, fmt.Errorf("sim: pattern factory %q needs a content Key for store-backed runs (file-path keys like the registry's trace entry are rejected — use netbench -trace, which hashes the trace bytes; see traffic.CanonicalPatternKey)", f.Name)
+			}
+		}
+		fps = make([]string, nT)
+		for i, st := range mc.Setups {
+			fp, err := st.Fingerprint()
+			if err != nil {
+				return nil, err
+			}
+			fps[i] = fp
+		}
+	}
+	// baseCfg assembles cell i's Config sans Pattern; keyFor canonical-
+	// izes it (normalized knobs, no workload instance needed).
+	baseCfg := func(ti, ri, i int) Config {
+		cfg := mc.Base
+		cfg.Topo = mc.Setups[ti].Topo
+		cfg.Routing = mc.Setups[ti].Routing
+		cfg.VC = mc.Setups[ti].VC
+		cfg.InjectionRate = rates[ri]
+		cfg.Seed = mc.Seed + int64(i)*7919
+		return cfg
+	}
+	keyFor := func(i int) store.Key {
+		ti, pi, ri := i/(nP*nR), (i/nR)%nP, i%nR
+		return cellKey(fps[ti], mc.Patterns[pi].Key, baseCfg(ti, ri, i).normalized())
+	}
+
+	var computed, cacheHits, storeErrs atomic.Int64
 	workers := runtime.GOMAXPROCS(0)
 	if workers > cells {
 		workers = cells
@@ -115,33 +243,49 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 				if i >= cells {
 					return
 				}
-				ti := i / (nP * nR)
-				pi := (i / nR) % nP
-				ri := i % nR
+				if !mc.Shard.Owns(i) {
+					continue // filled from the store after the pool drains
+				}
+				ti, pi, ri := i/(nP*nR), (i/nR)%nP, i%nR
+				var key store.Key
+				if mc.Store != nil {
+					key = keyFor(i)
+					var cached Result
+					hit, err := mc.Store.Get(key, &cached)
+					if err != nil {
+						errs[i] = err
+						continue
+					}
+					if hit {
+						points[i] = cellPoint(rates[ri], &cached)
+						have[i] = true
+						cacheHits.Add(1)
+						continue
+					}
+				}
 				pat, err := mc.Patterns[pi].New()
 				if err != nil {
 					errs[i] = fmt.Errorf("pattern %s: %w", mc.Patterns[pi].Name, err)
 					continue
 				}
-				cfg := mc.Base
-				cfg.Topo = mc.Setups[ti].Topo
-				cfg.Routing = mc.Setups[ti].Routing
-				cfg.VC = mc.Setups[ti].VC
+				cfg := baseCfg(ti, ri, i)
 				cfg.Pattern = pat
-				cfg.InjectionRate = rates[ri]
-				cfg.Seed = mc.Seed + int64(i)*7919
 				res, err := Run(cfg)
 				if err != nil {
 					errs[i] = fmt.Errorf("%s/%s@%g: %w", cfg.Topo.Name, mc.Patterns[pi].Name, rates[ri], err)
 					continue
 				}
-				points[i] = SweepPoint{
-					OfferedRate:   rates[ri],
-					AvgLatencyNs:  res.AvgLatencyNs,
-					AcceptedPerNs: res.AcceptedPerNs,
-					Stalled:       res.Stalled,
+				points[i] = cellPoint(rates[ri], res)
+				have[i] = true
+				computed.Add(1)
+				if mc.Store != nil {
+					// Persistence is best-effort: a full or read-only
+					// store must not discard a computed result. The
+					// failure is surfaced through Stats.StoreErrors.
+					if err := mc.Store.Put(key, res); err != nil {
+						storeErrs.Add(1)
+					}
 				}
-				points[i].energize(res)
 			}
 		}()
 	}
@@ -152,7 +296,44 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 		}
 	}
 
-	out := &MatrixResult{Rates: rates, Curves: make([]MatrixCurve, 0, nT*nP)}
+	// Sharded runs: pull the other shards' cells out of the store.
+	missing := 0
+	if mc.Shard.enabled() {
+		for i := 0; i < cells; i++ {
+			if have[i] {
+				continue
+			}
+			var cached Result
+			hit, err := mc.Store.Get(keyFor(i), &cached)
+			if err != nil {
+				return nil, err
+			}
+			if !hit {
+				missing++
+				continue
+			}
+			points[i] = cellPoint(rates[i%nR], &cached)
+			have[i] = true
+			cacheHits.Add(1)
+		}
+	}
+	if missing > 0 {
+		return nil, &IncompleteError{
+			Shard: mc.Shard, Cells: cells,
+			Computed: int(computed.Load()), CacheHits: int(cacheHits.Load()),
+			Missing: missing,
+		}
+	}
+
+	out := &MatrixResult{
+		Rates:  rates,
+		Curves: make([]MatrixCurve, 0, nT*nP),
+		Stats: MatrixStats{
+			Cells:    cells,
+			Computed: int(computed.Load()), CacheHits: int(cacheHits.Load()),
+			StoreErrors: int(storeErrs.Load()),
+		},
+	}
 	for ti := 0; ti < nT; ti++ {
 		for pi := 0; pi < nP; pi++ {
 			base := (ti*nP + pi) * nR

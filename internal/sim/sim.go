@@ -295,15 +295,13 @@ type engine struct {
 	forwardedThisCycle  bool
 }
 
-func defaulted(cfg Config) (Config, error) {
-	if cfg.Topo == nil || cfg.Routing == nil || cfg.VC == nil || cfg.Pattern == nil {
-		return cfg, errors.New("sim: Topo, Routing, VC and Pattern are required")
-	}
+// normalized applies the default knob values. It is pattern-independent
+// (only Topo is consulted, for the class clock), which lets the matrix
+// cell cache keys canonicalize a Config without building its workload.
+func (c Config) normalized() Config {
+	cfg := c
 	if cfg.NumVCs == 0 {
 		cfg.NumVCs = 6
-	}
-	if cfg.NumVCs < cfg.VC.NumVCs {
-		return cfg, fmt.Errorf("sim: %d physical VCs < %d assigned layers", cfg.NumVCs, cfg.VC.NumVCs)
 	}
 	if cfg.BufDepth == 0 {
 		cfg.BufDepth = 4
@@ -311,7 +309,7 @@ func defaulted(cfg Config) (Config, error) {
 	if cfg.LinkLatency == 0 {
 		cfg.LinkLatency = 2
 	}
-	if cfg.ClockGHz == 0 {
+	if cfg.ClockGHz == 0 && cfg.Topo != nil {
 		cfg.ClockGHz = cfg.Topo.Class.ClockGHz()
 	}
 	if cfg.InjectBandwidth == 0 {
@@ -328,6 +326,17 @@ func defaulted(cfg Config) (Config, error) {
 	}
 	if cfg.DrainCycles == 0 {
 		cfg.DrainCycles = 20000
+	}
+	return cfg
+}
+
+func defaulted(cfg Config) (Config, error) {
+	if cfg.Topo == nil || cfg.Routing == nil || cfg.VC == nil || cfg.Pattern == nil {
+		return cfg, errors.New("sim: Topo, Routing, VC and Pattern are required")
+	}
+	cfg = cfg.normalized()
+	if cfg.NumVCs < cfg.VC.NumVCs {
+		return cfg, fmt.Errorf("sim: %d physical VCs < %d assigned layers", cfg.NumVCs, cfg.VC.NumVCs)
 	}
 	return cfg, nil
 }

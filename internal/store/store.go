@@ -1,0 +1,279 @@
+// Package store is a content-addressed on-disk result cache for the
+// deterministic cores of the system. A cached artifact is addressed by
+// the SHA-256 hash of a canonical JSON encoding of its request — the
+// full set of inputs that determine the result bit-for-bit (topology or
+// synthesis config+seed, pattern name+params, offered rate, simulator
+// knobs) plus the store schema version. Because matrix cells and
+// fixed-budget synthesis runs are bit-identical across reruns and
+// GOMAXPROCS (the determinism contract pinned since PR 2/3), a cache
+// hit IS the result: callers get back exactly the bytes a fresh run
+// would produce.
+//
+// Layout on disk:
+//
+//	<dir>/objects/<hh>/<hash>.json   one self-describing JSON blob per
+//	                                 artifact ({"key": ..., "value": ...})
+//	<dir>/index.jsonl                best-effort append-only catalog
+//	                                 (one JSON line per first Put)
+//
+// Blob writes are atomic (temp file + rename) and content-addressed, so
+// concurrent writers — goroutines of one process or separate shard
+// processes sharing a directory — can only ever race to write identical
+// bytes. Get never consults the index; the index is a convenience
+// catalog appended best-effort on Put (O(1), deduplicated on read) and
+// can always be reconstructed from the objects tree.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SchemaVersion is baked into every cache key. Bump it whenever the
+// encoding of stored values or the meaning of key payloads changes;
+// old entries then simply stop matching (no migration, no stale hits).
+const SchemaVersion = 1
+
+// Key identifies a cached artifact: a kind namespace, the schema
+// version, and a canonical request payload. The payload must marshal
+// deterministically — structs with fixed field order, maps (encoding/json
+// sorts keys), numbers and strings — and must include every input that
+// influences the cached value.
+type Key struct {
+	Kind    string `json:"kind"`
+	Schema  int    `json:"schema"`
+	Payload any    `json:"payload"`
+}
+
+// NewKey returns a Key for the payload under the current SchemaVersion.
+func NewKey(kind string, payload any) Key {
+	return Key{Kind: kind, Schema: SchemaVersion, Payload: payload}
+}
+
+// Hash returns the hex SHA-256 of the key's canonical JSON encoding.
+func (k Key) Hash() (string, error) {
+	b, err := json.Marshal(k)
+	if err != nil {
+		return "", fmt.Errorf("store: marshal key: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Store is a content-addressed cache rooted at a directory. It is safe
+// for concurrent use by multiple goroutines; separate processes may
+// share a directory (writes are atomic renames, the index is
+// append-only).
+type Store struct {
+	dir string
+	mu  sync.Mutex      // guards indexed and index appends in this process
+	idx map[string]bool // hashes already cataloged by this process
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir, idx: map[string]bool{}}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// entry is the on-disk blob format: the full key is stored alongside
+// the value so blobs are self-describing and auditable.
+type entry struct {
+	Key   Key             `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+func (s *Store) objectPath(hash string) string {
+	return filepath.Join(s.dir, "objects", hash[:2], hash+".json")
+}
+
+// Get looks the key up and, on a hit, unmarshals the stored value into
+// out (a pointer). A missing or unreadable blob is a miss, not an
+// error: the caller recomputes and overwrites.
+func (s *Store) Get(k Key, out any) (bool, error) {
+	hash, err := k.Hash()
+	if err != nil {
+		return false, err
+	}
+	b, err := os.ReadFile(s.objectPath(hash))
+	if err != nil {
+		return false, nil // miss (not found, or unreadable: recompute)
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return false, nil // corrupt blob: treat as miss, Put will rewrite
+	}
+	if e.Key.Kind != k.Kind || e.Key.Schema != k.Schema {
+		return false, nil
+	}
+	if err := json.Unmarshal(e.Value, out); err != nil {
+		return false, nil
+	}
+	return true, nil
+}
+
+// Put stores the value under the key, atomically. Re-putting an
+// existing key is a no-op rewrite of identical bytes (content
+// addressing: same key, same deterministic value).
+func (s *Store) Put(k Key, v any) error {
+	hash, err := k.Hash()
+	if err != nil {
+		return err
+	}
+	val, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: marshal value: %w", err)
+	}
+	blob, err := json.Marshal(entry{Key: k, Value: val})
+	if err != nil {
+		return fmt.Errorf("store: marshal entry: %w", err)
+	}
+	path := s.objectPath(hash)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := atomicWrite(path, blob); err != nil {
+		return err
+	}
+	s.indexAdd(hash, k.Kind)
+	return nil
+}
+
+// atomicWrite writes data to path via a temp file + rename, so readers
+// never observe a partial blob. The blob is made world-readable
+// (CreateTemp defaults to 0600, which would silently turn a store
+// directory shared between users — shard processes on a network
+// filesystem — into all-miss EACCES reads for everyone but the
+// writer).
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Chmod(0o644)
+	}
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("store: %w", werr)
+		}
+		return fmt.Errorf("store: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// IndexEntry catalogs one stored object (one line of index.jsonl).
+type IndexEntry struct {
+	Hash    string `json:"hash"`
+	Kind    string `json:"kind"`
+	Created string `json:"created"` // RFC 3339, time of first Put in this catalog
+}
+
+// indexAdd appends one catalog line to index.jsonl — O(1) per Put, no
+// read-rewrite of a growing file on the matrix workers' hot path. The
+// index is advisory: Get never reads it, duplicate lines from
+// cross-process races are deduplicated on read, and a lost append
+// loses nothing but catalog cosmetics.
+func (s *Store) indexAdd(hash, kind string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.idx[hash] {
+		return
+	}
+	line, err := json.Marshal(IndexEntry{
+		Hash: hash, Kind: kind,
+		Created: time.Now().UTC().Format(time.RFC3339),
+	})
+	if err != nil {
+		return
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, "index.jsonl"),
+		os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	_, werr := f.Write(append(line, '\n'))
+	if f.Close() == nil && werr == nil {
+		s.idx[hash] = true
+	}
+}
+
+// Index returns the catalog of stored objects, keyed by content hash
+// (lines deduplicated, first Put wins; malformed lines skipped).
+func (s *Store) Index() map[string]IndexEntry {
+	idx := map[string]IndexEntry{}
+	b, err := os.ReadFile(filepath.Join(s.dir, "index.jsonl"))
+	if err != nil {
+		return idx
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if line == "" {
+			continue
+		}
+		var e IndexEntry
+		if json.Unmarshal([]byte(line), &e) == nil && e.Hash != "" {
+			if _, ok := idx[e.Hash]; !ok {
+				idx[e.Hash] = e
+			}
+		}
+	}
+	return idx
+}
+
+// Len counts objects actually on disk (the ground truth, not the
+// advisory index).
+func (s *Store) Len() (int, error) {
+	count := 0
+	root := filepath.Join(s.dir, "objects")
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			count++
+		}
+		return nil
+	})
+	return count, err
+}
+
+// Hashes lists the content hashes of all objects on disk, sorted.
+func (s *Store) Hashes() ([]string, error) {
+	var out []string
+	root := filepath.Join(s.dir, "objects")
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			base := filepath.Base(path)
+			out = append(out, base[:len(base)-len(".json")])
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}

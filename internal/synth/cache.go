@@ -1,0 +1,127 @@
+package synth
+
+import (
+	"netsmith/internal/layout"
+	"netsmith/internal/store"
+	"netsmith/internal/topo"
+)
+
+// Synthesis caching. Fixed-budget Generate is deterministic — same
+// Config, same topology, bit for bit, at any GOMAXPROCS (pinned by the
+// determinism tests) — so a (config, seed) pair content-addresses its
+// Result. Time-budgeted runs are NOT deterministic (the wall clock
+// decides how far the search gets) and are never cached.
+
+// synthPayload is the canonical request description hashed into a
+// synthesis cache key: every Config field that influences the chosen
+// topology. Weights are included verbatim (row-major JSON); Progress
+// and TimeBudget are excluded — the former cannot affect the result,
+// the latter makes a run uncacheable.
+type synthPayload struct {
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+	// PitchMM scales every wire length, and with it the energy-proxy
+	// objective — two grids differing only in pitch synthesize
+	// different topologies under EnergyWeight.
+	PitchMM      float64     `json:"pitch_mm"`
+	Class        string      `json:"class"`
+	Objective    string      `json:"objective"`
+	Radix        int         `json:"radix"`
+	Symmetric    bool        `json:"symmetric"`
+	MaxDiameter  int         `json:"max_diameter"`
+	MinCutBW     float64     `json:"min_cut_bw"`
+	Weights      [][]float64 `json:"weights,omitempty"`
+	EnergyWeight float64     `json:"energy_weight"`
+	Seed         int64       `json:"seed"`
+	Iterations   int         `json:"iterations"`
+	Restarts     int         `json:"restarts"`
+}
+
+// cacheKey canonicalizes the config. ok is false when the run is not
+// cacheable (time-budgeted searches stop on the wall clock, so their
+// outcome is not a function of the config).
+func (c Config) cacheKey() (store.Key, bool) {
+	cfg, err := c.withDefaults()
+	if err != nil || cfg.TimeBudget > 0 {
+		return store.Key{}, false
+	}
+	return store.NewKey("synth", synthPayload{
+		Rows: cfg.Grid.Rows, Cols: cfg.Grid.Cols, PitchMM: cfg.Grid.PitchMM,
+		Class:     cfg.Class.String(),
+		Objective: cfg.Objective.String(),
+		Radix:     cfg.Radix, Symmetric: cfg.Symmetric,
+		MaxDiameter: cfg.MaxDiameter, MinCutBW: cfg.MinCutBW,
+		Weights: cfg.Weights, EnergyWeight: cfg.EnergyWeight,
+		Seed: cfg.Seed, Iterations: cfg.Iterations, Restarts: cfg.Restarts,
+	}), true
+}
+
+// cachedResult is the stored form of a Result. Trace is deliberately
+// dropped: its Elapsed stamps are wall-clock measurements, the one
+// non-deterministic part of a fixed-budget run.
+type cachedResult struct {
+	Topology    *topo.Topology `json:"topology"`
+	Objective   float64        `json:"objective"`
+	Bound       float64        `json:"bound"`
+	Gap         float64        `json:"gap"`
+	Optimal     bool           `json:"optimal"`
+	EnergyProxy float64        `json:"energy_proxy"`
+}
+
+// MatrixNSConfig is the fixed-budget LatOp config the matrix front
+// ends (netbench -matrix, netsmith serve) use for the synthesized
+// "ns" topology. It is shared for the same reason as sim's fidelity
+// presets: the config determines the topology, the topology fingerprint
+// anchors every cell cache key, so front ends sharing a store must
+// build the exact same config or cache-sharing silently breaks.
+func MatrixNSConfig(g *layout.Grid, cl layout.Class, energyWeight float64, seed int64, iterations int) Config {
+	return Config{
+		Grid: g, Class: cl, Objective: LatOp,
+		EnergyWeight: energyWeight,
+		Seed:         seed, Iterations: iterations, Restarts: 4,
+	}
+}
+
+// CachedGenerate is Generate behind the content-addressed store: a hit
+// returns the previously synthesized topology without searching, a
+// miss runs Generate and persists the outcome. The returned bool
+// reports whether the result came from the cache. Cached results carry
+// no Trace and fire no Progress callbacks (nothing was searched); a
+// nil store or an uncacheable config (TimeBudget > 0) falls through to
+// a plain Generate.
+func CachedGenerate(st *store.Store, c Config) (*Result, bool, error) {
+	if st == nil {
+		res, err := Generate(c)
+		return res, false, err
+	}
+	key, ok := c.cacheKey()
+	if !ok {
+		res, err := Generate(c)
+		return res, false, err
+	}
+	var cached cachedResult
+	if hit, err := st.Get(key, &cached); err == nil && hit {
+		return &Result{
+			Topology:  cached.Topology,
+			Objective: cached.Objective,
+			Bound:     cached.Bound,
+			Gap:       cached.Gap,
+			Optimal:   cached.Optimal, EnergyProxy: cached.EnergyProxy,
+		}, true, nil
+	}
+	res, err := Generate(c)
+	if err != nil {
+		return nil, false, err
+	}
+	// Persistence is best-effort: a full or read-only store must not
+	// discard a completed search (Get already treats unreadable blobs
+	// as misses; write failures degrade the same way).
+	_ = st.Put(key, cachedResult{
+		Topology:  res.Topology,
+		Objective: res.Objective,
+		Bound:     res.Bound,
+		Gap:       res.Gap,
+		Optimal:   res.Optimal, EnergyProxy: res.EnergyProxy,
+	})
+	return res, false, nil
+}

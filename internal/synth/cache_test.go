@@ -1,0 +1,86 @@
+package synth
+
+import (
+	"testing"
+
+	"netsmith/internal/layout"
+	"netsmith/internal/store"
+)
+
+func smallCfg() Config {
+	return Config{
+		Grid: layout.Grid4x5, Class: layout.Medium, Objective: LatOp,
+		Seed: 5, Iterations: 1500, Restarts: 1,
+	}
+}
+
+// TestCachedGenerateRoundTrip: the cached result must carry the exact
+// topology and metrics of the run that populated it.
+func TestCachedGenerateRoundTrip(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, hit, err := CachedGenerate(st, smallCfg())
+	if err != nil || hit {
+		t.Fatalf("cold generate: hit=%v err=%v", hit, err)
+	}
+	cached, hit, err := CachedGenerate(st, smallCfg())
+	if err != nil || !hit {
+		t.Fatalf("warm generate: hit=%v err=%v", hit, err)
+	}
+	if got, want := cached.Topology.CanonicalLinkList(), fresh.Topology.CanonicalLinkList(); got != want {
+		t.Errorf("cached topology differs:\n%s\nvs\n%s", got, want)
+	}
+	if cached.Topology.Name != fresh.Topology.Name {
+		t.Errorf("cached name %q != %q", cached.Topology.Name, fresh.Topology.Name)
+	}
+	if cached.Objective != fresh.Objective || cached.Bound != fresh.Bound ||
+		cached.Gap != fresh.Gap || cached.Optimal != fresh.Optimal ||
+		cached.EnergyProxy != fresh.EnergyProxy {
+		t.Errorf("cached metrics differ: %+v vs %+v", cached, fresh)
+	}
+	if len(cached.Trace) != 0 {
+		t.Error("cached result invented a solver trace")
+	}
+	// The cached topology must survive the full downstream pipeline
+	// (metrics recomputed from the deserialized adjacency).
+	if cached.Topology.Diameter() != fresh.Topology.Diameter() ||
+		cached.Topology.AverageHops() != fresh.Topology.AverageHops() {
+		t.Error("cached topology metrics diverge from fresh")
+	}
+}
+
+// TestCachedGenerateKeySensitivity: different configs may not collide.
+func TestCachedGenerateKeySensitivity(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := CachedGenerate(st, smallCfg()); err != nil || hit {
+		t.Fatalf("populate: hit=%v err=%v", hit, err)
+	}
+	cfg := smallCfg()
+	cfg.Seed = 6
+	if _, hit, err := CachedGenerate(st, cfg); err != nil || hit {
+		t.Fatalf("different seed hit the cache: hit=%v err=%v", hit, err)
+	}
+	cfg = smallCfg()
+	cfg.Objective = SCOp
+	if _, hit, err := CachedGenerate(st, cfg); err != nil || hit {
+		t.Fatalf("different objective hit the cache: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestCachedGenerateTimeBudgetUncacheable: wall-clock-bounded runs must
+// never populate or hit the cache.
+func TestCachedGenerateTimeBudgetUncacheable(t *testing.T) {
+	cfg := smallCfg()
+	if _, ok := cfg.cacheKey(); !ok {
+		t.Fatal("fixed-budget config reported uncacheable")
+	}
+	cfg.TimeBudget = 1 // any positive budget
+	if _, ok := cfg.cacheKey(); ok {
+		t.Fatal("time-budgeted config reported cacheable")
+	}
+}

@@ -307,6 +307,34 @@ func Default() *Registry {
 	return r
 }
 
+// patternKeyEscaper keeps CanonicalPatternKey injective: parameters
+// arrive as arbitrary map values on the public API (not only
+// ParsePatternArg output), so a value containing ':' or '=' must not
+// render the same bytes as a differently-split parameter set.
+var patternKeyEscaper = strings.NewReplacer("%", "%25", ":", "%3A", "=", "%3D")
+
+// CanonicalPatternKey renders a (name, params) pair as the canonical
+// "name:key=val:..." string with parameters in sorted key order (':',
+// '=' and '%' percent-escaped), so two ways of writing the same
+// workload produce the same string and different workloads never
+// collide. It is the pattern component of content-addressed cache keys
+// (sim.PatternFactory Key, the result store).
+func CanonicalPatternKey(name string, p Params) string {
+	if len(p) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := name
+	for _, k := range keys {
+		out += ":" + patternKeyEscaper.Replace(k) + "=" + patternKeyEscaper.Replace(p[k])
+	}
+	return out
+}
+
 // ParsePatternArg splits a command-line pattern argument of the form
 // "name" or "name:key=val:key=val" (e.g. "hotspot:weight=0.7:hot=0+19").
 func ParsePatternArg(arg string) (name string, params Params, err error) {

@@ -1,27 +1,3 @@
-// Package netsmith is an optimization framework for machine-discovered
-// network topologies, reproducing Green and Thottethodi, "NetSmith: An
-// Optimization Framework for Machine-Discovered Network Topologies"
-// (ICPP 2024).
-//
-// Given the physical layout of interposer routers, a link-length budget
-// and a router radix, NetSmith discovers network-on-interposer (NoI)
-// topologies that minimize average hop count (LatOp) or maximize
-// sparsest-cut bandwidth (SCOp), complete with minimum-max-channel-load
-// (MCLB) shortest-path routing tables and deadlock-free virtual-channel
-// assignments. Expert-designed baselines (Mesh, Folded Torus, the Kite
-// family, Butter Donut, Double Butterfly, LPBT) and a flit-level network
-// simulator are included for evaluation.
-//
-// Quick start:
-//
-//	res, err := netsmith.Generate(netsmith.Options{
-//		Grid:      netsmith.Grid4x5,
-//		Class:     netsmith.Medium,
-//		Objective: netsmith.LatOp,
-//	})
-//	// res.Topology has the discovered network.
-//	net, err := netsmith.Prepare(res.Topology)          // MCLB + VCs
-//	curve, err := netsmith.SweepUniform(net, nil, 1)    // latency curve
 package netsmith
 
 import (
@@ -32,6 +8,7 @@ import (
 	"netsmith/internal/power"
 	"netsmith/internal/route"
 	"netsmith/internal/sim"
+	"netsmith/internal/store"
 	"netsmith/internal/synth"
 	"netsmith/internal/topo"
 	"netsmith/internal/traffic"
@@ -84,6 +61,21 @@ type (
 	PowerModel = power.Model
 	// PowerReport is the analytic power/area estimate (paper Figure 9).
 	PowerReport = power.Report
+	// Store is a content-addressed on-disk result cache (OpenStore);
+	// attach it to MatrixConfig.Store for cached, resumable matrix runs
+	// or pass it to GenerateCached for cached synthesis.
+	Store = store.Store
+	// Shard deterministically partitions a matrix's cells for
+	// distributed execution (MatrixConfig.Shard); see ParseShard for
+	// the "i/n" CLI form.
+	Shard = sim.Shard
+	// MatrixStats reports a store-backed matrix run's simulated/cached
+	// cell split (MatrixResult.Stats).
+	MatrixStats = sim.MatrixStats
+	// IncompleteError is returned by RunMatrix when a sharded run has
+	// persisted its own cells but other shards' cells are not yet in
+	// the store.
+	IncompleteError = sim.IncompleteError
 )
 
 // Link-length classes (small (1,1), medium (2,0), large (2,1)).
@@ -140,8 +132,10 @@ type Options struct {
 	Progress     func(ProgressPoint)
 }
 
-// Generate discovers a topology for the given options.
-func Generate(o Options) (*Result, error) {
+// synthConfig maps the public Options onto the solver config — the one
+// translation shared by Generate and GenerateCached, so the cached and
+// uncached paths cannot drift.
+func (o Options) synthConfig() synth.Config {
 	cfg := synth.Config{
 		Grid: o.Grid, Class: o.Class, Objective: o.Objective,
 		Radix: o.Radix, Symmetric: o.Symmetric, MaxDiameter: o.MaxDiameter,
@@ -153,8 +147,11 @@ func Generate(o Options) (*Result, error) {
 		cfg.Iterations = 1 << 30
 		cfg.Restarts = 1 << 20
 	}
-	return synth.Generate(cfg)
+	return cfg
 }
+
+// Generate discovers a topology for the given options.
+func Generate(o Options) (*Result, error) { return synth.Generate(o.synthConfig()) }
 
 // Baseline returns a named expert-designed or prior-synthesis topology
 // for the grid; see BaselineNames.
@@ -233,7 +230,37 @@ func PatternFactoryFor(name string, g *Grid, params map[string]string) PatternFa
 // scenario matrix on a bounded worker pool. Results are deterministic
 // for a given config at any GOMAXPROCS; cmd/netbench -matrix is the CLI
 // front end.
+//
+// With MatrixConfig.Store set, cells are content-addressed: cached
+// cells are returned without simulating (bit-identical to a fresh
+// run), fresh cells are persisted, and an interrupted run resumed over
+// the same store completes from where it stopped. With
+// MatrixConfig.Shard enabled, only the owned subset of cells is
+// simulated; RunMatrix returns *IncompleteError until every shard has
+// run against the shared store, after which the assembled matrix is
+// byte-identical to an unsharded run.
 func RunMatrix(c MatrixConfig) (*MatrixResult, error) { return sim.RunMatrix(c) }
+
+// OpenStore creates (if needed) and opens a content-addressed result
+// store rooted at dir. Stores are safe for concurrent use and may be
+// shared between processes (matrix shards on different machines can
+// point at one directory over a shared filesystem). Cached entries are
+// invalidated wholesale when the store schema version changes.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// ParseShard parses the "i/n" shard notation used by the CLIs (e.g.
+// "0/2" is the first of two shards); "" means unsharded.
+func ParseShard(arg string) (Shard, error) { return sim.ParseShard(arg) }
+
+// GenerateCached is Generate behind a result store: repeated calls
+// with the same fixed-budget Options return the previously discovered
+// topology without searching. The bool reports a cache hit; cached
+// results carry no solver Trace, and time-budgeted runs (Options.
+// TimeBudget > 0) bypass the cache entirely because their outcome
+// depends on the wall clock. A nil store falls through to Generate.
+func GenerateCached(st *Store, o Options) (*Result, bool, error) {
+	return synth.CachedGenerate(st, o.synthConfig())
+}
 
 // Sweep runs a latency-vs-injection sweep for a prepared network under a
 // pattern. rates nil selects the standard grid; fast trades fidelity for

@@ -114,6 +114,57 @@ func TestFacadePatternOp(t *testing.T) {
 	}
 }
 
+// TestFacadeStore exercises the caching surface through the public
+// API: GenerateCached round-trips a synthesis, and a store-backed
+// RunMatrix resumes from cache with identical output.
+func TestFacadeStore(t *testing.T) {
+	st, err := OpenStore(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Time-budgeted generation must bypass the cache.
+	if _, hit, err := GenerateCached(st, Options{
+		Grid: Grid4x5, Class: Medium, Objective: LatOp,
+		Seed: 1, TimeBudget: 200 * time.Millisecond,
+	}); err != nil || hit {
+		t.Fatalf("time-budgeted generate: hit=%v err=%v", hit, err)
+	}
+
+	g := NewGrid(3, 3)
+	net, err := PrepareNDBT(Mesh(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := MatrixConfig{
+		Setups:   []*Network{net},
+		Patterns: []PatternFactory{PatternFactoryFor("uniform", g, nil)},
+		Rates:    []float64{0.02, 0.10},
+		Base:     SimConfig{WarmupCycles: 200, MeasureCycles: 500, DrainCycles: 1000},
+		Seed:     3,
+		Store:    st,
+	}
+	first, err := RunMatrix(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Computed != 2 || first.Stats.CacheHits != 0 {
+		t.Fatalf("first run stats: %+v", first.Stats)
+	}
+	second, err := RunMatrix(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.Computed != 0 || second.Stats.CacheHits != 2 {
+		t.Fatalf("second run stats: %+v", second.Stats)
+	}
+	if second.Curves[0].ZeroLoadLatencyNs != first.Curves[0].ZeroLoadLatencyNs {
+		t.Error("cached curve differs from computed one")
+	}
+	if s, err := ParseShard("1/4"); err != nil || (s != Shard{Index: 1, Count: 4}) {
+		t.Errorf("ParseShard: %+v, %v", s, err)
+	}
+}
+
 func TestFacadeTrafficConstructors(t *testing.T) {
 	if UniformTraffic(20).Name() != "uniform" {
 		t.Error("uniform name")
