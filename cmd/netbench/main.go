@@ -13,6 +13,9 @@
 //	    -rates 0.02,0.10 -smoke     # CI-scale smoke
 //	netbench -matrix -energy        # measured-energy columns per cell
 //	netbench -matrix -topos ns -energy-weight 2  # energy-aware synthesis
+//	netbench -matrix -faults klinks:k=2:at=400   # fault axis (plus the
+//	    fault-free baseline); robustness columns in the summary and CSV
+//	netbench -matrix -topos ns -robust-weight 50 # fragility-priced synthesis
 //	netbench -matrix -store .netsmith-store     # cached + resumable
 //	netbench -matrix -store S -shard 0/2        # this machine's half
 //
@@ -45,6 +48,8 @@ import (
 	"time"
 
 	"netsmith/internal/exp"
+	"netsmith/internal/expert"
+	"netsmith/internal/fault"
 	"netsmith/internal/layout"
 	"netsmith/internal/sim"
 	"netsmith/internal/store"
@@ -70,12 +75,14 @@ func main() {
 	seed := flag.Int64("seed", 42, "matrix: base seed")
 	energy := flag.Bool("energy", false, "matrix: collect measured energy (activity counters; fills the avg_power_mw / energy_per_flit_pj columns)")
 	energyWeight := flag.Float64("energy-weight", 0, "matrix: weight of the energy-proxy term in the ns topology's synthesis objective")
+	robustWeight := flag.Float64("robust-weight", 0, "matrix: weight of the fragility term in the ns topology's synthesis objective (prices single-link-failure exposure)")
+	faults := flag.String("faults", "", "matrix: comma-separated fault schedules added as a matrix axis (name or name:key=val:..., e.g. klinks:k=2:at=400; a fault-free cell set always runs)")
 	storeDir := flag.String("store", "", "matrix: content-addressed result store directory (cells cached; runs resume)")
 	shardArg := flag.String("shard", "", "matrix: compute only shard i/n of the cells (e.g. 0/2; requires -store)")
 	flag.Parse()
 
 	if *matrix {
-		if err := runMatrix(*grid, *class, *topos, *patterns, *rates, *traceFile, *csvDir, *storeDir, *shardArg, *smoke, *full, *energy, *energyWeight, *seed); err != nil {
+		if err := runMatrix(*grid, *class, *topos, *patterns, *rates, *traceFile, *faults, *csvDir, *storeDir, *shardArg, *smoke, *full, *energy, *energyWeight, *robustWeight, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "matrix: %v\n", err)
 			os.Exit(1)
 		}
@@ -202,16 +209,51 @@ func main() {
 // (fast-budget synthesis unless -full) with MCLB routing. With a
 // store, synthesis results are content-addressed too (fixed budgets
 // are deterministic), so re-runs skip the search.
-func matrixSetups(topos string, g *layout.Grid, cl layout.Class, st *store.Store, full bool, energyWeight float64, seed int64) ([]*sim.Setup, error) {
+func matrixSetups(topos string, g *layout.Grid, cl layout.Class, st *store.Store, full bool, energyWeight, robustWeight float64, seed int64) ([]*sim.Setup, error) {
 	iters := 20000
 	if full {
 		iters = 80000
 	}
-	setups, _, err := exp.MatrixSetups(strings.Split(topos, ","), g, cl, st, energyWeight, seed, iters)
+	setups, _, err := exp.MatrixSetups(strings.Split(topos, ","), g, cl, st, energyWeight, robustWeight, seed, iters)
 	return setups, err
 }
 
-func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir, storeDir, shardArg string, smoke, full, energy bool, energyWeight float64, seed int64) error {
+// matrixFaults parses -faults into fault-axis factories, failing fast
+// on bad names/params by building each schedule against the grid's mesh
+// before any synthesis or simulation time is spent. (RunMatrix rebuilds
+// per topology; a schedule valid on the mesh can still fail on another
+// topology, e.g. a link= event naming a link it lacks — that error
+// surfaces from RunMatrix.)
+func matrixFaults(args string, g *layout.Grid) ([]sim.FaultFactory, error) {
+	if strings.TrimSpace(args) == "" {
+		return nil, nil
+	}
+	reg := fault.Default()
+	mesh := expert.Mesh(g)
+	// The fault-free baseline always leads the axis: degradation columns
+	// are only meaningful against it, and its cells share store keys with
+	// matrices that never had a fault axis.
+	factories := []sim.FaultFactory{sim.FaultRegistryFactory(reg, "none", nil)}
+	seen := map[string]bool{factories[0].Name: true}
+	for _, arg := range strings.Split(args, ",") {
+		name, params, err := fault.ParseScheduleArg(strings.TrimSpace(arg))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := reg.Build(name, mesh, params); err != nil {
+			return nil, err
+		}
+		f := sim.FaultRegistryFactory(reg, name, params)
+		if seen[f.Name] {
+			continue
+		}
+		seen[f.Name] = true
+		factories = append(factories, f)
+	}
+	return factories, nil
+}
+
+func runMatrix(grid, class, topos, patterns, rates, traceFile, faults, csvDir, storeDir, shardArg string, smoke, full, energy bool, energyWeight, robustWeight float64, seed int64) error {
 	g, err := layout.ParseGrid(grid)
 	if err != nil {
 		return err
@@ -224,13 +266,17 @@ func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir, storeDir,
 	if err != nil {
 		return err
 	}
+	faultFactories, err := matrixFaults(faults, g)
+	if err != nil {
+		return err
+	}
 	var st *store.Store
 	if storeDir != "" {
 		if st, err = store.Open(storeDir); err != nil {
 			return err
 		}
 	}
-	setups, err := matrixSetups(topos, g, cl, st, full, energyWeight, seed)
+	setups, err := matrixSetups(topos, g, cl, st, full, energyWeight, robustWeight, seed)
 	if err != nil {
 		return err
 	}
@@ -302,8 +348,9 @@ func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir, storeDir,
 
 	start := time.Now()
 	res, err := sim.RunMatrix(sim.MatrixConfig{
-		Setups: setups, Patterns: factories, Rates: rateGrid,
-		Base: base, Seed: seed,
+		Setups: setups, Patterns: factories, Faults: faultFactories,
+		Rates: rateGrid,
+		Base:  base, Seed: seed,
 		Store: st, Shard: shard,
 	})
 	var inc *sim.IncompleteError
@@ -318,8 +365,13 @@ func runMatrix(grid, class, topos, patterns, rates, traceFile, csvDir, storeDir,
 		return err
 	}
 	exp.PrintMatrix(os.Stdout, res)
-	fmt.Printf("[matrix: %d topologies x %d patterns x %d rates in %v]\n",
-		len(setups), len(factories), len(rateGrid), time.Since(start).Round(time.Millisecond))
+	if len(faultFactories) > 0 {
+		fmt.Printf("[matrix: %d topologies x %d patterns x %d faults x %d rates in %v]\n",
+			len(setups), len(factories), len(faultFactories), len(rateGrid), time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Printf("[matrix: %d topologies x %d patterns x %d rates in %v]\n",
+			len(setups), len(factories), len(rateGrid), time.Since(start).Round(time.Millisecond))
+	}
 	if st != nil {
 		fmt.Printf("[store %s: %d cells simulated, %d from cache]\n",
 			storeDir, res.Stats.Computed, res.Stats.CacheHits)

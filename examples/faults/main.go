@@ -1,0 +1,128 @@
+// Faults walks the robustness story end to end: deterministic fault
+// schedules, failure-aware rerouting, and fragility-priced synthesis.
+//
+// Energy-priced synthesis prunes toward sparse link sets, which is
+// exactly where single-link failures hurt: one lost link can cut off
+// part of the fabric. Pricing fragility into the objective
+// (Options.RobustWeight) buys topologies with no critical links — every
+// single failure reroutes — for a modest energy cost. This example
+// synthesizes both, then degrades them and the mesh baseline under 1-
+// and 2-link failure schedules and compares delivered traffic.
+//
+// The same fault axis is available from the command line:
+//
+//	netbench -matrix -faults klinks:k=1:at=400,klinks:k=2:at=400
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netsmith"
+)
+
+func main() {
+	// 1. Synthesize two 4x5 topologies from the same options: one priced
+	//    on energy alone, one also pricing fragility. Fixed budgets keep
+	//    both runs deterministic.
+	base := netsmith.Options{
+		Grid:         netsmith.Grid4x5,
+		Class:        netsmith.Medium,
+		Objective:    netsmith.LatOp,
+		EnergyWeight: 30,
+		Seed:         4,
+		Iterations:   8000,
+		Restarts:     2,
+	}
+	fragile, err := netsmith.Generate(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	robustOpts := base
+	robustOpts.RobustWeight = 50
+	robust, err := netsmith.Generate(robustOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fragile.Topology.Name = "NS-energy"
+	robust.Topology.Name = "NS-robust"
+	fmt.Printf("NS-energy: %d links, critical links not probed (RobustWeight off)\n",
+		fragile.Topology.NumLinks())
+	fmt.Printf("NS-robust: %d links, %d critical links, fragility %d\n\n",
+		robust.Topology.NumLinks(), robust.CriticalLinks, robust.Fragility)
+
+	// 2. Prepare all three contestants (mesh with its expert routing).
+	mesh, err := netsmith.PrepareNDBT(netsmith.Mesh(netsmith.Grid4x5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	nsEnergy, err := netsmith.Prepare(fragile.Topology)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nsRobust, err := netsmith.Prepare(robust.Topology)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The fault axis: a clean baseline plus deterministic 1- and
+	//    2-link kills at cycle 400 (inside the measurement window, so
+	//    pre/post-fault latencies are both observed). Schedules are
+	//    rebuilt per topology — the same seed picks links from each
+	//    topology's own dense link-ID order.
+	faults := []netsmith.FaultFactory{
+		netsmith.FaultFactoryFor("none", nil),
+		netsmith.FaultFactoryFor("klinks", map[string]string{"k": "1", "seed": "1", "at": "400"}),
+		netsmith.FaultFactoryFor("klinks", map[string]string{"k": "2", "seed": "1", "at": "400"}),
+	}
+
+	// 4. Run {3 topologies x 1 pattern x 3 fault cases x 2 rates}. Every
+	//    cell is deterministic: faults strike at fixed cycles, rerouting
+	//    recomputes survivor paths, and undeliverable flits are dropped
+	//    and counted rather than wedging the network.
+	matrix, err := netsmith.RunMatrix(netsmith.MatrixConfig{
+		Setups:   []*netsmith.Network{mesh, nsEnergy, nsRobust},
+		Patterns: []netsmith.PatternFactory{netsmith.PatternFactoryFor("uniform", netsmith.Grid4x5, nil)},
+		Faults:   faults,
+		Rates:    []float64{0.02, 0.08},
+		Base: netsmith.SimConfig{ // fast-fidelity cycle budgets
+			WarmupCycles: 1500, MeasureCycles: 4000, DrainCycles: 6000,
+		},
+		Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Compare worst-case delivery and latency inflation per fault
+	//    case. The mesh absorbs failures (every router has redundant
+	//    paths), the energy-priced topology can lose whole regions, and
+	//    the fragility-priced one reroutes everything.
+	fmt.Printf("%-10s %-28s %14s %12s %8s\n",
+		"topology", "fault", "min delivered", "lat inflate", "drops")
+	for _, setup := range []*netsmith.Network{mesh, nsEnergy, nsRobust} {
+		for _, f := range faults {
+			c := matrix.FaultCurve(setup.Topo.Name, "uniform", f.Name)
+			minDelivered, worstInflation, drops := 1.0, 1.0, 0
+			for _, p := range c.Points {
+				if p.DeliveredFraction < minDelivered {
+					minDelivered = p.DeliveredFraction
+				}
+				if p.LatencyInflation > worstInflation {
+					worstInflation = p.LatencyInflation
+				}
+				drops += p.DroppedFlits
+			}
+			label := f.Name
+			if label == "" {
+				label = "none"
+			}
+			fmt.Printf("%-10s %-28s %14.4f %12.2fx %8d\n",
+				setup.Topo.Name, label, minDelivered, worstInflation, drops)
+		}
+	}
+	fmt.Println("\n(min delivered = lowest delivered fraction across offered rates;")
+	fmt.Println(" lat inflate = post-fault / pre-fault average latency; a fragility-")
+	fmt.Println(" priced topology keeps delivering after any single link failure,")
+	fmt.Println(" where the energy-only design may orphan routers outright)")
+}

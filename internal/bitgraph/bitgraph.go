@@ -391,3 +391,18 @@ func (g *Graph) PoolMin(pool []Set) float64 {
 	}
 	return min
 }
+
+// PoolMinCross returns the minimum raw min-direction crossing count
+// over a pool of partition sets (math.MaxInt when the pool is empty).
+// Unlike PoolMin it is not normalized by partition sizes: it measures
+// how many single-link failures a cut can absorb before disconnecting,
+// which is what fragility-priced synthesis scores.
+func (g *Graph) PoolMinCross(pool []Set) int {
+	min := math.MaxInt
+	for _, m := range pool {
+		if c := g.MinCross(m); c < min {
+			min = c
+		}
+	}
+	return min
+}

@@ -407,6 +407,26 @@ func (e *Eval) PoolMin() float64 {
 	return min
 }
 
+// PoolMinCross returns the minimum raw min-direction crossing count
+// over the registered pool (math.MaxInt when empty), mirroring
+// Graph.PoolMinCross exactly so incremental scores stay bit-identical
+// to from-scratch recomputation. Counters are eager; never triggers a
+// BFS.
+func (e *Eval) PoolMinCross() int {
+	min := math.MaxInt
+	for i := range e.cuts {
+		c := &e.cuts[i]
+		cross := c.crossUV
+		if c.crossVU < cross {
+			cross = c.crossVU
+		}
+		if cross < min {
+			min = cross
+		}
+	}
+	return min
+}
+
 // Begin opens a transaction: all Add/Remove calls until Commit or
 // Rollback are journaled and can be undone as a unit. Transactions do
 // not nest.

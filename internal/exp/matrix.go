@@ -17,20 +17,26 @@ import (
 
 // MatrixCSV emits one row per matrix cell. The energy columns carry the
 // measured averages when the matrix ran with Base.CollectEnergy and
-// zeros otherwise.
+// zeros otherwise; the fault column is empty for fault-free cells and
+// the robustness columns (delivered fraction, post/pre latency
+// inflation, dropped flits) read 1/0/0 there.
 func MatrixCSV(w io.Writer, res *sim.MatrixResult) error {
 	var rows [][]string
 	for _, c := range res.Curves {
 		for _, p := range c.Points {
-			rows = append(rows, []string{c.Topology, c.Pattern,
+			rows = append(rows, []string{c.Topology, c.Pattern, c.Fault,
 				f(p.OfferedRate), f(p.AvgLatencyNs), f(p.AcceptedPerNs),
 				strconv.FormatBool(p.Saturated), strconv.FormatBool(p.Stalled),
-				f(p.AvgPowerMW), f(p.EnergyPerFlitPJ)})
+				f(p.AvgPowerMW), f(p.EnergyPerFlitPJ),
+				f(p.DeliveredFraction), f(p.LatencyInflation),
+				strconv.Itoa(p.DroppedFlits)})
 		}
 	}
-	return writeCSV(w, []string{"topology", "pattern", "offered_pkt_node_cycle",
+	return writeCSV(w, []string{"topology", "pattern", "fault",
+		"offered_pkt_node_cycle",
 		"latency_ns", "accepted_pkt_node_ns", "saturated", "stalled",
-		"avg_power_mw", "energy_per_flit_pj"}, rows)
+		"avg_power_mw", "energy_per_flit_pj",
+		"delivered_fraction", "latency_inflation", "dropped_flits"}, rows)
 }
 
 // MatrixJSON emits the full matrix (curves with per-point samples and
@@ -42,28 +48,56 @@ func MatrixJSON(w io.Writer, res *sim.MatrixResult) error {
 }
 
 // PrintMatrix renders the per-curve summary (zero-load latency and
-// saturation throughput per topology x pattern) as an aligned table,
-// with measured-energy columns (power and dynamic pJ/flit at the lowest
-// offered rate) when the matrix collected energy.
+// saturation throughput per topology x pattern x fault) as an aligned
+// table, with measured-energy columns (power and dynamic pJ/flit at the
+// lowest offered rate) when the matrix collected energy and robustness
+// columns (worst delivered fraction and total drops over the curve)
+// when it ran a fault axis.
 func PrintMatrix(w io.Writer, res *sim.MatrixResult) {
-	energy := false
+	energy, faults := false, false
 	for _, c := range res.Curves {
 		if len(c.Points) > 0 && c.Points[0].AvgPowerMW > 0 {
 			energy = true
-			break
+		}
+		if c.Fault != "" {
+			faults = true
 		}
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	header := "topology\tpattern\tzero-load ns\tsaturation pkt/node/ns"
+	header := "topology\tpattern"
+	if faults {
+		header += "\tfault"
+	}
+	header += "\tzero-load ns\tsaturation pkt/node/ns"
 	if energy {
 		header += "\tzero-load mW\tzero-load pJ/flit"
 	}
+	if faults {
+		header += "\tmin delivered\tdrops"
+	}
 	fmt.Fprintln(tw, header)
 	for _, c := range res.Curves {
-		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.4f",
-			c.Topology, c.Pattern, c.ZeroLoadLatencyNs, c.SaturationPerNs)
+		fmt.Fprintf(tw, "%s\t%s", c.Topology, c.Pattern)
+		if faults {
+			label := c.Fault
+			if label == "" {
+				label = "none"
+			}
+			fmt.Fprintf(tw, "\t%s", label)
+		}
+		fmt.Fprintf(tw, "\t%.2f\t%.4f", c.ZeroLoadLatencyNs, c.SaturationPerNs)
 		if energy {
 			fmt.Fprintf(tw, "\t%.2f\t%.2f", c.Points[0].AvgPowerMW, c.Points[0].EnergyPerFlitPJ)
+		}
+		if faults {
+			minDelivered, drops := 1.0, 0
+			for _, p := range c.Points {
+				if p.DeliveredFraction < minDelivered {
+					minDelivered = p.DeliveredFraction
+				}
+				drops += p.DroppedFlits
+			}
+			fmt.Fprintf(tw, "\t%.4f\t%d", minDelivered, drops)
 		}
 		fmt.Fprintln(tw)
 	}

@@ -115,7 +115,7 @@ func TestMatrixShapeAndCSVColumns(t *testing.T) {
 	if len(lines) != 1+3*2 {
 		t.Fatalf("CSV rows = %d, want header + 6 cells", len(lines))
 	}
-	wantHeader := "topology,pattern,offered_pkt_node_cycle,latency_ns,accepted_pkt_node_ns,saturated,stalled,avg_power_mw,energy_per_flit_pj"
+	wantHeader := "topology,pattern,fault,offered_pkt_node_cycle,latency_ns,accepted_pkt_node_ns,saturated,stalled,avg_power_mw,energy_per_flit_pj,delivered_fraction,latency_inflation,dropped_flits"
 	if lines[0] != wantHeader {
 		t.Errorf("CSV header = %s", lines[0])
 	}

@@ -22,7 +22,7 @@ import (
 // same reason sim.ApplyFidelity and synth.MatrixNSConfig are shared.
 // The returned bool reports whether every "ns" synthesis came from the
 // cache.
-func MatrixSetups(topos []string, g *layout.Grid, cl layout.Class, st *store.Store, energyWeight float64, seed int64, synthIters int) ([]*sim.Setup, bool, error) {
+func MatrixSetups(topos []string, g *layout.Grid, cl layout.Class, st *store.Store, energyWeight, robustWeight float64, seed int64, synthIters int) ([]*sim.Setup, bool, error) {
 	var setups []*sim.Setup
 	synthAllCached := true
 	for _, name := range topos {
@@ -35,7 +35,7 @@ func MatrixSetups(topos []string, g *layout.Grid, cl layout.Class, st *store.Sto
 			setups = append(setups, setup)
 		case "ns":
 			res, hit, err := synth.CachedGenerate(st,
-				synth.MatrixNSConfig(g, cl, energyWeight, seed, synthIters))
+				synth.MatrixNSConfig(g, cl, energyWeight, robustWeight, seed, synthIters))
 			if err != nil {
 				return nil, false, err
 			}

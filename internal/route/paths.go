@@ -179,6 +179,65 @@ func (r *Routing) Validate(t *topo.Topology) error {
 	return nil
 }
 
+// SurvivorRouting builds a shortest-path routing over the surviving
+// subgraph of a degraded topology: routers for which aliveRouter is
+// false and directed links for which aliveLink is false are excluded.
+// Flows with no surviving path — including any flow whose endpoint is a
+// dead router — get a nil table entry, which the simulator reports as an
+// unreachable pair; the result therefore deliberately does NOT satisfy
+// Validate, which demands total routings.
+//
+// Paths are deterministic: a per-source BFS scans out-neighbors in
+// ascending router order (the topo.Out contract), so the same topology,
+// liveness and flow always yield the same path at any GOMAXPROCS. Either
+// predicate may be nil, meaning "everything alive".
+func SurvivorRouting(name string, t *topo.Topology, aliveRouter func(r int) bool, aliveLink func(a, b int) bool) *Routing {
+	n := t.N()
+	routerOK := func(r int) bool { return aliveRouter == nil || aliveRouter(r) }
+	linkOK := func(a, b int) bool { return aliveLink == nil || aliveLink(a, b) }
+	r := &Routing{Name: name, N: n, Table: make([][]Path, n)}
+	parent := make([]int, n)
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		r.Table[s] = make([]Path, n)
+		if !routerOK(s) {
+			continue
+		}
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range t.Out(u) {
+				if parent[v] >= 0 || !routerOK(v) || !linkOK(u, v) {
+					continue
+				}
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+		for d := 0; d < n; d++ {
+			if d == s || parent[d] < 0 {
+				continue
+			}
+			var rev Path
+			for v := d; v != s; v = parent[v] {
+				rev = append(rev, v)
+			}
+			p := make(Path, 0, len(rev)+1)
+			p = append(p, s)
+			for i := len(rev) - 1; i >= 0; i-- {
+				p = append(p, rev[i])
+			}
+			r.Table[s][d] = p
+		}
+	}
+	return r
+}
+
 // RandomSelection picks one path per flow uniformly at random — the
 // "random selection of paths amongst the valid choices" used with
 // expert-topology routing.

@@ -1,0 +1,89 @@
+package route
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSurvivorRoutingHealthyMatchesShortest(t *testing.T) {
+	m := mesh4x5()
+	r := SurvivorRouting("survivor", m, nil, nil)
+	if err := r.Validate(m); err != nil {
+		t.Fatalf("healthy survivor routing invalid: %v", err)
+	}
+	dist := m.ShortestPaths()
+	for s := 0; s < m.N(); s++ {
+		for d := 0; d < m.N(); d++ {
+			if s == d {
+				continue
+			}
+			if got := r.Table[s][d].Hops(); got != dist[s][d] {
+				t.Fatalf("flow (%d,%d): %d hops, shortest %d", s, d, got, dist[s][d])
+			}
+		}
+	}
+}
+
+func TestSurvivorRoutingDeadLink(t *testing.T) {
+	ring := smallRing()
+	// Kill 0->1; paths from 0 must detour the long way, everything stays
+	// reachable over the remaining ring links.
+	dead := [2]int{0, 1}
+	r := SurvivorRouting("survivor", ring, nil, func(a, b int) bool {
+		return [2]int{a, b} != dead
+	})
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			if s == d {
+				continue
+			}
+			p := r.Table[s][d]
+			if p == nil {
+				t.Fatalf("flow (%d,%d) unreachable after one ring link loss", s, d)
+			}
+			for _, l := range p.Links() {
+				if l == dead {
+					t.Fatalf("flow (%d,%d) path %v uses the dead link", s, d, p)
+				}
+			}
+		}
+	}
+	if got := r.Table[0][1]; got.Hops() != 3 {
+		t.Fatalf("0->1 detour = %v, want 3 hops", got)
+	}
+}
+
+func TestSurvivorRoutingDeadRouter(t *testing.T) {
+	ring := smallRing()
+	r := SurvivorRouting("survivor", ring, func(rtr int) bool { return rtr != 2 }, nil)
+	for d := 1; d < 4; d++ {
+		p := r.Table[0][d]
+		if d == 2 {
+			if p != nil {
+				t.Fatalf("path to dead router: %v", p)
+			}
+			continue
+		}
+		if p == nil {
+			t.Fatalf("flow (0,%d) unreachable", d)
+		}
+		for _, hop := range p {
+			if hop == 2 {
+				t.Fatalf("flow (0,%d) path %v crosses dead router", d, p)
+			}
+		}
+	}
+	if r.Table[2][0] != nil || r.Table[2][1] != nil {
+		t.Fatal("dead router has outgoing paths")
+	}
+}
+
+func TestSurvivorRoutingDeterministic(t *testing.T) {
+	m := mesh4x5()
+	alive := func(a, b int) bool { return !(a == 5 && b == 6) }
+	r1 := SurvivorRouting("survivor", m, nil, alive)
+	r2 := SurvivorRouting("survivor", m, nil, alive)
+	if !reflect.DeepEqual(r1.Table, r2.Table) {
+		t.Fatal("survivor routing is not deterministic")
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"time"
 
 	"netsmith/internal/exp"
+	"netsmith/internal/expert"
+	"netsmith/internal/fault"
 	"netsmith/internal/layout"
 	"netsmith/internal/sim"
 	"netsmith/internal/store"
@@ -412,6 +414,7 @@ type SynthRequest struct {
 	MaxDiameter  int     `json:"max_diameter,omitempty"`
 	MinCutBW     float64 `json:"min_cut_bw,omitempty"`
 	EnergyWeight float64 `json:"energy_weight,omitempty"`
+	RobustWeight float64 `json:"robust_weight,omitempty"`
 	Seed         int64   `json:"seed,omitempty"`
 	Iterations   int     `json:"iterations,omitempty"`
 	Restarts     int     `json:"restarts,omitempty"`
@@ -425,9 +428,14 @@ type SynthResult struct {
 	Gap         float64         `json:"gap"`
 	Optimal     bool            `json:"optimal"`
 	EnergyProxy float64         `json:"energy_proxy,omitempty"`
-	Links       int             `json:"links"`
-	Diameter    int             `json:"diameter"`
-	AvgHops     float64         `json:"avg_hops"`
+	// CriticalLinks and Fragility are filled when the request priced
+	// fragility (robust_weight > 0): single links whose loss disconnects
+	// some pair, and the residual fragility score.
+	CriticalLinks int     `json:"critical_links,omitempty"`
+	Fragility     int     `json:"fragility,omitempty"`
+	Links         int     `json:"links"`
+	Diameter      int     `json:"diameter"`
+	AvgHops       float64 `json:"avg_hops"`
 }
 
 func (req *SynthRequest) config() (synth.Config, error) {
@@ -449,6 +457,9 @@ func (req *SynthRequest) config() (synth.Config, error) {
 	if req.EnergyWeight < 0 {
 		return synth.Config{}, fmt.Errorf("negative energy_weight %v", req.EnergyWeight)
 	}
+	if req.RobustWeight < 0 {
+		return synth.Config{}, fmt.Errorf("negative robust_weight %v", req.RobustWeight)
+	}
 	if req.MaxDiameter < 0 || req.MinCutBW < 0 {
 		return synth.Config{}, fmt.Errorf("negative constraint bound")
 	}
@@ -460,8 +471,8 @@ func (req *SynthRequest) config() (synth.Config, error) {
 		Grid: g, Class: cl,
 		Radix: req.Radix, Symmetric: req.Symmetric,
 		MaxDiameter: req.MaxDiameter, MinCutBW: req.MinCutBW,
-		EnergyWeight: req.EnergyWeight,
-		Seed:         req.Seed, Iterations: req.Iterations, Restarts: req.Restarts,
+		EnergyWeight: req.EnergyWeight, RobustWeight: req.RobustWeight,
+		Seed: req.Seed, Iterations: req.Iterations, Restarts: req.Restarts,
 	}
 	switch defaultStr(req.Objective, "latop") {
 	case "latop":
@@ -514,6 +525,7 @@ func synthResult(res *synth.Result) (any, error) {
 		Topology:  tj,
 		Objective: res.Objective, Bound: res.Bound, Gap: res.Gap,
 		Optimal: res.Optimal, EnergyProxy: res.EnergyProxy,
+		CriticalLinks: res.CriticalLinks, Fragility: res.Fragility,
 		Links:    res.Topology.NumLinks(),
 		Diameter: res.Topology.Diameter(),
 		AvgHops:  res.Topology.AverageHops(),
@@ -539,6 +551,11 @@ type MatrixRequest struct {
 	Seed         *int64  `json:"seed,omitempty"`
 	Energy       bool    `json:"energy,omitempty"`
 	EnergyWeight float64 `json:"energy_weight,omitempty"`
+	RobustWeight float64 `json:"robust_weight,omitempty"`
+	// Faults lists fault-schedule registry args ("name" or
+	// "name:key=val:..."), each added as a matrix axis entry alongside
+	// the always-present fault-free baseline.
+	Faults []string `json:"faults,omitempty"`
 	// SynthIterations bounds "ns" topology synthesis (default 20000,
 	// fixed 4 restarts; deterministic, hence cacheable).
 	SynthIterations int `json:"synth_iterations,omitempty"`
@@ -572,6 +589,7 @@ const (
 	maxTopos         = 8
 	maxRatePoints    = 64
 	maxPatterns      = 64
+	maxFaults        = 16
 )
 
 // parseBoundedGrid is layout.ParseGrid plus the router-count cap.
@@ -592,10 +610,12 @@ type matrixPlan struct {
 	class     layout.Class
 	topos     []string
 	factories []sim.PatternFactory
+	faults    []sim.FaultFactory
 	rates     []float64
 	base      sim.Config
 	seed      int64
 	ew        float64
+	rw        float64
 	synthIter int
 }
 
@@ -614,7 +634,7 @@ func (req *MatrixRequest) plan() (*matrixPlan, error) {
 	if req.Seed != nil {
 		seed = *req.Seed
 	}
-	p := &matrixPlan{grid: g, class: cl, seed: seed, ew: req.EnergyWeight}
+	p := &matrixPlan{grid: g, class: cl, seed: seed, ew: req.EnergyWeight, rw: req.RobustWeight}
 	p.topos = req.Topos
 	if len(p.topos) == 0 {
 		p.topos = []string{"mesh"}
@@ -675,6 +695,36 @@ func (req *MatrixRequest) plan() (*matrixPlan, error) {
 	if req.EnergyWeight < 0 {
 		return nil, fmt.Errorf("negative energy_weight %v", req.EnergyWeight)
 	}
+	if req.RobustWeight < 0 {
+		return nil, fmt.Errorf("negative robust_weight %v", req.RobustWeight)
+	}
+	if len(req.Faults) > maxFaults {
+		return nil, fmt.Errorf("%d faults over cap %d", len(req.Faults), maxFaults)
+	}
+	if len(req.Faults) > 0 {
+		// Same axis construction as netbench -faults: the fault-free
+		// baseline leads, schedules are validated eagerly against the
+		// grid's mesh, and duplicate canonical specs collapse.
+		freg := fault.Default()
+		mesh := expert.Mesh(g)
+		p.faults = []sim.FaultFactory{sim.FaultRegistryFactory(freg, "none", nil)}
+		seen := map[string]bool{p.faults[0].Name: true}
+		for _, arg := range req.Faults {
+			name, params, err := fault.ParseScheduleArg(strings.TrimSpace(arg))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := freg.Build(name, mesh, params); err != nil {
+				return nil, err
+			}
+			f := sim.FaultRegistryFactory(freg, name, params)
+			if seen[f.Name] {
+				continue
+			}
+			seen[f.Name] = true
+			p.faults = append(p.faults, f)
+		}
+	}
 	p.synthIter = req.SynthIterations
 	if p.synthIter == 0 {
 		// Match netbench -matrix exactly (fast: 20000, -full: 80000) —
@@ -696,13 +746,14 @@ func (req *MatrixRequest) plan() (*matrixPlan, error) {
 // netbench -matrix (exp.MatrixSetups: mesh expert-routed, ns via
 // cached synthesis) and runs the store-backed matrix.
 func (p *matrixPlan) execute(st *store.Store) (any, bool, error) {
-	setups, synthAllCached, err := exp.MatrixSetups(p.topos, p.grid, p.class, st, p.ew, p.seed, p.synthIter)
+	setups, synthAllCached, err := exp.MatrixSetups(p.topos, p.grid, p.class, st, p.ew, p.rw, p.seed, p.synthIter)
 	if err != nil {
 		return nil, false, err
 	}
 	res, err := sim.RunMatrix(sim.MatrixConfig{
-		Setups: setups, Patterns: p.factories, Rates: p.rates,
-		Base: p.base, Seed: p.seed, Store: st,
+		Setups: setups, Patterns: p.factories, Faults: p.faults,
+		Rates: p.rates,
+		Base:  p.base, Seed: p.seed, Store: st,
 	})
 	if err != nil {
 		return nil, false, err

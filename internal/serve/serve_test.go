@@ -227,6 +227,11 @@ func TestBadRequests(t *testing.T) {
 		{"/v1/synth", `{"grid":"4x5","energy_weight":-1}`},                // negative weight
 		{"/v1/synth", `{"grid":"4x5","radix":-2}`},                        // negative radix
 		{"/v1/matrix", `{"grid":"4x5","energy_weight":-1}`},               // negative weight
+		{"/v1/synth", `{"grid":"4x5","robust_weight":-1}`},                // negative weight
+		{"/v1/matrix", `{"grid":"4x5","robust_weight":-1}`},               // negative weight
+		{"/v1/matrix", `{"grid":"4x5","faults":["nosuch"]}`},              // unknown schedule
+		{"/v1/matrix", `{"grid":"4x5","faults":["klinks:k=abc"]}`},        // bad param
+		{"/v1/matrix", `{"grid":"4x5","faults":["klinks:k=1","klinks:k=2","klinks:k=3","klinks:k=4","klinks:k=5","klinks:k=6","klinks:k=7","klinks:k=8","klinks:k=9","klinks:k=10","klinks:k=11","klinks:k=12","klinks:k=13","klinks:k=14","klinks:k=15","klinks:k=16","klinks:k=17"]}`}, // fault cap
 		{"/v1/matrix", `not json`},
 	}
 	for _, c := range cases {
@@ -242,6 +247,55 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMatrixFaultAxisJob: a faults request runs the fault-free baseline
+// plus each schedule as matrix-axis entries, with labeled curves and
+// populated robustness columns.
+func TestMatrixFaultAxisJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"grid":"3x3","patterns":["uniform"],"rates":[0.02],"fidelity":"smoke","faults":["krouters:k=1:seed=3:at=150"],"seed":9}`
+
+	code, j := postJSON(t, ts.URL+"/v1/matrix", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+	done := pollDone(t, ts.URL, j.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("matrix job failed: %+v", done)
+	}
+	var r MatrixJobResult
+	if err := json.Unmarshal(done.Result, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Cells != 2 {
+		t.Fatalf("stats: %+v (want 2 cells: 1 pattern x 2 faults x 1 rate)", r.Stats)
+	}
+	if len(r.Matrix.Curves) != 2 {
+		t.Fatalf("curves: %d, want 2 (baseline + krouters)", len(r.Matrix.Curves))
+	}
+	var sawClean, sawFaulted bool
+	for _, c := range r.Matrix.Curves {
+		switch c.Fault {
+		case "none":
+			sawClean = true
+			if p := c.Points[0]; p.DroppedFlits != 0 || p.DeliveredFraction != 1 {
+				t.Errorf("baseline curve carries fault damage: %+v", p)
+			}
+		case "krouters:at=150:k=1:seed=3":
+			sawFaulted = true
+			// A dead router makes 1/9 of the uniform destinations
+			// unreachable: delivery must visibly degrade.
+			if p := c.Points[0]; p.DeliveredFraction >= 1 {
+				t.Errorf("faulted curve shows no degradation: %+v", p)
+			}
+		default:
+			t.Errorf("unexpected fault label %q", c.Fault)
+		}
+	}
+	if !sawClean || !sawFaulted {
+		t.Fatalf("missing curve: clean=%v faulted=%v", sawClean, sawFaulted)
 	}
 }
 

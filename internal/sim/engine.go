@@ -236,14 +236,28 @@ func (e *engine) completePacket(p *packet) {
 		e.delivered++
 	}
 	if p.measured {
-		e.latencySum += e.cycle - p.injectedAt
+		lat := e.cycle - p.injectedAt
+		e.latencySum += lat
+		if e.firstFault >= 0 {
+			if p.injectedAt >= e.firstFault {
+				e.postLatSum += lat
+				e.postMeasured++
+			} else {
+				e.preLatSum += lat
+				e.preMeasured++
+			}
+		}
 		e.measured++
 		e.measuredInFlight--
 	}
 	if replyDst, replyFlits, ok := e.cfg.Pattern.OnDeliver(p.src, p.dst, e.rng); ok {
 		generating := e.cycle < int64(e.cfg.WarmupCycles+e.cfg.MeasureCycles)
 		if generating {
-			e.enqueuePacket(p.dst, replyDst, replyFlits, false)
+			if e.flowBlocked(p.dst, replyDst) {
+				e.skippedInject++
+			} else {
+				e.enqueuePacket(p.dst, replyDst, replyFlits, false)
+			}
 		}
 	}
 	e.recyclePacket(p)
@@ -332,7 +346,7 @@ func (e *engine) pickDownVC(base int32, h *flit) int {
 		}
 		return -1 // should not happen: head always precedes body
 	}
-	for vcIdx := e.cfg.VC.NumVCs; vcIdx < e.numVCs; vcIdx++ {
+	for vcIdx := e.escapeVCs; vcIdx < e.numVCs; vcIdx++ {
 		if e.owner[base+int32(vcIdx)] == nil && e.free[base+int32(vcIdx)] > 0 {
 			return vcIdx
 		}

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"netsmith/internal/fault"
+	"netsmith/internal/traffic"
+)
+
+// faultCfg returns a small mesh run config with the given schedule.
+func faultCfg(t *testing.T, sched *fault.Schedule) Config {
+	t.Helper()
+	s := meshSetup(t)
+	return Config{
+		Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+		Pattern:       traffic.Uniform{N: 20},
+		InjectionRate: 0.03,
+		WarmupCycles:  500, MeasureCycles: 1500, DrainCycles: 3000,
+		Seed:          11,
+		FaultSchedule: sched,
+	}
+}
+
+func buildSched(t *testing.T, cfg Config, arg string) *fault.Schedule {
+	t.Helper()
+	name, params, err := fault.ParseScheduleArg(arg)
+	if err != nil {
+		t.Fatalf("parse %q: %v", arg, err)
+	}
+	sched, err := fault.Default().Build(name, cfg.Topo, params)
+	if err != nil {
+		t.Fatalf("build %q: %v", arg, err)
+	}
+	return sched
+}
+
+func TestFaultFreeMatchesNoneSchedule(t *testing.T) {
+	base := faultCfg(t, nil)
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withNone := base
+	withNone.FaultSchedule = buildSched(t, base, "none")
+	b, err := Run(withNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("none schedule changed the result:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.RerouteEvents != 0 || a.DroppedFlits != 0 || a.UnreachablePairs != 0 {
+		t.Fatalf("fault-free run reported fault stats: %+v", a)
+	}
+	if a.DeliveredFraction <= 0.99 {
+		t.Fatalf("low-load fault-free delivered fraction %v", a.DeliveredFraction)
+	}
+}
+
+func TestPermanentLinkFaultReroutesAndDelivers(t *testing.T) {
+	cfg := faultCfg(t, nil)
+	cfg.FaultSchedule = buildSched(t, cfg, "klinks:k=2:seed=9:at=400")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled {
+		t.Fatal("run stalled under 2-link failure")
+	}
+	if res.RerouteEvents != 1 {
+		t.Fatalf("RerouteEvents = %d, want 1", res.RerouteEvents)
+	}
+	// The mesh stays connected after two link losses with this seed, so
+	// every pair keeps a path and traffic keeps flowing.
+	if res.UnreachablePairs != 0 {
+		t.Fatalf("mesh reported %d unreachable pairs", res.UnreachablePairs)
+	}
+	if res.Measured == 0 {
+		t.Fatal("no packets measured after the fault")
+	}
+	if res.DeliveredFraction <= 0.9 || res.DeliveredFraction > 1 {
+		t.Fatalf("delivered fraction %v implausible for a connected reroute", res.DeliveredFraction)
+	}
+	// The boundary falls mid-warmup with traffic in flight: the epoch
+	// flush must have dropped something.
+	if res.DroppedFlits == 0 || res.DroppedPackets == 0 {
+		t.Fatalf("no drops recorded at the fault boundary: %+v", res)
+	}
+	// The fault hits during warmup (cycle 400 < 500), so every measured
+	// packet is post-fault.
+	if res.PreFaultAvgLatencyNs != 0 || res.PostFaultAvgLatencyNs == 0 {
+		t.Fatalf("latency phases: pre=%v post=%v", res.PreFaultAvgLatencyNs, res.PostFaultAvgLatencyNs)
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	cfg := faultCfg(t, nil)
+	// Recovery at 1800 sits inside the measure window (ends 2000), so
+	// both boundaries are guaranteed to be processed before any early
+	// drain exit.
+	cfg.FaultSchedule = buildSched(t, cfg, "klinks:k=3:seed=5:at=700:until=1800")
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("faulted run not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.RerouteEvents != 2 {
+		t.Fatalf("transient 3-link fault: RerouteEvents = %d, want 2 (onset + recovery)", a.RerouteEvents)
+	}
+}
+
+func TestPartitioningRouterFault(t *testing.T) {
+	// Killing routers 1, 5 and 6 isolates corner router 0 of the 4x5
+	// mesh: every flow to or from it becomes unreachable, and flows
+	// among the dead routers are gone too. The run must terminate
+	// without tripping the watchdog and report the disconnection.
+	cfg := faultCfg(t, nil)
+	cfg.FaultSchedule = buildSched(t, cfg, "list:events=router=1@600+router=5@600+router=6@600")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled {
+		t.Fatal("partitioned run stalled")
+	}
+	// Dead routers 1,5,6 and isolated router 0: all ordered pairs
+	// touching any of the four are unreachable: 4*19 + 4*19 - 4*3 = 140.
+	if res.UnreachablePairs != 140 {
+		t.Fatalf("UnreachablePairs = %d, want 140", res.UnreachablePairs)
+	}
+	if res.SkippedInjections == 0 {
+		t.Fatal("no injections were skipped despite unreachable pairs")
+	}
+	if res.Measured == 0 {
+		t.Fatal("surviving partition delivered nothing")
+	}
+	if res.DeliveredFraction >= 1 {
+		t.Fatalf("delivered fraction %v should reflect skipped flows", res.DeliveredFraction)
+	}
+}
+
+func TestTransientFaultRecoversMidDrain(t *testing.T) {
+	// Onset in the measure window, recovery after the measure window
+	// ends (cycle 2000 = start of drain). The run must process the
+	// recovery (or finish draining early) and terminate cleanly.
+	cfg := faultCfg(t, nil)
+	cfg.FaultSchedule = buildSched(t, cfg, "list:events=link=0>1@1200-2600")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled {
+		t.Fatal("mid-drain recovery stalled")
+	}
+	if res.RerouteEvents < 1 || res.RerouteEvents > 2 {
+		t.Fatalf("RerouteEvents = %d, want 1 or 2", res.RerouteEvents)
+	}
+	if res.Measured == 0 {
+		t.Fatal("nothing measured")
+	}
+}
+
+func TestFaultAtCycleZero(t *testing.T) {
+	// The degraded epoch starts before any traffic exists: nothing to
+	// drop, one reroute, and the run proceeds on the survivor tables.
+	cfg := faultCfg(t, nil)
+	cfg.FaultSchedule = buildSched(t, cfg, "list:events=link=0>1@0")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled {
+		t.Fatal("cycle-0 fault stalled")
+	}
+	if res.RerouteEvents != 1 {
+		t.Fatalf("RerouteEvents = %d, want 1", res.RerouteEvents)
+	}
+	if res.DroppedFlits != 0 || res.DroppedPackets != 0 {
+		t.Fatalf("cycle-0 fault dropped traffic: %+v", res)
+	}
+	if res.Measured == 0 {
+		t.Fatal("nothing measured")
+	}
+}
+
+func TestFaultPastHorizonIsInert(t *testing.T) {
+	base := faultCfg(t, nil)
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faultCfg(t, nil)
+	cfg.FaultSchedule = buildSched(t, cfg, "list:events=link=0>1@1000000")
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.RerouteEvents != 0 || b.DroppedFlits != 0 {
+		t.Fatalf("past-horizon event fired: %+v", b)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("past-horizon schedule perturbed the run:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestTransientRecoveryRestoresConfigTables(t *testing.T) {
+	// After recovery the healthy epoch must reuse the Config's own
+	// routing (not a rebuilt survivor table): run a schedule that has
+	// fully recovered before measurement starts and compare steady
+	// state against the fault-free baseline — identical tables mean the
+	// only difference is the rng-stream history, so latencies stay in
+	// the same regime.
+	cfg := faultCfg(t, nil)
+	cfg.FaultSchedule = buildSched(t, cfg, "list:events=link=0>1@100-300")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled || res.RerouteEvents != 2 {
+		t.Fatalf("recovery run: %+v", res)
+	}
+	if res.UnreachablePairs != 0 {
+		t.Fatalf("single mesh link loss disconnected pairs: %d", res.UnreachablePairs)
+	}
+}

@@ -6,13 +6,15 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"netsmith/internal/fault"
 	"netsmith/internal/store"
+	"netsmith/internal/topo"
 	"netsmith/internal/traffic"
 )
 
 // The scenario matrix generalizes Sweep from "one topology, one
 // pattern, a rate grid" to the full cross product
-// {topology x pattern x injection rate}. Cells run on the same bounded
+// {topology x pattern x fault schedule x injection rate}. Cells run on the same bounded
 // worker pool, each with a deterministic seed derived from its matrix
 // position and a fresh pattern instance built from its factory, so the
 // emitted result is bit-identical across reruns and GOMAXPROCS settings
@@ -36,6 +38,46 @@ type PatternFactory struct {
 	// on the same cached cells.
 	Key string
 	New func() (traffic.Pattern, error)
+}
+
+// FaultFactory names a fault schedule and builds it per topology. The
+// build takes the topology because most schedule specs resolve to
+// different concrete events on different networks (klinks draws from
+// each topology's own link list); RunMatrix builds one schedule per
+// (setup, fault) pair and shares it across that pair's cells — the
+// engine never mutates a schedule, so sharing is safe.
+type FaultFactory struct {
+	// Name labels the fault axis in curves and reports.
+	Name string
+	// Key is the schedule's canonical content key for the result store
+	// (fault.CanonicalScheduleKey form). Like PatternFactory.Key it must
+	// be non-empty for store-backed runs unless the built schedule is
+	// empty: a keyless lossy schedule would collide with fault-free
+	// cells in the cache.
+	Key string
+	New func(t *topo.Topology) (*fault.Schedule, error)
+}
+
+// FaultRegistryFactory adapts a fault-registry schedule spec to a
+// FaultFactory. The display name is the canonical key, so differently
+// parameterized instances of one builder stay distinguishable in the
+// matrix output.
+func FaultRegistryFactory(reg *fault.Registry, name string, params fault.Params) FaultFactory {
+	key := fault.CanonicalScheduleKey(name, params)
+	f := FaultFactory{
+		Name: key,
+		Key:  key,
+		New: func(t *topo.Topology) (*fault.Schedule, error) {
+			return reg.Build(name, t, params)
+		},
+	}
+	if name == "none" && len(params) == 0 {
+		// Matches Registry.Build's convention: the bare fault-free
+		// schedule carries an empty key so its cells are cache-compatible
+		// with matrices that have no fault axis at all.
+		f.Key = ""
+	}
+	return f
 }
 
 // RegistryFactory adapts a traffic-registry pattern to a PatternFactory.
@@ -66,6 +108,10 @@ type MatrixConfig struct {
 	// Rates is the offered-rate grid (packets/node/cycle); default
 	// DefaultRates().
 	Rates []float64
+	// Faults is the optional fault-schedule axis. Empty means a single
+	// implicit fault-free entry whose cells are key-compatible with
+	// matrices that predate the axis (and with explicit "none" entries).
+	Faults []FaultFactory
 	// Base supplies fidelity knobs (cycle budgets, VC counts, bandwidth);
 	// its Topo/Routing/VC/Pattern/InjectionRate/Seed fields are
 	// overridden per cell. Setting Base.CollectEnergy fills every cell's
@@ -93,9 +139,13 @@ type MatrixConfig struct {
 // MatrixCurve is one (topology, pattern) row of the matrix: its
 // latency-vs-injection points plus the derived summary metrics.
 type MatrixCurve struct {
-	Topology string       `json:"topology"`
-	Pattern  string       `json:"pattern"`
-	Points   []SweepPoint `json:"points"`
+	Topology string `json:"topology"`
+	Pattern  string `json:"pattern"`
+	// Fault names the curve's fault schedule; empty when the matrix has
+	// no fault axis (keeping the emitted JSON shape of fault-free
+	// matrices unchanged).
+	Fault  string       `json:"fault,omitempty"`
+	Points []SweepPoint `json:"points"`
 	// ZeroLoadLatencyNs is the latency at the lowest offered rate;
 	// SaturationPerNs the highest pre-saturation accepted throughput
 	// (packets/node/ns).
@@ -114,11 +164,24 @@ type MatrixResult struct {
 	Stats MatrixStats `json:"-"`
 }
 
-// Curve returns the row for a topology/pattern name pair.
+// Curve returns the first row for a topology/pattern name pair (the
+// fault-free row when the matrix has no fault axis; otherwise the row
+// of the first configured fault entry).
 func (m *MatrixResult) Curve(topology, pattern string) *MatrixCurve {
 	for i := range m.Curves {
 		if m.Curves[i].Topology == topology && m.Curves[i].Pattern == pattern {
 			return &m.Curves[i]
+		}
+	}
+	return nil
+}
+
+// FaultCurve returns the row for a topology/pattern/fault name triple.
+func (m *MatrixResult) FaultCurve(topology, pattern, faultName string) *MatrixCurve {
+	for i := range m.Curves {
+		c := &m.Curves[i]
+		if c.Topology == topology && c.Pattern == pattern && c.Fault == faultName {
+			return c
 		}
 	}
 	return nil
@@ -156,10 +219,15 @@ func ApplyFidelity(cfg *Config, name string) error {
 // emitted bytes identical.
 func cellPoint(rate float64, res *Result) SweepPoint {
 	p := SweepPoint{
-		OfferedRate:   rate,
-		AvgLatencyNs:  res.AvgLatencyNs,
-		AcceptedPerNs: res.AcceptedPerNs,
-		Stalled:       res.Stalled,
+		OfferedRate:       rate,
+		AvgLatencyNs:      res.AvgLatencyNs,
+		AcceptedPerNs:     res.AcceptedPerNs,
+		Stalled:           res.Stalled,
+		DeliveredFraction: res.DeliveredFraction,
+		DroppedFlits:      res.DroppedFlits,
+	}
+	if res.PreFaultAvgLatencyNs > 0 && res.PostFaultAvgLatencyNs > 0 {
+		p.LatencyInflation = res.PostFaultAvgLatencyNs / res.PreFaultAvgLatencyNs
 	}
 	p.energize(res)
 	return p
@@ -188,11 +256,37 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 	if rates == nil {
 		rates = DefaultRates()
 	}
-	nT, nP, nR := len(mc.Setups), len(mc.Patterns), len(rates)
-	cells := nT * nP * nR
+	faults := mc.Faults
+	if len(faults) == 0 {
+		// Implicit fault-free axis: empty Name keeps the emitted curves
+		// shaped exactly like pre-fault-axis matrices, empty Key keeps
+		// their cells cache-compatible.
+		faults = []FaultFactory{{
+			New: func(*topo.Topology) (*fault.Schedule, error) { return &fault.Schedule{}, nil },
+		}}
+	}
+	nT, nP, nF, nR := len(mc.Setups), len(mc.Patterns), len(faults), len(rates)
+	cells := nT * nP * nF * nR
 	points := make([]SweepPoint, cells)
 	have := make([]bool, cells)
 	errs := make([]error, cells)
+
+	// Fault schedules are built once per (setup, fault) pair, up front:
+	// builders are cheap and deterministic, and eager building surfaces
+	// bad specs before any cell simulates.
+	scheds := make([]*fault.Schedule, nT*nF)
+	for ti, st := range mc.Setups {
+		for fi, ff := range faults {
+			s, err := ff.New(st.Topo)
+			if err != nil {
+				return nil, fmt.Errorf("sim: fault %q on %s: %w", ff.Name, st.Topo.Name, err)
+			}
+			scheds[ti*nF+fi] = s
+			if mc.Store != nil && ff.Key == "" && !s.Empty() {
+				return nil, fmt.Errorf("sim: fault factory %q needs a content Key for store-backed runs (see fault.CanonicalScheduleKey) — a keyless lossy schedule would collide with fault-free cached cells", ff.Name)
+			}
+		}
+	}
 
 	// Setup fingerprints anchor every cell key; compute each once.
 	var fps []string
@@ -211,20 +305,31 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 			fps[i] = fp
 		}
 	}
+	// idx decodes cell i's fixed matrix position: topology-major, then
+	// pattern, then fault, then rate. With no fault axis (nF == 1) this
+	// reduces to the pre-axis layout, preserving per-cell seeds.
+	idx := func(i int) (ti, pi, fi, ri int) {
+		ri = i % nR
+		fi = (i / nR) % nF
+		pi = (i / (nR * nF)) % nP
+		ti = i / (nR * nF * nP)
+		return
+	}
 	// baseCfg assembles cell i's Config sans Pattern; keyFor canonical-
 	// izes it (normalized knobs, no workload instance needed).
-	baseCfg := func(ti, ri, i int) Config {
+	baseCfg := func(ti, fi, ri, i int) Config {
 		cfg := mc.Base
 		cfg.Topo = mc.Setups[ti].Topo
 		cfg.Routing = mc.Setups[ti].Routing
 		cfg.VC = mc.Setups[ti].VC
 		cfg.InjectionRate = rates[ri]
 		cfg.Seed = mc.Seed + int64(i)*7919
+		cfg.FaultSchedule = scheds[ti*nF+fi]
 		return cfg
 	}
 	keyFor := func(i int) store.Key {
-		ti, pi, ri := i/(nP*nR), (i/nR)%nP, i%nR
-		return cellKey(fps[ti], mc.Patterns[pi].Key, baseCfg(ti, ri, i).normalized())
+		ti, pi, fi, ri := idx(i)
+		return cellKey(fps[ti], mc.Patterns[pi].Key, faults[fi].Key, baseCfg(ti, fi, ri, i).normalized())
 	}
 
 	var computed, cacheHits, storeErrs atomic.Int64
@@ -246,7 +351,7 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 				if !mc.Shard.Owns(i) {
 					continue // filled from the store after the pool drains
 				}
-				ti, pi, ri := i/(nP*nR), (i/nR)%nP, i%nR
+				ti, pi, fi, ri := idx(i)
 				var key store.Key
 				if mc.Store != nil {
 					key = keyFor(i)
@@ -268,7 +373,7 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 					errs[i] = fmt.Errorf("pattern %s: %w", mc.Patterns[pi].Name, err)
 					continue
 				}
-				cfg := baseCfg(ti, ri, i)
+				cfg := baseCfg(ti, fi, ri, i)
 				cfg.Pattern = pat
 				res, err := Run(cfg)
 				if err != nil {
@@ -327,7 +432,7 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 
 	out := &MatrixResult{
 		Rates:  rates,
-		Curves: make([]MatrixCurve, 0, nT*nP),
+		Curves: make([]MatrixCurve, 0, nT*nP*nF),
 		Stats: MatrixStats{
 			Cells:    cells,
 			Computed: int(computed.Load()), CacheHits: int(cacheHits.Load()),
@@ -336,14 +441,17 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 	}
 	for ti := 0; ti < nT; ti++ {
 		for pi := 0; pi < nP; pi++ {
-			base := (ti*nP + pi) * nR
-			c := MatrixCurve{
-				Topology: mc.Setups[ti].Topo.Name,
-				Pattern:  mc.Patterns[pi].Name,
-				Points:   points[base : base+nR : base+nR],
+			for fi := 0; fi < nF; fi++ {
+				base := ((ti*nP+pi)*nF + fi) * nR
+				c := MatrixCurve{
+					Topology: mc.Setups[ti].Topo.Name,
+					Pattern:  mc.Patterns[pi].Name,
+					Fault:    faults[fi].Name,
+					Points:   points[base : base+nR : base+nR],
+				}
+				c.ZeroLoadLatencyNs, c.SaturationPerNs = deriveSaturation(c.Points)
+				out.Curves = append(out.Curves, c)
 			}
-			c.ZeroLoadLatencyNs, c.SaturationPerNs = deriveSaturation(c.Points)
-			out.Curves = append(out.Curves, c)
 		}
 	}
 	return out, nil

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"netsmith/internal/expert"
+	"netsmith/internal/fault"
+	"netsmith/internal/layout"
+	"netsmith/internal/store"
+	"netsmith/internal/topo"
+	"netsmith/internal/traffic"
+)
+
+// faultMatrix builds a small matrix with a two-entry fault axis:
+// fault-free and a deterministic 2-link failure.
+func faultMatrix(t *testing.T) MatrixConfig {
+	t.Helper()
+	g := layout.NewGrid(3, 3)
+	st, err := Prepare(expert.Mesh(g), UseNDBT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := traffic.GridEnv(g)
+	freg := fault.Default()
+	return MatrixConfig{
+		Setups: []*Setup{st},
+		Patterns: []PatternFactory{
+			RegistryFactory(traffic.Default(), "uniform", env, nil),
+		},
+		Faults: []FaultFactory{
+			FaultRegistryFactory(freg, "none", nil),
+			FaultRegistryFactory(freg, "klinks", fault.Params{"k": "2", "seed": "3", "at": "150"}),
+		},
+		Rates: []float64{0.02, 0.08},
+		Base: Config{
+			WarmupCycles: 200, MeasureCycles: 500, DrainCycles: 1000,
+		},
+		Seed: 7,
+	}
+}
+
+// TestMatrixFaultAxisShape pins the curve layout and the robustness
+// columns: one curve per (topology, pattern, fault), faulted curves
+// labeled by canonical key and showing drops that fault-free curves do
+// not.
+func TestMatrixFaultAxisShape(t *testing.T) {
+	mc := faultMatrix(t)
+	res, err := RunMatrix(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 2 {
+		t.Fatalf("got %d curves, want 2 (one per fault entry)", len(res.Curves))
+	}
+	clean := res.FaultCurve(expert.NameMesh, "uniform", "none")
+	faulted := res.FaultCurve(expert.NameMesh, "uniform", "klinks:at=150:k=2:seed=3")
+	if clean == nil || faulted == nil {
+		t.Fatalf("missing fault curves; labels: %q, %q", res.Curves[0].Fault, res.Curves[1].Fault)
+	}
+	for _, p := range clean.Points {
+		if p.DroppedFlits != 0 || p.DeliveredFraction != 1 {
+			t.Fatalf("fault-free point has fault stats: %+v", p)
+		}
+	}
+	drops := 0
+	for _, p := range faulted.Points {
+		drops += p.DroppedFlits
+		if p.DeliveredFraction <= 0 || p.DeliveredFraction > 1 {
+			t.Fatalf("faulted point delivered fraction out of range: %+v", p)
+		}
+	}
+	if drops == 0 {
+		t.Error("2-link failure at cycle 150 dropped nothing across the rate grid")
+	}
+}
+
+// TestMatrixFaultAxisDeterminism pins the fault-dimension determinism
+// contract: the same config replays deeply identical at different
+// GOMAXPROCS settings.
+func TestMatrixFaultAxisDeterminism(t *testing.T) {
+	mc := faultMatrix(t)
+	prev := runtime.GOMAXPROCS(1)
+	a, err := RunMatrix(mc)
+	runtime.GOMAXPROCS(8)
+	b, err2 := RunMatrix(mc)
+	runtime.GOMAXPROCS(prev)
+	if err != nil || err2 != nil {
+		t.Fatal(err, err2)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("faulted matrix differs across GOMAXPROCS")
+	}
+}
+
+// TestMatrixImplicitFaultAxisCompat pins cache and seed compatibility
+// between a matrix with no fault axis and the same matrix with an
+// explicit bare "none" entry: same per-cell seeds, same store keys —
+// the explicit entry must hit every cell the implicit run persisted.
+func TestMatrixImplicitFaultAxisCompat(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := faultMatrix(t)
+	mc.Faults = nil
+	mc.Store = st
+	implicit, err := RunMatrix(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := 2
+	if implicit.Stats.Computed != cells {
+		t.Fatalf("implicit run stats: %+v", implicit.Stats)
+	}
+
+	mc2 := faultMatrix(t)
+	mc2.Faults = []FaultFactory{FaultRegistryFactory(fault.Default(), "none", nil)}
+	mc2.Store = st
+	explicit, err := RunMatrix(mc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Stats.CacheHits != cells || explicit.Stats.Computed != 0 {
+		t.Fatalf("explicit none run should be fully cached: %+v", explicit.Stats)
+	}
+	// Points agree cell for cell; only the curve label differs ("" vs
+	// "none").
+	if !reflect.DeepEqual(implicit.Curves[0].Points, explicit.Curves[0].Points) {
+		t.Error("implicit and explicit fault-free cells disagree")
+	}
+	if implicit.Curves[0].Fault != "" || explicit.Curves[0].Fault != "none" {
+		t.Errorf("fault labels: implicit %q, explicit %q", implicit.Curves[0].Fault, explicit.Curves[0].Fault)
+	}
+}
+
+// TestMatrixFaultStoreKeySensitivity: the fault schedule participates
+// in the cell key — an unchanged axis resumes entirely from cache, a
+// reparameterized schedule invalidates exactly its own cells.
+func TestMatrixFaultStoreKeySensitivity(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := faultMatrix(t)
+	mc.Store = st
+	cells := 4 // 1 setup x 1 pattern x 2 faults x 2 rates
+	if res, err := RunMatrix(mc); err != nil || res.Stats.Computed != cells {
+		t.Fatalf("populate: err=%v stats=%+v", err, res.Stats)
+	}
+
+	// Warm resume: zero recomputation for an unchanged fault axis.
+	warm, err := RunMatrix(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Computed != 0 || warm.Stats.CacheHits != cells {
+		t.Fatalf("warm resume stats = %+v, want 0 computed / %d hits", warm.Stats, cells)
+	}
+
+	// A different schedule seed invalidates the two klinks cells only.
+	mc2 := faultMatrix(t)
+	mc2.Store = st
+	mc2.Faults[1] = FaultRegistryFactory(fault.Default(), "klinks",
+		fault.Params{"k": "2", "seed": "4", "at": "150"})
+	res, err := RunMatrix(mc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CacheHits != 2 || res.Stats.Computed != 2 {
+		t.Fatalf("reseeded schedule stats = %+v, want 2 hits + 2 computed", res.Stats)
+	}
+}
+
+// TestMatrixRejectsKeylessLossyFault: a hand-built factory with events
+// but no content key must be refused on store-backed runs — it would
+// collide with fault-free cached cells.
+func TestMatrixRejectsKeylessLossyFault(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := faultMatrix(t)
+	mc.Store = st
+	mc.Faults = []FaultFactory{{
+		Name: "sneaky",
+		New: func(tp *topo.Topology) (*fault.Schedule, error) {
+			return &fault.Schedule{Events: []fault.Event{{Kind: fault.Link, From: 0, To: 1, Start: 100}}}, nil
+		},
+	}}
+	if _, err := RunMatrix(mc); err == nil {
+		t.Error("keyless lossy fault factory accepted on a store-backed run")
+	}
+	// Without a store the same factory is fine.
+	mc.Store = nil
+	if _, err := RunMatrix(mc); err != nil {
+		t.Errorf("keyless factory rejected on storeless run: %v", err)
+	}
+}

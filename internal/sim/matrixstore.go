@@ -119,10 +119,14 @@ type linkLatKV struct {
 // present; the simulator knobs are recorded post-defaulting so a zero
 // Config and an explicit Config with the default values share entries.
 type cellPayload struct {
-	Setup   string  `json:"setup"`
-	Pattern string  `json:"pattern"`
-	Rate    float64 `json:"rate"`
-	Seed    int64   `json:"seed"` // effective per-cell seed
+	Setup   string `json:"setup"`
+	Pattern string `json:"pattern"`
+	// Fault is the canonical fault-schedule key; empty (and omitted, so
+	// fault-free payloads keep their original shape) when the cell runs
+	// without faults.
+	Fault string  `json:"fault,omitempty"`
+	Rate  float64 `json:"rate"`
+	Seed  int64   `json:"seed"` // effective per-cell seed
 
 	NumVCs          int          `json:"num_vcs"`
 	BufDepth        int          `json:"buf_depth"`
@@ -141,10 +145,11 @@ type cellPayload struct {
 
 // cellKey builds the store key for one matrix cell. cfg must be the
 // cell's fully defaulted Config (the one Run will execute).
-func cellKey(setupFP, patternKey string, cfg Config) store.Key {
+func cellKey(setupFP, patternKey, faultKey string, cfg Config) store.Key {
 	p := cellPayload{
 		Setup:   setupFP,
 		Pattern: patternKey,
+		Fault:   faultKey,
 		Rate:    cfg.InjectionRate,
 		Seed:    cfg.Seed,
 

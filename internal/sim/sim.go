@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"netsmith/internal/fault"
 	"netsmith/internal/power"
 	"netsmith/internal/route"
 	"netsmith/internal/topo"
@@ -64,6 +65,20 @@ type Config struct {
 	// conversion; nil selects power.Default22nm().
 	EnergyModel *power.Model
 
+	// FaultSchedule, when non-empty, deterministically kills links and
+	// routers during the run per the schedule's events. At every cycle
+	// where the set of dead elements changes the engine performs an
+	// epoch flush: all in-flight flits are dropped and counted
+	// (modeling the table-update loss window of a programmable data
+	// plane), routing is recomputed on the surviving subgraph
+	// (route.SurvivorRouting) with a fresh per-epoch VC assignment so
+	// each epoch stays deadlock-free, and unreachable flows stop
+	// injecting (reported via Result.UnreachablePairs, never wedging
+	// the watchdog). Same seed + schedule replays bit-identically.
+	// Energy conservation invariants hold only for fault-free runs:
+	// dropped flits have buffer writes without matching ejections.
+	FaultSchedule *fault.Schedule
+
 	// NodeRate optionally scales each router's service rate relative to
 	// the base clock (multi-clock domains); 0 entries default to 1.0.
 	NodeRate []float64
@@ -94,6 +109,31 @@ type Result struct {
 	// Stalled is set when the watchdog detected no forward progress
 	// (should never happen with verified deadlock-free VC assignments).
 	Stalled bool
+
+	// Robustness accounting. DeliveredFraction is filled for every run:
+	// measured deliveries over measured injection attempts (1.0 when
+	// nothing was offered); it dips below 1 under faults (drops,
+	// unreachable flows) and at saturation (drain-cap overruns). The
+	// remaining fields stay zero unless Config.FaultSchedule fired.
+	DeliveredFraction float64
+	// DroppedFlits / DroppedPackets count flits and packets purged at
+	// fault boundaries (in-flight worms lost to the reroute flush).
+	DroppedFlits   int
+	DroppedPackets int
+	// RerouteEvents counts fault boundaries at which the alive set
+	// actually changed and the engine recomputed routing.
+	RerouteEvents int
+	// UnreachablePairs is the peak, across epochs, of ordered (src,dst)
+	// pairs with no surviving deadlock-free path; such flows stop
+	// injecting for the epoch (SkippedInjections counts the attempts).
+	UnreachablePairs  int
+	SkippedInjections int
+	// PreFaultAvgLatencyNs / PostFaultAvgLatencyNs split the measured
+	// latency average by whether the packet was generated before or
+	// after the first fault onset (both zero without faults).
+	PreFaultAvgLatencyNs  float64
+	PostFaultAvgLatencyNs float64
+
 	// Energy is the measured-energy report (nil unless
 	// Config.CollectEnergy was set).
 	Energy *EnergyReport
@@ -285,6 +325,21 @@ type engine struct {
 
 	cycle int64
 
+	// Fault state. routing/vcAssign/escapeVCs are the CURRENT epoch's
+	// tables — the Config's own while everything is alive, survivor
+	// tables after a fault boundary. escapeVCs is the escape-layer count
+	// of the current assignment (adaptive VCs are indices >= escapeVCs).
+	// aliveRouter/aliveLinkID track element liveness; boundaries holds
+	// the schedule's precomputed alive-set change cycles.
+	routing      *route.Routing
+	vcAssign     *vc.Assignment
+	escapeVCs    int
+	aliveRouter  []bool
+	aliveLinkID  []bool
+	boundaries   []int64
+	nextBoundary int
+	firstFault   int64 // earliest fault onset cycle; -1 without faults
+
 	// stats and progress tracking. bufferedFlits/linkFlits replace the
 	// O(routers*ports*VCs) networkEmpty scan.
 	bufferedFlits       int
@@ -293,6 +348,18 @@ type engine struct {
 	measuredInFlight    int
 	latencySum          int64
 	forwardedThisCycle  bool
+
+	// fault stats
+	droppedFlits    int
+	droppedPackets  int
+	rerouteEvents   int
+	peakUnreachable int
+	skippedInject   int
+	measuredOffered int
+	preLatSum       int64
+	postLatSum      int64
+	preMeasured     int
+	postMeasured    int
 }
 
 // normalized applies the default knob values. It is pattern-independent
@@ -472,6 +539,27 @@ func newEngine(cfg Config) *engine {
 		e.actBufWrite = make([]uint64, n)
 		e.actLinkFlits = make([]uint64, L)
 	}
+	e.routing = cfg.Routing
+	e.vcAssign = cfg.VC
+	e.escapeVCs = cfg.VC.NumVCs
+	e.firstFault = -1
+	if !cfg.FaultSchedule.Empty() {
+		total := int64(cfg.WarmupCycles + cfg.MeasureCycles + cfg.DrainCycles)
+		e.boundaries = cfg.FaultSchedule.Boundaries(total)
+		if len(e.boundaries) > 0 {
+			// Boundaries are sorted and every recovery follows its own
+			// onset, so the first boundary is the first fault onset.
+			e.firstFault = e.boundaries[0]
+			e.aliveRouter = make([]bool, n)
+			e.aliveLinkID = make([]bool, L)
+			for i := range e.aliveRouter {
+				e.aliveRouter[i] = true
+			}
+			for i := range e.aliveLinkID {
+				e.aliveLinkID[i] = true
+			}
+		}
+	}
 	return e
 }
 
@@ -494,6 +582,10 @@ func (e *engine) run() (*Result, error) {
 	measEnd := measStart + int64(cfg.MeasureCycles)
 	idleCycles := 0
 	for e.cycle = 0; e.cycle < total; e.cycle++ {
+		if e.nextBoundary < len(e.boundaries) && e.boundaries[e.nextBoundary] == e.cycle {
+			e.applyFaultBoundary()
+			e.nextBoundary++
+		}
 		generating := e.cycle < measEnd
 		measuring := e.cycle >= measStart && e.cycle < measEnd
 		e.step(generating, measuring)
@@ -527,6 +619,21 @@ func (e *engine) run() (*Result, error) {
 	}
 	res.AcceptedPerCycle = float64(e.delivered) / float64(cfg.MeasureCycles) / float64(injectingNodes)
 	res.AcceptedPerNs = res.AcceptedPerCycle * cfg.ClockGHz
+	res.DeliveredFraction = 1
+	if e.measuredOffered > 0 {
+		res.DeliveredFraction = float64(e.measured) / float64(e.measuredOffered)
+	}
+	res.DroppedFlits = e.droppedFlits
+	res.DroppedPackets = e.droppedPackets
+	res.RerouteEvents = e.rerouteEvents
+	res.UnreachablePairs = e.peakUnreachable
+	res.SkippedInjections = e.skippedInject
+	if e.preMeasured > 0 {
+		res.PreFaultAvgLatencyNs = float64(e.preLatSum) / float64(e.preMeasured) * cyclesNs
+	}
+	if e.postMeasured > 0 {
+		res.PostFaultAvgLatencyNs = float64(e.postLatSum) / float64(e.postMeasured) * cyclesNs
+	}
 	if cfg.CollectEnergy {
 		energy, err := e.energyReport()
 		if err != nil {
@@ -588,6 +695,10 @@ func (e *engine) pendingMeasured() int {
 }
 
 // generate creates new packets per the Bernoulli injection process.
+// Flows without a path in the current epoch (dead endpoint or
+// disconnected pair) are offered-but-skipped: the rng draw and pattern
+// state advance identically either way, so an epoch's injection stream
+// is independent of which flows are blocked.
 func (e *engine) generate(measuring bool) {
 	for r := 0; r < e.n; r++ {
 		if e.rng.Float64() >= e.cfg.InjectionRate {
@@ -597,8 +708,22 @@ func (e *engine) generate(measuring bool) {
 		if !ok {
 			continue
 		}
+		if measuring {
+			e.measuredOffered++
+		}
+		if e.flowBlocked(r, dst) {
+			e.skippedInject++
+			continue
+		}
 		e.enqueuePacket(r, dst, flits, measuring)
 	}
+}
+
+// flowBlocked reports whether the current epoch has no path for the
+// flow. Self-flows keep their historical behavior (immediate local
+// ejection via a nil path) rather than being blocked.
+func (e *engine) flowBlocked(src, dst int) bool {
+	return src != dst && e.routing.Table[src][dst] == nil
 }
 
 // newPacket reuses a pooled packet or allocates one (warm-up only).
@@ -623,8 +748,8 @@ func (e *engine) recyclePacket(p *packet) {
 func (e *engine) enqueuePacket(src, dst, flits int, measuring bool) {
 	p := e.newPacket()
 	p.src, p.dst, p.flits = src, dst, flits
-	p.layer = e.cfg.VC.Layer(src, dst)
-	p.path = e.cfg.Routing.PathFor(src, dst)
+	p.layer = e.vcAssign.Layer(src, dst)
+	p.path = e.routing.PathFor(src, dst)
 	p.injectedAt = e.cycle
 	p.measured = measuring
 	if measuring {

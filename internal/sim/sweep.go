@@ -20,6 +20,15 @@ type SweepPoint struct {
 	AcceptedPerNs float64 `json:"accepted_pkt_node_ns"` // packets/node/ns
 	Saturated     bool    `json:"saturated"`
 	Stalled       bool    `json:"stalled"`
+	// Robustness summary. DeliveredFraction mirrors
+	// Result.DeliveredFraction (measured deliveries over measured
+	// injection attempts; 1.0 for a healthy, unsaturated run).
+	// LatencyInflation is the post-fault/pre-fault measured latency
+	// ratio (0 when either phase measured nothing, and for fault-free
+	// runs); DroppedFlits counts flits purged at fault boundaries.
+	DeliveredFraction float64 `json:"delivered_fraction"`
+	LatencyInflation  float64 `json:"latency_inflation"`
+	DroppedFlits      int     `json:"dropped_flits"`
 	// Measured-energy summary (zero unless the run's Config set
 	// CollectEnergy): average total power over the run and dynamic energy
 	// per delivered flit.
@@ -99,13 +108,7 @@ func Sweep(sc SweepConfig) (*SweepResult, error) {
 					errs[i] = err
 					continue
 				}
-				points[i] = SweepPoint{
-					OfferedRate:   rates[i],
-					AvgLatencyNs:  res.AvgLatencyNs,
-					AcceptedPerNs: res.AcceptedPerNs,
-					Stalled:       res.Stalled,
-				}
-				points[i].energize(res)
+				points[i] = cellPoint(rates[i], res)
 			}
 		}()
 	}

@@ -40,7 +40,9 @@ import (
 // SchemaVersion is baked into every cache key. Bump it whenever the
 // encoding of stored values or the meaning of key payloads changes;
 // old entries then simply stop matching (no migration, no stale hits).
-const SchemaVersion = 1
+// v2: sim.Result gained robustness fields (delivered fraction, drop and
+// reroute counters, per-phase latency) and cell payloads a fault key.
+const SchemaVersion = 2
 
 // Key identifies a cached artifact: a kind namespace, the schema
 // version, and a canonical request payload. The payload must marshal

@@ -181,6 +181,29 @@ func (a *annealer) run() (*Result, error) {
 			a.offerResult(res)
 		}
 	}
+	// Fragility oracle: the pool prices only the cuts it knows about, so
+	// an incumbent can still hide a critical link behind an unpooled
+	// 1-crossing cut. Probe every link exactly; each critical one
+	// certifies such a cut — pool it, re-score and re-anneal until no
+	// probe finds a cut the pool lacks (the C7 row-generation idea turned
+	// on single-failure reachability).
+	if a.cfg.RobustWeight > 0 {
+		for round := 0; round < 12 && !a.expired(); round++ {
+			cuts, _ := criticalCuts(a.best)
+			grew := false
+			for _, u := range cuts {
+				if a.eval.addCut(u) {
+					grew = true
+				}
+			}
+			if !grew {
+				break
+			}
+			a.setBest(a.best, a.eval.fullScore(a.best))
+			res := a.annealRestart(int64(2000+round), min(a.cfg.Iterations, 60000))
+			a.offerResult(res)
+		}
+	}
 	return a.finish()
 }
 
@@ -278,7 +301,7 @@ func (a *annealer) newSearchCtx(g *bitgraph.Graph) *searchCtx {
 	if a.eval.linkCostMilli != nil {
 		ev.SetLinkCost(a.eval.linkCostMilli)
 	}
-	if a.cfg.Objective == SCOp || a.cfg.MinCutBW > 0 {
+	if a.cfg.Objective == SCOp || a.cfg.MinCutBW > 0 || a.cfg.RobustWeight > 0 {
 		for _, m := range a.eval.cutPool {
 			ev.AddCut(m)
 		}
@@ -487,10 +510,12 @@ func (c *searchCtx) propose(rng *fastRand) (move, bool) {
 	return move{}, false
 }
 
-// poolInScore reports whether the scalarized score depends on the cut
-// pool (in which case no link removal is score-neutral).
+// poolInScore reports whether the scalarized score has components
+// beyond distances — cut-pool terms, or the fragility term's degree
+// slack — in which case no link removal is score-neutral even when it
+// dirties no distance row.
 func (c *searchCtx) poolInScore() bool {
-	return c.a.cfg.Objective == SCOp || c.a.cfg.MinCutBW > 0
+	return c.a.cfg.Objective == SCOp || c.a.cfg.MinCutBW > 0 || c.a.cfg.RobustWeight > 0
 }
 
 // incumbentObjective extracts the raw objective (not the penalized
@@ -796,6 +821,11 @@ func (a *annealer) finish() (*Result, error) {
 	}
 	if a.eval.linkCostMilli != nil {
 		res.EnergyProxy = energyProxyOf(a.eval.energyProxySum(a.best))
+	}
+	if a.cfg.RobustWeight > 0 {
+		_, res.CriticalLinks = criticalCuts(a.best)
+		res.Fragility = robustFragility(a.best.OutDeg, a.best.InDeg,
+			a.best.PoolMinCross(a.eval.cutPool))
 	}
 	res.Gap = a.gapOf(res.Objective)
 	res.Optimal = res.Gap <= 1e-9

@@ -32,6 +32,7 @@ type synthPayload struct {
 	MinCutBW     float64     `json:"min_cut_bw"`
 	Weights      [][]float64 `json:"weights,omitempty"`
 	EnergyWeight float64     `json:"energy_weight"`
+	RobustWeight float64     `json:"robust_weight"`
 	Seed         int64       `json:"seed"`
 	Iterations   int         `json:"iterations"`
 	Restarts     int         `json:"restarts"`
@@ -52,7 +53,8 @@ func (c Config) cacheKey() (store.Key, bool) {
 		Radix:     cfg.Radix, Symmetric: cfg.Symmetric,
 		MaxDiameter: cfg.MaxDiameter, MinCutBW: cfg.MinCutBW,
 		Weights: cfg.Weights, EnergyWeight: cfg.EnergyWeight,
-		Seed: cfg.Seed, Iterations: cfg.Iterations, Restarts: cfg.Restarts,
+		RobustWeight: cfg.RobustWeight,
+		Seed:         cfg.Seed, Iterations: cfg.Iterations, Restarts: cfg.Restarts,
 	}), true
 }
 
@@ -60,12 +62,14 @@ func (c Config) cacheKey() (store.Key, bool) {
 // dropped: its Elapsed stamps are wall-clock measurements, the one
 // non-deterministic part of a fixed-budget run.
 type cachedResult struct {
-	Topology    *topo.Topology `json:"topology"`
-	Objective   float64        `json:"objective"`
-	Bound       float64        `json:"bound"`
-	Gap         float64        `json:"gap"`
-	Optimal     bool           `json:"optimal"`
-	EnergyProxy float64        `json:"energy_proxy"`
+	Topology      *topo.Topology `json:"topology"`
+	Objective     float64        `json:"objective"`
+	Bound         float64        `json:"bound"`
+	Gap           float64        `json:"gap"`
+	Optimal       bool           `json:"optimal"`
+	EnergyProxy   float64        `json:"energy_proxy"`
+	CriticalLinks int            `json:"critical_links"`
+	Fragility     int            `json:"fragility"`
 }
 
 // MatrixNSConfig is the fixed-budget LatOp config the matrix front
@@ -74,11 +78,11 @@ type cachedResult struct {
 // presets: the config determines the topology, the topology fingerprint
 // anchors every cell cache key, so front ends sharing a store must
 // build the exact same config or cache-sharing silently breaks.
-func MatrixNSConfig(g *layout.Grid, cl layout.Class, energyWeight float64, seed int64, iterations int) Config {
+func MatrixNSConfig(g *layout.Grid, cl layout.Class, energyWeight, robustWeight float64, seed int64, iterations int) Config {
 	return Config{
 		Grid: g, Class: cl, Objective: LatOp,
-		EnergyWeight: energyWeight,
-		Seed:         seed, Iterations: iterations, Restarts: 4,
+		EnergyWeight: energyWeight, RobustWeight: robustWeight,
+		Seed: seed, Iterations: iterations, Restarts: 4,
 	}
 }
 
@@ -107,6 +111,7 @@ func CachedGenerate(st *store.Store, c Config) (*Result, bool, error) {
 			Bound:     cached.Bound,
 			Gap:       cached.Gap,
 			Optimal:   cached.Optimal, EnergyProxy: cached.EnergyProxy,
+			CriticalLinks: cached.CriticalLinks, Fragility: cached.Fragility,
 		}, true, nil
 	}
 	res, err := Generate(c)
@@ -122,6 +127,7 @@ func CachedGenerate(st *store.Store, c Config) (*Result, bool, error) {
 		Bound:     res.Bound,
 		Gap:       res.Gap,
 		Optimal:   res.Optimal, EnergyProxy: res.EnergyProxy,
+		CriticalLinks: res.CriticalLinks, Fragility: res.Fragility,
 	})
 	return res, false, nil
 }

@@ -103,6 +103,11 @@ func TestIncrementalScoreMatchesRecompute(t *testing.T) {
 		// sum exact, so bit-identity must hold here too.
 		{"energy", Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: LatOp, Radix: 4, EnergyWeight: 2.5}},
 		{"energy-scop", Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: SCOp, Radix: 4, EnergyWeight: 1.25}},
+		// Fragility term: integer slack over degrees and pooled cut
+		// crossings; must stay bit-identical like every other component.
+		{"robust", Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: LatOp, Radix: 4, RobustWeight: 3}},
+		{"robust-energy", Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: LatOp, Radix: 4, RobustWeight: 2, EnergyWeight: 1.5}},
+		{"robust-scop", Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: SCOp, Radix: 4, RobustWeight: 1.5}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

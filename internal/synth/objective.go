@@ -128,7 +128,44 @@ func (e *evaluator) fullScore(s *bitgraph.Graph) float64 {
 	if e.linkCostMilli != nil {
 		v += e.cfg.EnergyWeight * energyProxyOf(e.energyProxySum(s))
 	}
+	if e.cfg.RobustWeight > 0 {
+		v += e.cfg.RobustWeight * float64(robustFragility(s.OutDeg, s.InDeg, s.PoolMinCross(e.cutPool)))
+	}
 	return v
+}
+
+// Fragility thresholds: a robust topology gives every router at least
+// two exits and two entries, and crosses every pooled cut with at least
+// two links per direction — any single link failure then leaves both
+// the router and the cut connected.
+const (
+	robustMinDeg   = 2
+	robustMinCross = 2
+)
+
+// robustFragility is the integer fragility of a link set: per-router
+// degree shortfall below robustMinDeg plus the pool's min-crossing
+// shortfall below robustMinCross. Each unit is one structural
+// single-point-of-failure exposure. Additions can only shrink it and
+// removals only grow it (degrees and crossings are monotone in the link
+// set), which keeps the annealer's monotonicity fast paths valid with
+// RobustWeight enabled.
+func robustFragility(outDeg, inDeg []int, poolMinCross int) int {
+	f := 0
+	for _, d := range outDeg {
+		if d < robustMinDeg {
+			f += robustMinDeg - d
+		}
+	}
+	for _, d := range inDeg {
+		if d < robustMinDeg {
+			f += robustMinDeg - d
+		}
+	}
+	if poolMinCross < robustMinCross {
+		f += robustMinCross - poolMinCross
+	}
+	return f
 }
 
 // score is the incremental counterpart of evaluator.fullScore, reading
@@ -163,6 +200,10 @@ func (c *searchCtx) score() float64 {
 	}
 	if c.a.eval.linkCostMilli != nil {
 		v += cfg.EnergyWeight * energyProxyOf(ev.LinkCost())
+	}
+	if cfg.RobustWeight > 0 {
+		g := ev.Graph()
+		v += cfg.RobustWeight * float64(robustFragility(g.OutDeg, g.InDeg, ev.PoolMinCross()))
 	}
 	return v
 }

@@ -1,0 +1,41 @@
+package synth
+
+import "netsmith/internal/bitgraph"
+
+// Single-link-failure analysis for fragility-priced synthesis. A link
+// x->y is critical iff y is unreachable from x once the link is removed
+// (any other use of the link reroutes through the surviving x~>y path,
+// so non-critical links never change reachability). For a critical
+// link, the set U of vertices x still reaches in the damaged graph
+// contains x but not y, and x->y is the ONLY U->V link of the intact
+// graph — any other crossing link would extend x's reach. U therefore
+// certifies a 1-crossing cut: exactly the witness the fragility term's
+// pool needs to price the exposure.
+
+// criticalCuts probes every link of s and returns the certifying cuts
+// of the critical ones plus their count. s is not mutated (the probe
+// works on a clone, keeping the incumbent's link order — and with it
+// the deterministic downstream topology emission — intact). Cuts may
+// repeat as partitions; the caller's pool dedup handles that.
+func criticalCuts(s *bitgraph.Graph) (cuts []bitgraph.Set, critical int) {
+	g := s.Clone()
+	n := g.N()
+	dist := make([]int16, n)
+	links := append([]bitgraph.Link(nil), g.Links()...)
+	for _, l := range links {
+		g.Remove(l.A, l.B)
+		g.BFSRow(l.A, dist)
+		if dist[l.B] < 0 {
+			critical++
+			u := bitgraph.NewSet(n)
+			for v := 0; v < n; v++ {
+				if dist[v] >= 0 {
+					u.Add(v)
+				}
+			}
+			cuts = append(cuts, u)
+		}
+		g.Add(l.A, l.B)
+	}
+	return cuts, critical
+}

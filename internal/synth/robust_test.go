@@ -1,0 +1,113 @@
+package synth
+
+import (
+	"testing"
+
+	"netsmith/internal/bitgraph"
+	"netsmith/internal/layout"
+)
+
+// TestCriticalCutsRing: in a directed ring every link is the only path
+// between its endpoints, so every link is critical and each certifying
+// cut is crossed exactly once in the U->V direction.
+func TestCriticalCutsRing(t *testing.T) {
+	n := 6
+	g := bitgraph.New(n)
+	for i := 0; i < n; i++ {
+		g.Add(i, (i+1)%n)
+	}
+	cuts, critical := criticalCuts(g)
+	if critical != n || len(cuts) != n {
+		t.Fatalf("ring: %d critical links, %d cuts; want %d each", critical, len(cuts), n)
+	}
+	for i, u := range cuts {
+		uv, _ := g.Cross(u)
+		if uv != 1 {
+			t.Errorf("cut %d: crossUV = %d, want 1 (a certifying cut is crossed once)", i, uv)
+		}
+	}
+	// The probe must not have disturbed the graph.
+	if g.NumLinks() != n {
+		t.Fatalf("probe changed the graph: %d links", g.NumLinks())
+	}
+}
+
+// TestCriticalCutsBidirRing: paired reverse links mean any single loss
+// reroutes the long way round — no critical links.
+func TestCriticalCutsBidirRing(t *testing.T) {
+	n := 6
+	g := bitgraph.New(n)
+	for i := 0; i < n; i++ {
+		g.Add(i, (i+1)%n)
+		g.Add((i+1)%n, i)
+	}
+	if cuts, critical := criticalCuts(g); critical != 0 || len(cuts) != 0 {
+		t.Fatalf("bidirectional ring: %d critical links, %d cuts; want none", critical, len(cuts))
+	}
+}
+
+// TestRobustWeightEliminatesCriticalLinks: energy-priced synthesis
+// prunes toward sparse, fragile link sets; adding the fragility term
+// must yield a topology that survives any single link failure, while
+// still meeting the hard constraints.
+func TestRobustWeightEliminatesCriticalLinks(t *testing.T) {
+	base := Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: LatOp,
+		EnergyWeight: 30, Seed: 4, Iterations: 8000, Restarts: 2}
+	fragile, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fragile.CriticalLinks != 0 || fragile.Fragility != 0 {
+		t.Errorf("robustness fields filled without RobustWeight: %+v", fragile)
+	}
+	_, fragileCritical := criticalCuts(stateFromTopology(fragile.Topology))
+
+	robust := base
+	robust.RobustWeight = 50
+	hard, err := Generate(robust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hard.Topology.IsConnected() {
+		t.Fatal("robust topology disconnected")
+	}
+	if !hard.Topology.RespectsRadix(4) || !hard.Topology.RespectsLinkLengths() {
+		t.Fatal("robust topology violates constraints")
+	}
+	if hard.CriticalLinks != 0 {
+		t.Errorf("RobustWeight left %d critical links (fragility %d); energy-only baseline has %d",
+			hard.CriticalLinks, hard.Fragility, fragileCritical)
+	}
+	if fragileCritical <= hard.CriticalLinks {
+		t.Errorf("fragility pricing bought nothing: baseline %d critical links, robust %d",
+			fragileCritical, hard.CriticalLinks)
+	}
+	// Cross-check the reported count against a from-scratch probe of the
+	// returned topology.
+	if _, want := criticalCuts(stateFromTopology(hard.Topology)); want != hard.CriticalLinks {
+		t.Errorf("CriticalLinks %d != recomputed %d", hard.CriticalLinks, want)
+	}
+}
+
+// TestRobustWeightDeterministic extends the determinism contract to
+// fragility-priced runs, including the post-anneal critical-link oracle
+// rounds.
+func TestRobustWeightDeterministic(t *testing.T) {
+	cfg := Config{Grid: layout.Grid4x5, Class: layout.Medium, Objective: LatOp,
+		RobustWeight: 25, EnergyWeight: 10, Seed: 9, Iterations: 4000, Restarts: 2}
+	first, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Topology.CanonicalLinkList() != again.Topology.CanonicalLinkList() {
+		t.Fatal("fragility-priced Generate not deterministic")
+	}
+	if first.CriticalLinks != again.CriticalLinks || first.Fragility != again.Fragility {
+		t.Fatalf("robustness fields differ across runs: %d/%d vs %d/%d",
+			first.CriticalLinks, first.Fragility, again.CriticalLinks, again.Fragility)
+	}
+}

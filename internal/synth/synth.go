@@ -101,6 +101,22 @@ type Config struct {
 	// while Result.EnergyProxy reports the proxy of the chosen topology.
 	EnergyWeight float64
 
+	// RobustWeight, when positive, adds a fragility term to the
+	// scalarized score: per-router degree slack (out- and in-degrees
+	// below 2 each count their shortfall — a router with a single exit
+	// dies with that link) plus the pool min-cut slack (registered cuts
+	// crossed by fewer than 2 links in either direction). The term is a
+	// small integer, monotone non-worsening under link additions, and
+	// maintained through the same transactional evaluator as the other
+	// components, so incremental and recomputed scores stay
+	// bit-identical. After annealing, an exact single-link-failure
+	// oracle probes every incumbent link; each critical link (one whose
+	// loss disconnects a pair) certifies a 1-crossing cut that is added
+	// to the pool before re-annealing, so the final topology prices its
+	// true worst-case failure, not just the seeded geometric cuts.
+	// Result.CriticalLinks and Result.Fragility report what remains.
+	RobustWeight float64
+
 	// Seed makes runs reproducible. Iterations is the annealing step
 	// count per restart; Restarts the number of independent restarts.
 	// Defaults: Iterations 60000, Restarts 4.
@@ -151,6 +167,13 @@ type Result struct {
 	// per-port leakage proxies summed over links, in the proxy's native
 	// units); filled whenever EnergyWeight > 0.
 	EnergyProxy float64
+	// CriticalLinks counts the links whose single failure disconnects at
+	// least one ordered pair, and Fragility the chosen topology's
+	// fragility term (degree slack + pool cut slack); both are filled
+	// whenever RobustWeight > 0. A topology with CriticalLinks == 0
+	// survives any one link loss with full reachability.
+	CriticalLinks int
+	Fragility     int
 	// Trace holds solver-progress samples.
 	Trace []ProgressPoint
 }
@@ -168,6 +191,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.EnergyWeight < 0 {
 		return cfg, fmt.Errorf("synth: negative energy weight %v", cfg.EnergyWeight)
+	}
+	if cfg.RobustWeight < 0 {
+		return cfg, fmt.Errorf("synth: negative robust weight %v", cfg.RobustWeight)
 	}
 	if cfg.Iterations == 0 {
 		cfg.Iterations = 60000

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"netsmith/internal/expert"
+	"netsmith/internal/fault"
 	"netsmith/internal/layout"
 	"netsmith/internal/power"
 	"netsmith/internal/route"
@@ -76,6 +77,15 @@ type (
 	// persisted its own cells but other shards' cells are not yet in
 	// the store.
 	IncompleteError = sim.IncompleteError
+	// FaultSchedule is a deterministic timeline of link/router failures
+	// and recoveries; attach to SimConfig.FaultSchedule or run a fault
+	// axis with MatrixConfig.Faults.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one failure or recovery in a schedule.
+	FaultEvent = fault.Event
+	// FaultFactory names a fault schedule and builds it per topology for
+	// a matrix's fault axis (MatrixConfig.Faults).
+	FaultFactory = sim.FaultFactory
 )
 
 // Link-length classes (small (1,1), medium (2,0), large (2,1)).
@@ -127,9 +137,19 @@ type Options struct {
 	// per-port leakage) to the synthesis objective; the chosen topology's
 	// proxy value is reported in Result.EnergyProxy.
 	EnergyWeight float64
+	// RobustWeight > 0 adds the fragility term (degree slack below 2
+	// plus pooled min-cut slack below 2) to the objective and runs the
+	// post-anneal critical-link oracle; the chosen topology's residual
+	// exposure is reported in Result.CriticalLinks / Result.Fragility.
+	RobustWeight float64
 	Seed         int64
-	TimeBudget   time.Duration
-	Progress     func(ProgressPoint)
+	// Iterations and Restarts bound the fixed-budget search (zero
+	// selects the paper defaults). Fixed budgets are deterministic and
+	// cacheable; both are ignored when TimeBudget > 0.
+	Iterations int
+	Restarts   int
+	TimeBudget time.Duration
+	Progress   func(ProgressPoint)
 }
 
 // synthConfig maps the public Options onto the solver config — the one
@@ -140,7 +160,9 @@ func (o Options) synthConfig() synth.Config {
 		Grid: o.Grid, Class: o.Class, Objective: o.Objective,
 		Radix: o.Radix, Symmetric: o.Symmetric, MaxDiameter: o.MaxDiameter,
 		MinCutBW: o.MinCutBW, Weights: o.Weights, EnergyWeight: o.EnergyWeight,
-		Seed: o.Seed, TimeBudget: o.TimeBudget, Progress: o.Progress,
+		RobustWeight: o.RobustWeight,
+		Seed:         o.Seed, Iterations: o.Iterations, Restarts: o.Restarts,
+		TimeBudget: o.TimeBudget, Progress: o.Progress,
 	}
 	if o.TimeBudget > 0 {
 		// Time-bounded runs should not stop early on iteration count.
@@ -224,6 +246,32 @@ func BuildPattern(name string, g *Grid, params map[string]string) (Pattern, erro
 // PatternFactoryFor returns a RunMatrix factory for a registered pattern.
 func PatternFactoryFor(name string, g *Grid, params map[string]string) PatternFactory {
 	return sim.RegistryFactory(traffic.Default(), name, traffic.GridEnv(g), traffic.Params(params))
+}
+
+// FaultNames lists the fault-schedule registry's built-in generators
+// (none, klinks, krouters, randlinks, list).
+func FaultNames() []string { return fault.Default().Names() }
+
+// BuildFaultSchedule constructs a registered fault schedule against a
+// topology. params may be nil; see the registry's ParamSpecs (e.g.
+// klinks takes "k", "seed", "at", "until").
+func BuildFaultSchedule(name string, t *Topology, params map[string]string) (*FaultSchedule, error) {
+	return fault.Default().Build(name, t, fault.Params(params))
+}
+
+// ParseFaultArg splits the CLI form "name:key=val:..." used by
+// netbench -faults into a registry name and parameter map.
+func ParseFaultArg(arg string) (name string, params map[string]string, err error) {
+	name, p, err := fault.ParseScheduleArg(arg)
+	return name, p, err
+}
+
+// FaultFactoryFor returns a RunMatrix fault-axis factory for a
+// registered schedule generator; the factory rebuilds the schedule per
+// topology, so link-count-relative generators (klinks, region) adapt to
+// each matrix topology.
+func FaultFactoryFor(name string, params map[string]string) FaultFactory {
+	return sim.FaultRegistryFactory(fault.Default(), name, fault.Params(params))
 }
 
 // RunMatrix simulates every {topology x pattern x rate} cell of a

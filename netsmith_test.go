@@ -1,6 +1,7 @@
 package netsmith
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -162,6 +163,78 @@ func TestFacadeStore(t *testing.T) {
 	}
 	if s, err := ParseShard("1/4"); err != nil || (s != Shard{Index: 1, Count: 4}) {
 		t.Errorf("ParseShard: %+v, %v", s, err)
+	}
+}
+
+// worstSingleLinkDelivery exhaustively fails every directed link of a
+// topology (one schedule per link, all in one matrix fault axis) and
+// returns the minimum delivered fraction across the failures.
+func worstSingleLinkDelivery(t *testing.T, tp *Topology) float64 {
+	t.Helper()
+	net, err := Prepare(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults []FaultFactory
+	for _, l := range tp.Links() {
+		faults = append(faults, FaultFactoryFor("list", map[string]string{
+			"events": fmt.Sprintf("link=%d>%d@400", l.From, l.To)}))
+	}
+	res, err := RunMatrix(MatrixConfig{
+		Setups:   []*Network{net},
+		Patterns: []PatternFactory{PatternFactoryFor("uniform", Grid4x5, nil)},
+		Faults:   faults,
+		Rates:    []float64{0.05},
+		Base:     SimConfig{WarmupCycles: 300, MeasureCycles: 800, DrainCycles: 1600},
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 1.0
+	for _, c := range res.Curves {
+		for _, p := range c.Points {
+			if p.DeliveredFraction < worst {
+				worst = p.DeliveredFraction
+			}
+		}
+	}
+	return worst
+}
+
+// TestFacadeRobustSynthesisSurvivesLinkFailures is the robustness
+// acceptance pin: under the exhaustive single-link-failure sweep, a
+// fragility-priced topology must deliver strictly more traffic in its
+// worst case than the energy-only topology synthesized from the same
+// options — and must have no critical links at all.
+func TestFacadeRobustSynthesisSurvivesLinkFailures(t *testing.T) {
+	base := Options{Grid: Grid4x5, Class: Medium, Objective: LatOp,
+		EnergyWeight: 30, Seed: 4, Iterations: 8000, Restarts: 2}
+	fragile, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robustOpts := base
+	robustOpts.RobustWeight = 50
+	robust, err := Generate(robustOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if robust.CriticalLinks != 0 {
+		t.Fatalf("robust synthesis left %d critical links (fragility %d)",
+			robust.CriticalLinks, robust.Fragility)
+	}
+
+	fragileWorst := worstSingleLinkDelivery(t, fragile.Topology)
+	robustWorst := worstSingleLinkDelivery(t, robust.Topology)
+	if robustWorst <= fragileWorst {
+		t.Errorf("fragility pricing bought nothing: worst delivered fraction %v (robust) vs %v (energy-only)",
+			robustWorst, fragileWorst)
+	}
+	// With no critical links every failure reroutes; only in-flight
+	// flits on the dying link are lost.
+	if robustWorst < 0.95 {
+		t.Errorf("robust topology worst-case delivered fraction %v, want >= 0.95", robustWorst)
 	}
 }
 
