@@ -418,6 +418,74 @@ func BenchmarkEngineSteadyStateEnergy(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineIdleFastForward measures the hybrid stepper's win on
+// quiescent stretches: a trace that dries up early in the warmup window
+// leaves the engine with nothing to do until the measure-window end,
+// and the Never injection hint lets it jump there instead of idling
+// cycle by cycle. The benchdiff baseline pins the fast-forwarded cost;
+// regressions here mean the skip gate stopped engaging.
+func BenchmarkEngineIdleFastForward(b *testing.B) {
+	s, err := sim.Prepare(expert.Mesh(layout.Grid4x5), sim.UseNDBT, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var recs []traffic.TraceRecord
+	for c := int64(0); c < 100; c++ {
+		for src := 0; src < 20; src++ {
+			recs = append(recs, traffic.TraceRecord{Cycle: c, Src: src, Dst: (src + 1) % 20, Flits: 1})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := traffic.NewReplay("idle", 20, recs, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Topo: s.Topo, Routing: s.Routing, VC: s.VC,
+			Pattern: rep, InjectionRate: 1.0,
+			WarmupCycles: 2000, MeasureCycles: 8000, DrainCycles: 8000,
+			Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stalled {
+			b.Fatal("stalled")
+		}
+	}
+}
+
+// BenchmarkMatrixBatched measures one smoke-fidelity scenario matrix on
+// a 4x4 mesh: the per-worker engine-reuse path that RunMatrix uses by
+// default, covering setup amortization across {pattern x rate} cells.
+func BenchmarkMatrixBatched(b *testing.B) {
+	s, err := sim.Prepare(expert.Mesh(layout.NewGrid(4, 4)), sim.UseNDBT, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var base sim.Config
+	if err := sim.ApplyFidelity(&base, sim.FidelitySmoke); err != nil {
+		b.Fatal(err)
+	}
+	mc := sim.MatrixConfig{
+		Setups: []*sim.Setup{s},
+		Patterns: []sim.PatternFactory{
+			{Name: "uniform", New: func() (traffic.Pattern, error) { return traffic.Uniform{N: 16}, nil }},
+			{Name: "tornado", New: func() (traffic.Pattern, error) { return traffic.Tornado{Rows: 4, Cols: 4}, nil }},
+		},
+		Rates: []float64{0.02, 0.10},
+		Base:  base,
+		Seed:  42,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunMatrix(mc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExactLatOpTiny measures the branch-and-bound optimality
 // certification on a small instance.
 func BenchmarkExactLatOpTiny(b *testing.B) {

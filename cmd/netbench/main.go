@@ -18,6 +18,8 @@
 //	netbench -matrix -topos ns -robust-weight 50 # fragility-priced synthesis
 //	netbench -matrix -store .netsmith-store     # cached + resumable
 //	netbench -matrix -store S -shard 0/2        # this machine's half
+//	netbench -matrix -unbatched                 # fresh engine per cell
+//	netbench -exp fig6 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Experiments: fig1, table2, fig5, fig6, fig7, fig8, fig9, fig10,
 // fig11, all. Matrix patterns are the traffic-registry names (see
@@ -43,6 +45,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -61,6 +65,12 @@ import (
 const defaultMatrixPatterns = "uniform,shuffle,memory,transpose,bitcomp,bitrev,tornado,hotspot,bursty"
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain holds the actual entry point so profile-writing defers run
+// before the process exits (os.Exit skips defers).
+func realMain() int {
 	expName := flag.String("exp", "all", "experiment to run (fig1, table2, fig5..fig11, all)")
 	full := flag.Bool("full", false, "full fidelity (slower, tighter numbers)")
 	csvDir := flag.String("csv", "", "also write <dir>/<experiment>.csv data files")
@@ -79,14 +89,48 @@ func main() {
 	faults := flag.String("faults", "", "matrix: comma-separated fault schedules added as a matrix axis (name or name:key=val:..., e.g. klinks:k=2:at=400; a fault-free cell set always runs)")
 	storeDir := flag.String("store", "", "matrix: content-addressed result store directory (cells cached; runs resume)")
 	shardArg := flag.String("shard", "", "matrix: compute only shard i/n of the cells (e.g. 0/2; requires -store)")
+	unbatched := flag.Bool("unbatched", false, "matrix: build a fresh engine per cell instead of reusing per-worker engines (bit-identical output; for A/B verification)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if *matrix {
-		if err := runMatrix(*grid, *class, *topos, *patterns, *rates, *traceFile, *faults, *csvDir, *storeDir, *shardArg, *smoke, *full, *energy, *energyWeight, *robustWeight, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "matrix: %v\n", err)
-			os.Exit(1)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
 		}
-		return
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if *matrix {
+		if err := runMatrix(*grid, *class, *topos, *patterns, *rates, *traceFile, *faults, *csvDir, *storeDir, *shardArg, *smoke, *full, *energy, *unbatched, *energyWeight, *robustWeight, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "matrix: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	s := exp.NewSuite(!*full)
@@ -193,14 +237,15 @@ func main() {
 		start := time.Now()
 		if err := r.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(w, "[%s completed in %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
 	}
 	if !matched {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expName)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 // matrixSetups prepares the requested topologies through the builder
@@ -253,7 +298,7 @@ func matrixFaults(args string, g *layout.Grid) ([]sim.FaultFactory, error) {
 	return factories, nil
 }
 
-func runMatrix(grid, class, topos, patterns, rates, traceFile, faults, csvDir, storeDir, shardArg string, smoke, full, energy bool, energyWeight, robustWeight float64, seed int64) error {
+func runMatrix(grid, class, topos, patterns, rates, traceFile, faults, csvDir, storeDir, shardArg string, smoke, full, energy, unbatched bool, energyWeight, robustWeight float64, seed int64) error {
 	g, err := layout.ParseGrid(grid)
 	if err != nil {
 		return err
@@ -352,6 +397,7 @@ func runMatrix(grid, class, topos, patterns, rates, traceFile, faults, csvDir, s
 		Rates: rateGrid,
 		Base:  base, Seed: seed,
 		Store: st, Shard: shard,
+		Unbatched: unbatched,
 	})
 	var inc *sim.IncompleteError
 	if errors.As(err, &inc) {

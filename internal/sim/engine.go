@@ -33,6 +33,12 @@ func (e *engine) popFlit(s int32, r int) flit {
 	if e.actBufRead != nil {
 		e.actBufRead[r]++
 	}
+	if !f.isTail && e.bufCount[s] != 0 {
+		// The new head is a later flit of the same worm (packets are
+		// contiguous per VC): same packet, same pathIdx, same target —
+		// the masks already file this slot correctly.
+		return f
+	}
 	e.retarget(s, r)
 	return f
 }
@@ -41,68 +47,125 @@ func (e *engine) popFlit(s int32, r int) flit {
 // current head flit: the router's eject mask when the head is at its
 // final hop, the candidate mask of the link it wants next otherwise.
 // Each occupied slot lives in exactly one mask, so switch allocation and
-// ejection never scan empty or mis-targeted VCs.
+// ejection never scan empty or mis-targeted VCs. The per-router /
+// per-link summary bits (ejectPending, candPending) are kept eagerly in
+// sync so the event-driven cycle scan never visits an idle element.
 func (e *engine) retarget(s int32, r int) {
+	// Compute the new target first: a worm transiting a slot leaves the
+	// target unchanged for every body flit (same packet, same path), and
+	// then no mask or summary word needs touching at all — the dominant
+	// case on the per-flit hot path.
+	nw := whereNone
+	if e.bufCount[s] != 0 {
+		h := e.headFlit(s)
+		if int(h.pathIdx) >= len(h.pkt.path)-1 {
+			nw = whereEject
+		} else if lid := e.linkIDAt[r*e.n+h.pkt.path[h.pathIdx+1]]; lid >= 0 {
+			nw = lid
+		}
+		// Malformed route (lid < 0) leaves the flit unscheduled under
+		// whereNone: the watchdog reports the wedge, matching the old
+		// full-scan behavior.
+	}
+	old := e.slotWhere[s]
+	if nw == old {
+		return
+	}
+	e.slotWhere[s] = nw
 	lb := int(s) - r*e.slotsPerRouter // local slot index: port*numVCs+vc
 	w := lb >> 6
 	bit := uint64(1) << uint(lb&63)
-	switch old := e.slotWhere[s]; old {
+	switch old {
 	case whereNone:
 	case whereEject:
-		e.ejectMask[r*e.wordsPerRouter+w] &^= bit
+		base := r * e.wordsPerRouter
+		e.ejectMask[base+w] &^= bit
+		if e.maskEmpty(e.ejectMask, base) {
+			e.ejectPending[r>>6] &^= uint64(1) << uint(r&63)
+		}
 	default:
-		e.candMask[int(old)*e.wordsPerRouter+w] &^= bit
+		base := int(old) * e.wordsPerRouter
+		e.candMask[base+w] &^= bit
+		if e.maskEmpty(e.candMask, base) {
+			e.candPending[int(old)>>6] &^= uint64(1) << uint(int(old)&63)
+		}
 	}
-	if e.bufCount[s] == 0 {
-		e.slotWhere[s] = whereNone
-		return
-	}
-	h := e.headFlit(s)
-	if int(h.pathIdx) >= len(h.pkt.path)-1 {
+	switch nw {
+	case whereNone:
+	case whereEject:
 		e.ejectMask[r*e.wordsPerRouter+w] |= bit
-		e.slotWhere[s] = whereEject
-		return
+		e.ejectPending[r>>6] |= uint64(1) << uint(r&63)
+	default:
+		e.candMask[int(nw)*e.wordsPerRouter+w] |= bit
+		e.candPending[int(nw)>>6] |= uint64(1) << uint(int(nw)&63)
 	}
-	lid := e.linkIDAt[r*e.n+h.pkt.path[h.pathIdx+1]]
-	if lid < 0 {
-		// Malformed route: leave the flit unscheduled (the watchdog
-		// reports the wedge), matching the old full-scan behavior.
-		e.slotWhere[s] = whereNone
-		return
+}
+
+// maskEmpty reports whether the wordsPerRouter-word mask group starting
+// at base is all zero.
+func (e *engine) maskEmpty(m []uint64, base int) bool {
+	for i := 0; i < e.wordsPerRouter; i++ {
+		if m[base+i] != 0 {
+			return false
+		}
 	}
-	e.candMask[int(lid)*e.wordsPerRouter+w] |= bit
-	e.slotWhere[s] = lid
+	return true
 }
 
 // --- cycle phases ---------------------------------------------------
 
 // deliverArrivals moves in-flight flits that reach their arrival cycle
 // into downstream VC buffers (the slot was reserved at send time).
-// Links are visited in dense-ID order, which is deterministic.
+// Only links with in-flight flits (lqPending) are visited, in dense-ID
+// order — the same deterministic order as a full scan, since skipped
+// links have nothing to deliver. Delivery never pushes onto a link, so
+// a per-word snapshot of the pending bits is exact.
 func (e *engine) deliverArrivals() {
 	if e.linkFlits == 0 {
 		return
 	}
-	for lid := 0; lid < e.numLinks; lid++ {
-		cnt := e.lqCount[lid]
-		if cnt == 0 {
-			continue
-		}
-		base := lid * e.lqCap
-		head := e.lqHead[lid]
-		to := int(e.linkTo[lid])
-		for ; cnt > 0; cnt-- {
-			inf := &e.lqData[base+int(head)]
-			if inf.arriveAt > e.cycle {
-				break
+	for wi, w := range e.lqPending {
+		for w != 0 {
+			lid := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			cnt := e.lqCount[lid]
+			base := lid * e.lqCap
+			head := e.lqHead[lid]
+			to := int(e.linkTo[lid])
+			for ; cnt > 0; cnt-- {
+				inf := &e.lqData[base+int(head)]
+				if inf.arriveAt > e.cycle {
+					break
+				}
+				e.pushFlit(inf.slot, to, inf.f)
+				head = (head + 1) & e.lqMask
+				e.linkFlits--
 			}
-			e.pushFlit(inf.slot, to, inf.f)
-			head = (head + 1) & e.lqMask
-			e.linkFlits--
+			e.lqHead[lid] = head
+			e.lqCount[lid] = cnt
+			if cnt == 0 {
+				e.lqPending[wi] &^= uint64(1) << uint(lid&63)
+			}
 		}
-		e.lqHead[lid] = head
-		e.lqCount[lid] = cnt
 	}
+}
+
+// nextArrival returns the earliest arrival cycle over all in-flight
+// link flits. Each link ring is FIFO with a fixed per-link latency, so
+// its head is its earliest arrival. Only called on the fast-forward
+// path, with at least one flit in flight.
+func (e *engine) nextArrival() int64 {
+	next := int64(1)<<62 - 1
+	for wi, w := range e.lqPending {
+		for w != 0 {
+			lid := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if at := e.lqData[lid*e.lqCap+int(e.lqHead[lid])].arriveAt; at < next {
+				next = at
+			}
+		}
+	}
+	return next
 }
 
 // linkPush enqueues a forwarded flit on link lid's in-flight ring.
@@ -113,6 +176,7 @@ func (e *engine) linkPush(lid int32, inf inflight) {
 	}
 	e.lqData[int(lid)*e.lqCap+int((e.lqHead[lid]+cnt)&e.lqMask)] = inf
 	e.lqCount[lid] = cnt + 1
+	e.lqPending[int(lid)>>6] |= uint64(1) << uint(int(lid)&63)
 	e.linkFlits++
 	if e.actLinkFlits != nil {
 		e.actLinkFlits[lid]++
@@ -152,8 +216,15 @@ func (e *engine) active(r int) bool {
 }
 
 // ejectAndSwitch performs, for each active router, local ejection and
-// output-link switch allocation.
+// output-link switch allocation. Uniform-clock engines take the
+// event-driven path; engines with sub-rate clock domains keep the full
+// per-router scan because active() mutates per-cycle accumulator state
+// that a skip would desynchronize.
 func (e *engine) ejectAndSwitch() {
+	if e.eventDriven {
+		e.ejectAndSwitchEvent()
+		return
+	}
 	for r := 0; r < e.n; r++ {
 		e.activeNow[r] = e.active(r)
 	}
@@ -174,6 +245,46 @@ func (e *engine) ejectAndSwitch() {
 	}
 }
 
+// ejectAndSwitchEvent visits only routers with eject-ready heads and
+// links with switch candidates, in the same ascending orders the full
+// scan uses: dense link IDs are assigned router-major in topo.refresh,
+// so ascending link ID equals the legacy router-major outLinks order.
+// Round-robin pointers of skipped routers/links catch up lazily inside
+// eject/allocateOutput.
+func (e *engine) ejectAndSwitchEvent() {
+	if e.bufferedFlits == 0 {
+		return
+	}
+	// Ejection first: frees buffer slots for this cycle's switching.
+	// Processing a router only mutates its own pending bit, so a
+	// per-word snapshot reproduces the full scan's visit set exactly.
+	for wi, w := range e.ejectPending {
+		for w != 0 {
+			r := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			e.eject(r)
+		}
+	}
+	// Switch allocation. Forwarding a flit can expose a new head that
+	// targets a *later* link of this same cycle's scan (which the full
+	// scan would reach), so re-read the word after every link and
+	// advance monotonically instead of snapshotting; bits set behind
+	// the scan position wait for the next cycle, exactly like the
+	// legacy ascending scan.
+	for wi := range e.candPending {
+		pos := 0
+		for {
+			w := e.candPending[wi] >> uint(pos) << uint(pos)
+			if w == 0 {
+				break
+			}
+			b := bits.TrailingZeros64(w)
+			pos = b + 1
+			e.allocateOutput(int32(wi<<6 + b))
+		}
+	}
+}
+
 // eject drains up to EjectBandwidth flits destined locally at router r,
 // scanning only slots whose head is at its final hop (ejectMask), in
 // round-robin order starting at rrEject[r].
@@ -181,7 +292,20 @@ func (e *engine) eject(r int) {
 	budget := e.cfg.EjectBandwidth
 	slots := int(e.numPorts[r]) * e.numVCs
 	start := int(e.rrEject[r])
-	e.rrEject[r] = int32((start + 1) % slots)
+	if e.eventDriven {
+		// Catch up the +1-per-cycle advance of the cycles skipped since
+		// this router was last visited (the full scan calls eject every
+		// cycle; the event scan only on pending work).
+		if d := e.cycle - e.lastEject[r] - 1; d > 0 {
+			start = int((int64(start) + d) % int64(slots))
+		}
+		e.lastEject[r] = e.cycle
+	}
+	next := start + 1
+	if next == slots {
+		next = 0
+	}
+	e.rrEject[r] = int32(next)
 	base := r * e.wordsPerRouter
 	sw := start >> 6
 	for wi := sw; wi < e.wordsPerRouter && budget > 0; wi++ {
@@ -268,7 +392,16 @@ func (e *engine) completePacket(p *packet) {
 // candidate slots (candMask) are scanned, in round-robin order.
 func (e *engine) allocateOutput(lid int32) {
 	r := int(e.linkFrom[lid])
+	slots := int(e.numPorts[r]) * e.numVCs
 	start := int(e.rrOut[lid])
+	if e.eventDriven {
+		// Same lazy catch-up as eject: the full scan advances rrOut by
+		// one on every no-forward cycle; reconstruct the skipped ones.
+		if d := e.cycle - e.lastOut[lid] - 1; d > 0 {
+			start = int((int64(start) + d) % int64(slots))
+		}
+		e.lastOut[lid] = e.cycle
+	}
 	base := int(lid) * e.wordsPerRouter
 	sw := start >> 6
 	for wi := sw; wi < e.wordsPerRouter; wi++ {
@@ -297,7 +430,11 @@ func (e *engine) allocateOutput(lid int32) {
 			}
 		}
 	}
-	e.rrOut[lid] = int32((start + 1) % (int(e.numPorts[r]) * e.numVCs))
+	next := start + 1
+	if next == slots {
+		next = 0
+	}
+	e.rrOut[lid] = int32(next)
 }
 
 // tryForward forwards the head flit of local slot lb onto link lid if a
@@ -306,9 +443,21 @@ func (e *engine) tryForward(lid int32, r, lb int) bool {
 	s := int32(r*e.slotsPerRouter + lb)
 	h := e.headFlit(s)
 	downBase := e.linkDownBase[lid]
-	downVC := e.pickDownVC(downBase, h)
-	if downVC < 0 {
-		return false
+	var downVC int
+	if h.isHead {
+		downVC = e.pickDownVC(downBase, h)
+		if downVC < 0 {
+			return false
+		}
+		e.claimVC[s] = int8(downVC)
+	} else {
+		// Body flits follow the VC their head claimed from this slot;
+		// the owner chain guarantees it is still theirs until the tail
+		// passes, so only credit availability can block.
+		downVC = int(e.claimVC[s])
+		if e.free[downBase+int32(downVC)] <= 0 {
+			return false
+		}
 	}
 	f := e.popFlit(s, r)
 	e.free[s]++
@@ -323,7 +472,11 @@ func (e *engine) tryForward(lid int32, r, lb int) bool {
 	f.pathIdx++
 	e.linkPush(lid, inflight{f: f, arriveAt: e.cycle + e.linkLat[lid], slot: ds})
 	e.forwardedThisCycle = true
-	e.rrOut[lid] = int32((lb + 1) % (int(e.numPorts[r]) * e.numVCs))
+	next := lb + 1
+	if next == int(e.numPorts[r])*e.numVCs {
+		next = 0
+	}
+	e.rrOut[lid] = int32(next)
 	return true
 }
 
@@ -331,21 +484,10 @@ func (e *engine) tryForward(lid int32, r, lb int) bool {
 // packet's assigned layer is its escape VC (per-layer CDGs are acyclic),
 // while physical VCs beyond the escape layers (indices >= VC.NumVCs) are
 // adaptive and may be claimed by any packet. Heads prefer a free adaptive
-// VC and fall back to their escape layer; body flits must follow the VC
-// their head claimed in this buffer. base is the destination slot with
-// vc=0; returns -1 when blocked.
+// VC and fall back to their escape layer. Body flits never reach here:
+// they follow the VC their head claimed via the claimVC/injVC caches.
+// base is the destination slot with vc=0; returns -1 when blocked.
 func (e *engine) pickDownVC(base int32, h *flit) int {
-	if !h.isHead {
-		for vcIdx := 0; vcIdx < e.numVCs; vcIdx++ {
-			if e.owner[base+int32(vcIdx)] == h.pkt {
-				if e.free[base+int32(vcIdx)] > 0 {
-					return vcIdx
-				}
-				return -1
-			}
-		}
-		return -1 // should not happen: head always precedes body
-	}
 	for vcIdx := e.escapeVCs; vcIdx < e.numVCs; vcIdx++ {
 		if e.owner[base+int32(vcIdx)] == nil && e.free[base+int32(vcIdx)] > 0 {
 			return vcIdx
@@ -360,6 +502,9 @@ func (e *engine) pickDownVC(base int32, h *flit) int {
 
 // inject pushes queued packet flits into each router's injection port.
 func (e *engine) inject() {
+	if e.queuedPkts == 0 {
+		return
+	}
 	for r := 0; r < e.n; r++ {
 		q := &e.injectQ[r]
 		if q.empty() {
@@ -377,9 +522,19 @@ func (e *engine) inject() {
 			}
 			// The injection buffer holds whole packets contiguously,
 			// using the same adaptive/escape VC choice as link traversal.
-			vcIdx := e.pickDownVC(base, &f)
-			if vcIdx < 0 {
-				break
+			// Body flits reuse the head's claimed VC (injVC cache).
+			var vcIdx int
+			if f.isHead {
+				vcIdx = e.pickDownVC(base, &f)
+				if vcIdx < 0 {
+					break
+				}
+				e.injVC[r] = int8(vcIdx)
+			} else {
+				vcIdx = int(e.injVC[r])
+				if e.free[base+int32(vcIdx)] <= 0 {
+					break
+				}
 			}
 			s := base + int32(vcIdx)
 			if f.isHead {
@@ -396,6 +551,7 @@ func (e *engine) inject() {
 			if f.isTail {
 				e.owner[s] = nil
 				q.pop()
+				e.queuedPkts--
 			}
 		}
 	}

@@ -94,6 +94,9 @@ func (e *engine) purgeNetwork() map[*packet]bool {
 	for i := range e.candMask {
 		e.candMask[i] = 0
 	}
+	clear(e.lqPending)
+	clear(e.ejectPending)
+	clear(e.candPending)
 	for i := range e.free {
 		e.free[i] = 0
 	}
@@ -216,6 +219,7 @@ func (e *engine) flushInjectQueues(purged map[*packet]bool) {
 		for !q.empty() {
 			p := q.pop()
 			if p.flitsQueued > 0 {
+				e.queuedPkts--
 				if !purged[p] {
 					// All its injected flits were already ejected, but the
 					// tail never entered the network; the packet is lost
@@ -229,6 +233,7 @@ func (e *engine) flushInjectQueues(purged map[*packet]bool) {
 				continue
 			}
 			if e.flowBlocked(p.src, p.dst) {
+				e.queuedPkts--
 				e.droppedPackets++
 				if p.measured {
 					e.measuredInFlight--

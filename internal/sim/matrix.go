@@ -121,6 +121,13 @@ type MatrixConfig struct {
 	// Seed + i*7919 where i is the cell's fixed matrix position.
 	Seed int64
 
+	// Unbatched disables batched cell execution (each worker reusing
+	// one engine's flat arrays across consecutive cells of the same
+	// prepared topology) and builds a fresh engine per cell instead.
+	// Output is bit-identical either way — the knob exists for the
+	// equivalence tests and the CI leg that cmp the two paths.
+	Unbatched bool
+
 	// Store, when non-nil, content-addresses every cell: results are
 	// looked up before simulating and persisted after, so an
 	// interrupted run resumed with the same Store recomputes only the
@@ -343,6 +350,12 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Batched execution: each worker keeps one engine and
+			// resets it per cell, rebuilding only on a topology change.
+			// The atomic counter hands out cells in index order and the
+			// layout is topology-major, so consecutive cells nearly
+			// always share their geometry.
+			var eng *engine
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= cells {
@@ -375,7 +388,12 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 				}
 				cfg := baseCfg(ti, fi, ri, i)
 				cfg.Pattern = pat
-				res, err := Run(cfg)
+				var res *Result
+				if mc.Unbatched {
+					res, err = Run(cfg)
+				} else {
+					res, err = runReused(&eng, cfg)
+				}
 				if err != nil {
 					errs[i] = fmt.Errorf("%s/%s@%g: %w", cfg.Topo.Name, mc.Patterns[pi].Name, rates[ri], err)
 					continue

@@ -79,6 +79,15 @@ type Config struct {
 	// dropped flits have buffer writes without matching ejections.
 	FaultSchedule *fault.Schedule
 
+	// DisableFastForward forces the fully cycle-by-cycle stepping path:
+	// no event-driven router/link scanning and no quiescent-window cycle
+	// skipping. Results are bit-identical either way — the flag exists
+	// for the equivalence tests and CI cross-checks that pin that claim
+	// (and it is deliberately excluded from matrix store cell keys).
+	// Engines with sub-rate clock domains (any NodeRate entry < 1) take
+	// the cycle-by-cycle path regardless.
+	DisableFastForward bool
+
 	// NodeRate optionally scales each router's service rate relative to
 	// the base clock (multi-clock domains); 0 entries default to 1.0.
 	NodeRate []float64
@@ -283,6 +292,15 @@ type engine struct {
 	ejectMask []uint64 // [router*wordsPerRouter + w]
 	candMask  []uint64 // [linkID*wordsPerRouter + w]
 
+	// Claimed-VC caches: the downstream VC a worm's head picked, reused
+	// by its body flits without re-scanning the owner chain. claimVC is
+	// keyed by the upstream slot the worm forwards out of, injVC by the
+	// source router. Only read for body flits, whose head's claim (same
+	// slot / same queue, worms are contiguous) always preceded them;
+	// epoch flushes purge partial worms, so stale values are never read.
+	claimVC []int8
+	injVC   []int8
+
 	// Dense directed links (IDs from topo.LinkID).
 	numLinks     int
 	linkFrom     []int32
@@ -309,6 +327,30 @@ type engine struct {
 
 	accRate []float64 // multi-clock accumulators
 	rate    []float64
+
+	// Hybrid event-driven stepping (see DESIGN.md "Time stepping").
+	// uniformClock is true when every router has a service slot each
+	// cycle (all rates >= 1); eventDriven additionally requires the
+	// fast path not be disabled. lqPending/ejectPending/candPending are
+	// one-bit-per-link (resp. per-router) summaries of the occupancy
+	// state — a link with in-flight flits, a router with eject-ready
+	// heads, a link with switch candidates — so idle elements are never
+	// scanned. lastEject/lastOut record the cycle a router's ejector /
+	// a link's switch allocator last ran, letting the +1-per-cycle
+	// round-robin advance of skipped no-op cycles be reconstructed
+	// lazily (the property that also makes whole-cycle fast-forward
+	// round-robin-exact). queuedPkts counts packets across all
+	// injection queues for an O(1) idle check.
+	uniformClock bool
+	eventDriven  bool
+	lqPending    []uint64
+	ejectPending []uint64
+	candPending  []uint64
+	lastEject    []int64
+	lastOut      []int64
+	queuedPkts   int
+	hinter       traffic.InjectionHinter
+	ffSkipped    int64 // cycles fast-forwarded (stats/tests only)
 
 	pktFree []*packet // packet pool
 
@@ -418,6 +460,25 @@ func Run(c Config) (*Result, error) {
 	return e.run()
 }
 
+// runReused executes cfg on the cached engine in *slot, rebuilding it
+// only when the geometry changed (different topology or sizing knobs)
+// and resetting it otherwise. This is the batched matrix-cell path:
+// consecutive cells of one prepared topology skip the port-map,
+// flat-array and link-table construction. Results are bit-identical
+// to Run's.
+func runReused(slot **engine, c Config) (*Result, error) {
+	cfg, err := defaulted(c)
+	if err != nil {
+		return nil, err
+	}
+	if *slot == nil || !(*slot).compatible(cfg) {
+		*slot = newEngine(cfg)
+	} else {
+		(*slot).reset(cfg)
+	}
+	return (*slot).run()
+}
+
 // pow2 returns the smallest power of two >= v (and >= 1).
 func pow2(v int) int {
 	c := 1
@@ -427,12 +488,14 @@ func pow2(v int) int {
 	return c
 }
 
+// newEngine allocates the geometry-sized state for cfg and resets it
+// for a run. The split between allocation (here) and per-run state
+// (reset) is what batched matrix execution reuses: cells sharing a
+// prepared topology rebuild only the run state.
 func newEngine(cfg Config) *engine {
 	n := cfg.Topo.N()
 	e := &engine{
-		cfg:      cfg,
 		n:        n,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		numVCs:   cfg.NumVCs,
 		bufDepth: cfg.BufDepth,
 		numPorts: make([]int32, n),
@@ -463,6 +526,14 @@ func newEngine(cfg Config) *engine {
 	e.slotsPerRouter = maxPorts * e.numVCs
 	e.wordsPerRouter = (e.slotsPerRouter + 63) / 64
 
+	e.uniformClock = true
+	for r := 0; r < n; r++ {
+		if e.rate[r] < 1 {
+			e.uniformClock = false
+			break
+		}
+	}
+
 	totalSlots := n * e.slotsPerRouter
 	e.bufCap = pow2(e.bufDepth)
 	e.bufMask = int32(e.bufCap - 1)
@@ -472,17 +543,11 @@ func newEngine(cfg Config) *engine {
 	e.free = make([]int32, totalSlots)
 	e.owner = make([]*packet, totalSlots)
 	e.slotWhere = make([]int32, totalSlots)
-	for s := range e.slotWhere {
-		e.slotWhere[s] = whereNone
-	}
-	for r := 0; r < n; r++ {
-		for p := 0; p < int(e.numPorts[r]); p++ {
-			for v := 0; v < e.numVCs; v++ {
-				e.free[(r*e.maxPorts+p)*e.numVCs+v] = int32(e.bufDepth)
-			}
-		}
-	}
+	e.claimVC = make([]int8, totalSlots)
+	e.injVC = make([]int8, n)
 	e.ejectMask = make([]uint64, n*e.wordsPerRouter)
+	e.ejectPending = make([]uint64, (n+63)/64)
+	e.lastEject = make([]int64, n)
 
 	// Dense links.
 	L := cfg.Topo.NumDirectedLinks()
@@ -512,7 +577,10 @@ func newEngine(cfg Config) *engine {
 		}
 	}
 	e.candMask = make([]uint64, L*e.wordsPerRouter)
+	e.candPending = make([]uint64, (L+63)/64)
+	e.lqPending = make([]uint64, (L+63)/64)
 	e.rrOut = make([]int32, L)
+	e.lastOut = make([]int64, L)
 	outBacking := make([]int32, L)
 	e.outLinks = make([][]int32, n)
 	pos := 0
@@ -534,14 +602,111 @@ func newEngine(cfg Config) *engine {
 	e.injectQ = make([]pktRing, n)
 	e.rrEject = make([]int32, n)
 	e.activeNow = make([]bool, n)
-	if cfg.CollectEnergy {
-		e.actBufRead = make([]uint64, n)
-		e.actBufWrite = make([]uint64, n)
-		e.actLinkFlits = make([]uint64, L)
+	e.reset(cfg)
+	return e
+}
+
+// compatible reports whether cfg can run on this engine's geometry
+// without reallocating: the same topology object and the knobs that
+// size or shape the flat arrays. Pointer equality on Topo is the right
+// test for the batched-matrix use case (cells share one prepared
+// Setup); a distinct-but-equal topology just falls back to a fresh
+// engine.
+func (e *engine) compatible(cfg Config) bool {
+	old := e.cfg
+	if cfg.Topo != old.Topo || cfg.NumVCs != old.NumVCs ||
+		cfg.BufDepth != old.BufDepth || cfg.LinkLatency != old.LinkLatency {
+		return false
 	}
+	if len(cfg.NodeRate) != len(old.NodeRate) {
+		return false
+	}
+	for i := range cfg.NodeRate {
+		if cfg.NodeRate[i] != old.NodeRate[i] {
+			return false
+		}
+	}
+	if len(cfg.ExtraLinkLatency) != len(old.ExtraLinkLatency) {
+		return false
+	}
+	for k, v := range cfg.ExtraLinkLatency {
+		if old.ExtraLinkLatency[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// reset returns the engine to its post-setup state for a fresh run of
+// cfg, reusing every geometry-sized allocation (and the packet pool).
+// cfg must be compatible() with the engine's geometry. A reset engine
+// is indistinguishable from a newly built one — the invariant batched
+// matrix execution rests on, pinned by TestEngineResetMatchesFresh.
+func (e *engine) reset(cfg Config) {
+	e.cfg = cfg
+	e.rng = rand.New(rand.NewSource(cfg.Seed))
+	e.hinter, _ = cfg.Pattern.(traffic.InjectionHinter)
+	e.eventDriven = e.uniformClock && !cfg.DisableFastForward
+
+	clear(e.bufHead)
+	clear(e.bufCount)
+	clear(e.owner)
+	clear(e.free)
+	for s := range e.slotWhere {
+		e.slotWhere[s] = whereNone
+	}
+	for r := 0; r < e.n; r++ {
+		for p := 0; p < int(e.numPorts[r]); p++ {
+			for v := 0; v < e.numVCs; v++ {
+				e.free[(r*e.maxPorts+p)*e.numVCs+v] = int32(e.bufDepth)
+			}
+		}
+	}
+	clear(e.ejectMask)
+	clear(e.candMask)
+	clear(e.ejectPending)
+	clear(e.candPending)
+	clear(e.lqPending)
+	clear(e.lqHead)
+	clear(e.lqCount)
+	clear(e.rrOut)
+	clear(e.rrEject)
+	clear(e.accRate)
+	for i := range e.lastOut {
+		e.lastOut[i] = -1
+	}
+	for i := range e.lastEject {
+		e.lastEject[i] = -1
+	}
+	for r := range e.injectQ {
+		q := &e.injectQ[r]
+		clear(q.q)
+		q.head, q.size = 0, 0
+	}
+	e.queuedPkts = 0
+
+	if cfg.CollectEnergy {
+		if e.actBufRead == nil {
+			e.actBufRead = make([]uint64, e.n)
+			e.actBufWrite = make([]uint64, e.n)
+			e.actLinkFlits = make([]uint64, e.numLinks)
+		} else {
+			clear(e.actBufRead)
+			clear(e.actBufWrite)
+			clear(e.actLinkFlits)
+		}
+	} else {
+		e.actBufRead, e.actBufWrite, e.actLinkFlits = nil, nil, nil
+	}
+	e.actInjected, e.actEjected = 0, 0
+
+	e.cycle = 0
 	e.routing = cfg.Routing
 	e.vcAssign = cfg.VC
 	e.escapeVCs = cfg.VC.NumVCs
+	e.aliveRouter, e.aliveLinkID = nil, nil
+	e.boundaries = nil
+	e.nextBoundary = 0
 	e.firstFault = -1
 	if !cfg.FaultSchedule.Empty() {
 		total := int64(cfg.WarmupCycles + cfg.MeasureCycles + cfg.DrainCycles)
@@ -550,8 +715,8 @@ func newEngine(cfg Config) *engine {
 			// Boundaries are sorted and every recovery follows its own
 			// onset, so the first boundary is the first fault onset.
 			e.firstFault = e.boundaries[0]
-			e.aliveRouter = make([]bool, n)
-			e.aliveLinkID = make([]bool, L)
+			e.aliveRouter = make([]bool, e.n)
+			e.aliveLinkID = make([]bool, e.numLinks)
 			for i := range e.aliveRouter {
 				e.aliveRouter[i] = true
 			}
@@ -560,7 +725,20 @@ func newEngine(cfg Config) *engine {
 			}
 		}
 	}
-	return e
+
+	e.bufferedFlits, e.linkFlits = 0, 0
+	e.delivered, e.measured = 0, 0
+	e.measuredInFlight = 0
+	e.latencySum = 0
+	e.forwardedThisCycle = false
+	e.droppedFlits, e.droppedPackets = 0, 0
+	e.rerouteEvents = 0
+	e.peakUnreachable = 0
+	e.skippedInject = 0
+	e.measuredOffered = 0
+	e.preLatSum, e.postLatSum = 0, 0
+	e.preMeasured, e.postMeasured = 0, 0
+	e.ffSkipped = 0
 }
 
 // step advances the engine by one cycle body (the run loop owns the
@@ -581,10 +759,37 @@ func (e *engine) run() (*Result, error) {
 	measStart := int64(cfg.WarmupCycles)
 	measEnd := measStart + int64(cfg.MeasureCycles)
 	idleCycles := 0
+	idleLimit := 4 * (cfg.LinkLatency + 8) * e.n
 	for e.cycle = 0; e.cycle < total; e.cycle++ {
 		if e.nextBoundary < len(e.boundaries) && e.boundaries[e.nextBoundary] == e.cycle {
 			e.applyFaultBoundary()
 			e.nextBoundary++
+		}
+		if e.eventDriven && e.bufferedFlits == 0 && e.queuedPkts == 0 {
+			if target := e.skipTarget(measEnd, total); target > e.cycle {
+				// Nothing observable happens in [cycle, target): no flit
+				// can move (buffers and injection queues are empty; link
+				// pipelines next deliver at target or later), no injection
+				// can occur (drain phase, or the pattern promised Never),
+				// and no fault boundary lands inside the window. Jump the
+				// cycle counter: leakage energy integrates over the final
+				// e.cycle at report time, and round-robin state catches up
+				// lazily from lastEject/lastOut.
+				e.ffSkipped += target - e.cycle
+				if e.networkEmpty() {
+					idleCycles = 0
+				} else {
+					// Replicate the per-cycle watchdog across the window:
+					// flits sit in link pipelines and nothing forwards, so
+					// the count rises by one per skipped cycle.
+					idleCycles += int(target - e.cycle)
+					if idleCycles > idleLimit {
+						return &Result{Stalled: true}, nil
+					}
+				}
+				e.cycle = target - 1
+				continue
+			}
 		}
 		generating := e.cycle < measEnd
 		measuring := e.cycle >= measStart && e.cycle < measEnd
@@ -595,7 +800,7 @@ func (e *engine) run() (*Result, error) {
 			idleCycles = 0
 		} else {
 			idleCycles++
-			if idleCycles > 4*(cfg.LinkLatency+8)*e.n {
+			if idleCycles > idleLimit {
 				return &Result{Stalled: true}, nil
 			}
 		}
@@ -690,6 +895,48 @@ func (e *engine) networkEmpty() bool {
 	return e.bufferedFlits == 0 && e.linkFlits == 0
 }
 
+// skipTarget returns the first cycle > e.cycle at which anything
+// observable can happen again, or e.cycle when the current cycle must
+// be simulated. The caller guarantees empty buffers and injection
+// queues; the remaining wake-ups are link-pipeline arrivals, injection
+// opportunities, the next fault boundary, and the measure-window end
+// (where the drain-exit check must run cycle by cycle).
+func (e *engine) skipTarget(measEnd, total int64) int64 {
+	if e.cycle >= measEnd && e.pendingMeasured() == 0 {
+		// The drain-exit check fires after this cycle executes; skipping
+		// past it would end the run at a later cycle than the
+		// cycle-by-cycle path (observable through leakage-energy
+		// integration). During any legal skip window measuredInFlight is
+		// constant — measured flits still in link pipelines clamp the
+		// window via nextArrival — so the exit condition can only become
+		// true at an executed cycle.
+		return e.cycle
+	}
+	target := total
+	if e.cycle < measEnd {
+		// Generation is live. The Bernoulli gate draws rng once per
+		// router per cycle whatever the pattern would answer, so
+		// skipping is only legal when the pattern promises those draws
+		// are unobservable: no future Inject returns ok and no future
+		// Inject/OnDeliver call consumes rng (the Never contract).
+		if e.hinter == nil || e.hinter.NextInjectionAfter(e.cycle) != traffic.Never {
+			return e.cycle
+		}
+		if measEnd < target {
+			target = measEnd
+		}
+	}
+	if e.linkFlits > 0 {
+		if a := e.nextArrival(); a < target {
+			target = a
+		}
+	}
+	if e.nextBoundary < len(e.boundaries) && e.boundaries[e.nextBoundary] < target {
+		target = e.boundaries[e.nextBoundary]
+	}
+	return target
+}
+
 func (e *engine) pendingMeasured() int {
 	return e.measuredInFlight
 }
@@ -756,4 +1003,5 @@ func (e *engine) enqueuePacket(src, dst, flits int, measuring bool) {
 		e.measuredInFlight++
 	}
 	e.injectQ[src].push(p)
+	e.queuedPkts++
 }

@@ -229,3 +229,45 @@ func (h *Hotspot) OnDeliver(src, dst int, rng *rand.Rand) (int, int, bool) { ret
 
 // Originates implements Originator.
 func (h *Hotspot) Originates(src int) bool { return h.N >= 2 }
+
+// NextInjectionAfter implements InjectionHinter for the fixed
+// permutation patterns: non-fixed sources are always eligible, and
+// a pattern with no originating source at all never injects (its
+// Inject is a permanent rng-free no-op).
+
+// NextInjectionAfter implements InjectionHinter.
+func (t Transpose) NextInjectionAfter(cycle int64) int64 {
+	return hintFixed(t.Dest, t.Rows*t.Cols, cycle)
+}
+
+// NextInjectionAfter implements InjectionHinter.
+func (b BitComplement) NextInjectionAfter(cycle int64) int64 {
+	return hintFixed(b.Dest, b.N, cycle)
+}
+
+// NextInjectionAfter implements InjectionHinter.
+func (b BitReverse) NextInjectionAfter(cycle int64) int64 {
+	return hintFixed(b.Dest, b.N, cycle)
+}
+
+// NextInjectionAfter implements InjectionHinter.
+func (t Tornado) NextInjectionAfter(cycle int64) int64 {
+	return hintFixed(t.Dest, t.Rows*t.Cols, cycle)
+}
+
+// NextInjectionAfter implements InjectionHinter: some node always
+// injects.
+func (h *Hotspot) NextInjectionAfter(cycle int64) int64 { return cycle + 1 }
+
+// hintFixed answers NextInjectionAfter for a fixed-destination pattern:
+// conservative cycle+1 while any source originates, Never when none do.
+// The O(n) scan only runs in the degenerate all-fixed-point case worth
+// Never; any real pattern exits on its first originating source.
+func hintFixed(dest func(int) int, n int, cycle int64) int64 {
+	for src := 0; src < n; src++ {
+		if originatesFixed(dest, src) {
+			return cycle + 1
+		}
+	}
+	return Never
+}

@@ -99,6 +99,7 @@ type Replay struct {
 	perSrc [][]replayEntry
 	next   []int
 	loop   bool
+	live   int // sources with records left; only decrements when !loop
 }
 
 // NewReplay validates records against the node count n and builds a
@@ -124,6 +125,11 @@ func NewReplay(tag string, n int, recs []TraceRecord, loop bool) (*Replay, error
 		}
 		r.perSrc[rec.Src] = append(r.perSrc[rec.Src], replayEntry{dst: rec.Dst, flits: rec.Flits})
 	}
+	for _, q := range r.perSrc {
+		if len(q) > 0 {
+			r.live++
+		}
+	}
 	return r, nil
 }
 
@@ -143,8 +149,12 @@ func (r *Replay) Inject(src int, rng *rand.Rand) (int, int, bool) {
 	}
 	e := q[r.next[src]]
 	r.next[src]++
-	if r.next[src] == len(q) && r.loop {
-		r.next[src] = 0
+	if r.next[src] == len(q) {
+		if r.loop {
+			r.next[src] = 0
+		} else {
+			r.live--
+		}
 	}
 	return e.dst, e.flits, true
 }
@@ -156,3 +166,15 @@ func (r *Replay) OnDeliver(src, dst int, rng *rand.Rand) (int, int, bool) { retu
 // Originates implements Originator: a source originates iff the trace
 // recorded at least one packet from it.
 func (r *Replay) Originates(src int) bool { return len(r.perSrc[src]) > 0 }
+
+// NextInjectionAfter implements InjectionHinter: once every source's
+// cursor is exhausted (non-loop traces only) the replay is permanently
+// dry — Inject returns ok=false without touching rng or state, and
+// OnDeliver never draws — so the simulator may fast-forward the rest of
+// the run. While records remain any opportunity may pop one.
+func (r *Replay) NextInjectionAfter(cycle int64) int64 {
+	if r.live == 0 {
+		return Never
+	}
+	return cycle + 1
+}

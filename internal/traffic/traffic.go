@@ -6,6 +6,7 @@
 package traffic
 
 import (
+	"math"
 	"math/rand"
 )
 
@@ -40,6 +41,33 @@ type Pattern interface {
 	// (ok=true) is injected at dst back toward src. Patterns without
 	// replies return ok=false.
 	OnDeliver(src, dst int, rng *rand.Rand) (replyDst, replyFlits int, ok bool)
+}
+
+// Never is the NextInjectionAfter answer meaning "no source will ever
+// inject again".
+const Never = int64(math.MaxInt64)
+
+// InjectionHinter is optionally implemented by patterns that can bound
+// when their next injection may occur, enabling the simulator's hybrid
+// event-driven stepping to fast-forward quiescent stretches. Given the
+// current cycle, NextInjectionAfter returns a lower bound on the next
+// cycle at which any source could inject: cycle+1 means "possibly
+// immediately" (always safe), and Never promises that no future Inject
+// call will return ok AND that no future Inject or OnDeliver call will
+// consume rng — only under that promise can the engine skip whole
+// injection opportunities without perturbing the shared rng stream.
+// The hint must be a pure function of the pattern's current state (no
+// rng draws, no mutation). Patterns that do not implement the
+// interface simply disable generation-phase fast-forward.
+//
+// Note the engine's Bernoulli injection gate draws rng once per
+// (router, cycle) opportunity regardless of what the pattern would
+// answer, so a finite bound > cycle+1 cannot be exploited today: the
+// engine only acts on Never, where the skipped draws are provably
+// unobservable. The general signature exists so patterns that own
+// their timing exactly (trace replay) keep expressing it.
+type InjectionHinter interface {
+	NextInjectionAfter(cycle int64) int64
 }
 
 // Originator is implemented by patterns that can statically report
@@ -96,6 +124,16 @@ func (u Uniform) OnDeliver(src, dst int, rng *rand.Rand) (int, int, bool) { retu
 // Originates implements Originator.
 func (u Uniform) Originates(src int) bool { return u.N >= 2 }
 
+// NextInjectionAfter implements InjectionHinter: every node is always
+// eligible, except in the degenerate <2-node network where Inject is a
+// permanent rng-free no-op.
+func (u Uniform) NextInjectionAfter(cycle int64) int64 {
+	if u.N < 2 {
+		return Never
+	}
+	return cycle + 1
+}
+
 // Shuffle is the gem5 shuffle permutation: dst = 2*src for the lower
 // half, (2*src+1) mod n for the upper half (far source-destination
 // pairs). Nodes whose shuffle target is themselves do not inject.
@@ -126,6 +164,17 @@ func (s Shuffle) OnDeliver(src, dst int, rng *rand.Rand) (int, int, bool) { retu
 
 // Originates implements Originator.
 func (s Shuffle) Originates(src int) bool { return s.Dest(src) != src }
+
+// NextInjectionAfter implements InjectionHinter. Below three nodes the
+// shuffle is the identity permutation (every source is a fixed point
+// and Inject is a permanent rng-free no-op); otherwise some source is
+// always eligible.
+func (s Shuffle) NextInjectionAfter(cycle int64) int64 {
+	if s.N < 3 {
+		return Never
+	}
+	return cycle + 1
+}
 
 // WeightMatrix returns the demand matrix of the shuffle pattern for
 // pattern-optimized synthesis (NS-ShufOpt).
@@ -185,6 +234,16 @@ func (m *Memory) OnDeliver(src, dst int, rng *rand.Rand) (int, int, bool) {
 // Originates implements Originator: only cores issue requests.
 func (m *Memory) Originates(src int) bool { return m.core[src] }
 
+// NextInjectionAfter implements InjectionHinter: cores are always
+// eligible; with no cores at all nothing ever injects (and neither
+// Inject nor OnDeliver can draw rng again).
+func (m *Memory) NextInjectionAfter(cycle int64) int64 {
+	if len(m.Cores) == 0 {
+		return Never
+	}
+	return cycle + 1
+}
+
 // Permutation routes each source to a fixed destination given by perm.
 type Permutation struct {
 	Perm []int
@@ -213,3 +272,8 @@ func (p Permutation) OnDeliver(src, dst int, rng *rand.Rand) (int, int, bool) { 
 
 // Originates implements Originator.
 func (p Permutation) Originates(src int) bool { return p.Perm[src] != src }
+
+// NextInjectionAfter implements InjectionHinter. Conservative: an
+// all-fixed-point permutation would justify Never, but detecting it
+// costs an O(n) scan per call, so non-fixed sources are assumed.
+func (p Permutation) NextInjectionAfter(cycle int64) int64 { return cycle + 1 }
