@@ -9,21 +9,33 @@
 //	netsmith -rows 4 -cols 5 -class medium -objective latop -seconds 10
 //
 // The serve subcommand instead runs the HTTP API: synthesis and
-// scenario-matrix jobs on a bounded worker pool, backed by the
-// content-addressed result store so repeated requests are answered
-// from cache without re-simulating.
+// scenario-matrix jobs on a bounded, priority-ordered worker pool,
+// backed by the content-addressed result store so repeated requests
+// are answered from cache without re-simulating.
 //
 //	netsmith serve -addr :8080 -store .netsmith-store
 //	curl -s localhost:8080/healthz
-//	curl -s -X POST localhost:8080/v1/matrix -d '{"grid":"4x4"}'
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"kind":"matrix","grid":"4x4"}'
 //	curl -s localhost:8080/v1/jobs/j000001
+//	curl -N localhost:8080/v1/jobs/j000001/events   # SSE progress
+//
+// With -shards N the server also acts as a cluster coordinator,
+// splitting each matrix job into N shard leases that worker processes
+// sharing the same store claim and execute:
+//
+//	netsmith serve -addr :8080 -store /shared/store -shards 4
+//	netsmith serve -worker -coordinator http://host:8080 -store /shared/store
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"netsmith/internal/layout"
@@ -35,13 +47,24 @@ import (
 	"netsmith/internal/vc"
 )
 
-// runServe is the serve subcommand: netsmith serve [flags].
+// runServe is the serve subcommand: netsmith serve [flags]. It covers
+// both roles of cluster mode — coordinator (default) and worker
+// (-worker -coordinator URL) — because both sit on the same store.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	storeDir := fs.String("store", ".netsmith-store", "content-addressed result store directory")
 	workers := fs.Int("workers", 2, "concurrent jobs")
 	queue := fs.Int("queue", 32, "pending-job queue depth (full queue answers 503)")
+	rate := fs.Float64("rate", 0, "per-client job submissions per second (0 = unlimited)")
+	burst := fs.Int("burst", 0, "per-client submission burst (0 = 2x rate)")
+	shards := fs.Int("shards", 0, "default matrix shard count for cluster execution (0 = run matrices locally)")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "cluster shard lease TTL; a worker silent this long loses its shard")
+	selfWork := fs.Bool("selfwork", true, "coordinator executes unclaimed shards itself after one lease TTL")
+	worker := fs.Bool("worker", false, "run as a cluster worker instead of a coordinator")
+	coordinator := fs.String("coordinator", "", "coordinator base URL (worker mode), e.g. http://host:8080")
+	poll := fs.Duration("poll", 500*time.Millisecond, "worker claim-poll interval when idle")
+	name := fs.String("name", "", "worker name reported to the coordinator (default worker-<host>-<pid>)")
 	if err := fs.Parse(args); err != nil {
 		fatal(err)
 	}
@@ -49,13 +72,37 @@ func runServe(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := serve.New(serve.Config{Store: st, Workers: *workers, QueueDepth: *queue})
+	if *worker {
+		if *coordinator == "" {
+			fatal(fmt.Errorf("worker mode needs -coordinator URL"))
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		fmt.Printf("netsmith worker: coordinator %s (store %s)\n", *coordinator, *storeDir)
+		err := serve.RunWorker(ctx, serve.WorkerConfig{
+			Coordinator: *coordinator,
+			Store:       st,
+			Name:        *name,
+			Poll:        *poll,
+			Logf:        log.Printf,
+		})
+		if err != nil && ctx.Err() == nil {
+			fatal(err)
+		}
+		return
+	}
+	srv, err := serve.New(serve.Config{
+		Store: st, Workers: *workers, QueueDepth: *queue,
+		RatePerSec: *rate, RateBurst: *burst,
+		ClusterShards: *shards, LeaseTTL: *leaseTTL,
+		DisableSelfWork: !*selfWork,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("netsmith serve: listening on %s (store %s, %d workers, queue %d)\n",
-		*addr, *storeDir, *workers, *queue)
+	fmt.Printf("netsmith serve: listening on %s (store %s, %d workers, queue %d, shards %d)\n",
+		*addr, *storeDir, *workers, *queue, *shards)
 	// Header/read timeouts keep slow clients (slowloris) from pinning
 	// connections and file descriptors indefinitely; request bodies are
 	// small JSON, so tight bounds are safe.

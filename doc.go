@@ -94,17 +94,54 @@
 // configuration around a NoI topology; RunWorkload plays the modelled
 // PARSEC benchmarks (PARSECWorkloads) through it.
 //
+// # Client
+//
+// Client is the high-level entry point: one call shape that executes
+// jobs in-process (local mode) or against a `netsmith serve`
+// coordinator (remote mode, WithServer), with byte-identical results
+// either way. A SynthJob/MatrixJob is exactly the POST /v1/jobs wire
+// body, so the same value moves between laptop and cluster unchanged:
+//
+//	c, err := netsmith.NewClient(netsmith.WithStoreDir(".netsmith-store"))
+//	out, hit, err := c.Matrix(ctx, netsmith.MatrixJob{Grid: "4x5", Fidelity: "fast"})
+//
+// Mapping from the lower-level Options surface (which remains fully
+// supported — the Client is a convenience layer over the same code,
+// nothing is deprecated):
+//
+//   - Options.Grid ("4x5" via NewGrid/Grid4x5)   → SynthJob.Grid "4x5"
+//   - Options.Class (Small/Medium/Large)         → SynthJob.Class "small"|"medium"|"large"
+//   - Options.Objective (LatOp/SCOp/PatternOp)   → SynthJob.Objective "latop"|"scop"|"shufopt"
+//   - Options.Radix/Symmetric/MaxDiameter/MinCutBW,
+//     EnergyWeight/RobustWeight, Seed/Iterations/Restarts
+//     → same-named SynthJob fields
+//   - Options.TimeBudget and Options.Progress have no Client
+//     equivalent: jobs must be deterministic (cacheable), so the
+//     Client always runs fixed-budget; use Generate directly for
+//     wall-clock-budgeted searches.
+//   - MatrixConfig axes → MatrixJob.Grid/Topos/Patterns/Rates/Faults,
+//     with Fidelity naming the cycle budgets and Seed defaulting to 42
+//     (the netbench -matrix default).
+//   - MatrixConfig.Shard is not set by callers: MatrixJob.Shards asks
+//     a remote coordinator to fan the matrix out across cluster
+//     workers; sharding within a shared store stays available via
+//     RunMatrix.
+//
 // # Command-line tools and serving
 //
 // cmd/netsmith synthesizes one topology ("netsmith -rows 4 -cols 5")
-// and hosts the HTTP API ("netsmith serve": POST /v1/synth and
-// /v1/matrix enqueue async jobs on a bounded pool, GET /v1/jobs/{id}
-// polls, the store answers repeats from cache). cmd/netbench
-// regenerates the paper's tables and figures and runs scenario
-// matrices (-matrix, with -store/-shard for cached, resumable,
-// distributed runs). cmd/netsim sweeps a single configuration;
-// cmd/calibrate fits the power model; cmd/benchdiff gates CI on
-// benchmark regressions.
+// and hosts the HTTP API ("netsmith serve": POST /v1/jobs with a
+// tagged body enqueues async synth/matrix jobs on a bounded,
+// priority-ordered pool; GET /v1/jobs lists and /v1/jobs/{id} polls;
+// DELETE cancels mid-run; /v1/jobs/{id}/events streams progress over
+// SSE; /metrics exposes Prometheus-style counters; the store answers
+// repeats from cache). With -shards N the server becomes a cluster
+// coordinator, leasing matrix shards to `netsmith serve -worker`
+// processes that share its store. cmd/netbench regenerates the
+// paper's tables and figures and runs scenario matrices (-matrix,
+// with -store/-shard for cached, resumable, distributed runs).
+// cmd/netsim sweeps a single configuration; cmd/calibrate fits the
+// power model; cmd/benchdiff gates CI on benchmark regressions.
 //
 // Runnable walkthroughs live under examples/ (see examples/README.md);
 // design notes and fidelity arguments in DESIGN.md.

@@ -1,12 +1,16 @@
-// Serve: run the netsmith HTTP API in-process and walk through its job
-// lifecycle as a client — enqueue a scenario-matrix job, poll it to
-// completion, then repeat the request and watch the content-addressed
-// store answer it without simulating a single cell.
+// Serve: run the netsmith HTTP API in-process and walk through the
+// unified v1 job surface as a client — enqueue a scenario-matrix job
+// via POST /v1/jobs, poll it to completion, repeat the request and
+// watch the content-addressed store answer it without simulating a
+// single cell, then cancel a queued job with DELETE.
 //
-// Outside an example you would run the server standalone:
+// Outside an example you would run the server standalone (and
+// optionally scale it with workers sharing the store):
 //
 //	netsmith serve -addr :8080 -store .netsmith-store
-//	curl -s -X POST localhost:8080/v1/matrix -d '{"grid":"4x4"}'
+//	netsmith serve -worker -coordinator http://localhost:8080 -store .netsmith-store
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"kind":"matrix","grid":"4x4"}'
+//	curl -sN localhost:8080/v1/jobs/j000001/events   # SSE progress
 //	curl -s localhost:8080/v1/jobs/j000001
 package main
 
@@ -53,13 +57,15 @@ func main() {
 	// 2. Health first — load balancers poll this.
 	fmt.Println("GET /healthz ->", getBody(base+"/healthz"))
 
-	// 3. Enqueue a small matrix job: 4x4 mesh, two adversarial
-	//    patterns, two rates, smoke fidelity.
-	req := `{"grid":"4x4","patterns":["uniform","tornado"],"rates":[0.02,0.10],"fidelity":"smoke","energy":true,"seed":7}`
-	job := post(base+"/v1/matrix", req)
-	fmt.Printf("POST /v1/matrix -> job %s (%s)\n", job.ID, job.Status)
+	// 3. Enqueue a small matrix job through the unified surface: one
+	//    endpoint, tagged body. 4x4 mesh, two adversarial patterns, two
+	//    rates, smoke fidelity.
+	req := `{"kind":"matrix","grid":"4x4","patterns":["uniform","tornado"],"rates":[0.02,0.10],"fidelity":"smoke","energy":true,"seed":7}`
+	job := post(base+"/v1/jobs", req)
+	fmt.Printf("POST /v1/jobs -> job %s (%s)\n", job.ID, job.State)
 
-	// 4. Poll until done. Real clients back off; we spin fast.
+	// 4. Poll until done. Real clients back off or stream
+	//    GET /v1/jobs/{id}/events; we spin fast.
 	done := poll(base, job.ID)
 	var res serve.MatrixJobResult
 	if err := json.Unmarshal(done.Result, &res); err != nil {
@@ -75,7 +81,7 @@ func main() {
 	// 5. The same POST again: every cell is already in the store, so the
 	//    job completes from cache — cache_hit true, nothing simulated,
 	//    and the matrix payload is byte-identical.
-	job2 := post(base+"/v1/matrix", req)
+	job2 := post(base+"/v1/jobs", req)
 	done2 := poll(base, job2.ID)
 	var res2 serve.MatrixJobResult
 	if err := json.Unmarshal(done2.Result, &res2); err != nil {
@@ -85,6 +91,34 @@ func main() {
 	m2, _ := json.Marshal(res2.Matrix)
 	fmt.Printf("\nrepeated POST -> job %s: cache_hit=%v in %d ms (%d simulated), payload identical: %v\n",
 		job2.ID, done2.CacheHit, done2.ElapsedMS, res2.Stats.Computed, bytes.Equal(m1, m2))
+
+	// 6. Cancellation: DELETE flips a queued job straight to cancelled;
+	//    a running matrix job stops within one cell per pool worker.
+	job3 := post(base+"/v1/jobs", `{"kind":"matrix","grid":"8x8","fidelity":"fast","priority":-1}`)
+	httpReq, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+job3.ID, nil)
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cancelled serve.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&cancelled); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	// If the pool had already started the job, DELETE answers with the
+	// still-running view and the state flips once the current cell
+	// notices the dead context — wait for the terminal state.
+	for !terminalState(cancelled.State) {
+		time.Sleep(20 * time.Millisecond)
+		if err := json.Unmarshal([]byte(getBody(base+"/v1/jobs/"+job3.ID)), &cancelled); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("DELETE /v1/jobs/%s -> %s\n", job3.ID, cancelled.State)
+}
+
+func terminalState(s string) bool {
+	return s == serve.StateDone || s == serve.StateFailed || s == serve.StateCancelled
 }
 
 func getBody(url string) string {
@@ -135,11 +169,11 @@ func poll(base, id string) serve.JobView {
 		if err != nil {
 			log.Fatal(err)
 		}
-		switch v.Status {
-		case serve.StatusDone:
+		switch v.State {
+		case serve.StateDone:
 			return v
-		case serve.StatusFailed:
-			log.Fatalf("job %s failed: %s", id, v.Error)
+		case serve.StateFailed, serve.StateCancelled:
+			log.Fatalf("job %s %s: %s", id, v.State, v.Error)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}

@@ -1,0 +1,504 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"netsmith/internal/sim"
+)
+
+// Cluster mode: a matrix job with shards > 1 does not execute in the
+// coordinator's job runner. Instead the runner registers a clusterRun
+// — one lease slot per Shard{i,n} slice — and waits. Worker processes
+// (RunWorker) poll POST /v1/cluster/claim, execute their slice
+// cache-first against the shared store, heartbeat to keep the lease
+// alive, and POST /v1/cluster/complete. A lease whose heartbeats stop
+// (killed worker) expires and is re-offered; because every finished
+// cell is already content-addressed in the store, the new claimant
+// re-simulates only what the dead worker never persisted. When all
+// shards report, the runner performs an unsharded cache-first merge
+// over the warm store — byte-identical to a single-process run.
+//
+// The protocol is deliberately coordinator-centric: workers keep no
+// state but the lease in hand, so killing one at any instant loses at
+// most its in-flight cells.
+
+// shard lease states.
+const (
+	shardPending = iota
+	shardLeased
+	shardDone
+)
+
+// shardState tracks one lease slot; guarded by Server.mu.
+type shardState struct {
+	index   int
+	state   int
+	worker  string
+	leaseID string
+	expires time.Time
+	created time.Time // when the slot became claimable (self-work grace anchor)
+	done    int       // cells resolved per the last heartbeat/completion
+}
+
+func (ss *shardState) stateName(now time.Time) string {
+	switch {
+	case ss.state == shardDone:
+		return "done"
+	case ss.state == shardLeased && now.After(ss.expires):
+		return "expired"
+	case ss.state == shardLeased:
+		return "leased"
+	default:
+		return "pending"
+	}
+}
+
+// clusterRun is the coordinator-side record of one sharded matrix job;
+// guarded by Server.mu except for the immutable fields.
+type clusterRun struct {
+	jobID   string
+	job     *job
+	reqJSON json.RawMessage // canonical MatrixRequest for lease bodies
+	cells   int
+
+	shards         []shardState
+	doneN          int
+	computed       int // Σ shard stats.Computed
+	storeErrs      int
+	busy           time.Duration
+	synthAllCached bool
+	failure        string
+
+	finished chan struct{} // closed when all shards done, a shard fails, or the job dies
+	closed   bool
+}
+
+func (cr *clusterRun) closeLocked() {
+	if !cr.closed {
+		cr.closed = true
+		close(cr.finished)
+	}
+}
+
+// activeLocked reports whether the run still accepts leases and
+// reports.
+func (cr *clusterRun) activeLocked() bool {
+	return !cr.closed && cr.failure == "" && !cr.job.cancelled
+}
+
+// ---- lease wire types ----
+
+// ClaimRequest is the POST /v1/cluster/claim body.
+type ClaimRequest struct {
+	Worker string `json:"worker"`
+}
+
+// Lease grants one matrix shard to a worker: execute Request with
+// Shard{Index: Shard, Count: Of} against the shared store, heartbeat
+// well inside TTLMS, then complete.
+type Lease struct {
+	LeaseID string          `json:"lease_id"`
+	JobID   string          `json:"job_id"`
+	Shard   int             `json:"shard"`
+	Of      int             `json:"of"`
+	TTLMS   int64           `json:"ttl_ms"`
+	Request json.RawMessage `json:"request"` // MatrixRequest JSON
+}
+
+// HeartbeatRequest is the POST /v1/cluster/heartbeat body; Done is the
+// worker's resolved-cell count so far (feeds job progress).
+type HeartbeatRequest struct {
+	JobID   string `json:"job_id"`
+	LeaseID string `json:"lease_id"`
+	Worker  string `json:"worker"`
+	Done    int    `json:"done"`
+}
+
+// CompleteRequest is the POST /v1/cluster/complete body. A non-empty
+// Error fails the whole job (validation and store failures are
+// deterministic — another worker would fail identically); crashes
+// should simply stop heartbeating and let the lease expire instead.
+type CompleteRequest struct {
+	JobID       string          `json:"job_id"`
+	LeaseID     string          `json:"lease_id"`
+	Worker      string          `json:"worker"`
+	Error       string          `json:"error,omitempty"`
+	Stats       sim.MatrixStats `json:"stats"`
+	SynthCached bool            `json:"synth_cached"`
+	ElapsedMS   int64           `json:"elapsed_ms"`
+}
+
+// ---- claim/heartbeat/complete core (shared by HTTP handlers and
+// coordinator self-work) ----
+
+// claimFromLocked grants an eligible shard of cr: a pending slot older
+// than minAge, or a leased slot whose heartbeats stopped a TTL ago.
+// Caller holds s.mu.
+func (s *Server) claimFromLocked(cr *clusterRun, worker string, now time.Time, minAge time.Duration) *Lease {
+	if !cr.activeLocked() {
+		return nil
+	}
+	for i := range cr.shards {
+		ss := &cr.shards[i]
+		eligible := (ss.state == shardPending && now.Sub(ss.created) >= minAge) ||
+			(ss.state == shardLeased && now.After(ss.expires))
+		if !eligible {
+			continue
+		}
+		s.leaseSeq++
+		ss.state = shardLeased
+		ss.worker = worker
+		ss.leaseID = fmt.Sprintf("L%06d", s.leaseSeq)
+		ss.expires = now.Add(s.cfg.LeaseTTL)
+		return &Lease{
+			LeaseID: ss.leaseID, JobID: cr.jobID,
+			Shard: ss.index, Of: len(cr.shards),
+			TTLMS: s.cfg.LeaseTTL.Milliseconds(), Request: cr.reqJSON,
+		}
+	}
+	return nil
+}
+
+// claimAnyLocked scans cluster runs in job-arrival order. Caller holds
+// s.mu.
+func (s *Server) claimAnyLocked(worker string, now time.Time, minAge time.Duration) *Lease {
+	runs := make([]*clusterRun, 0, len(s.clusters))
+	for _, cr := range s.clusters {
+		runs = append(runs, cr)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].job.seq < runs[j].job.seq })
+	for _, cr := range runs {
+		if lease := s.claimFromLocked(cr, worker, now, minAge); lease != nil {
+			return lease
+		}
+	}
+	return nil
+}
+
+// leaseShardLocked resolves a (job, lease) pair to its shard slot if
+// the lease is still the live one; a stolen or completed lease returns
+// nil so the stale holder stands down.
+func (s *Server) leaseShardLocked(jobID, leaseID string) (*clusterRun, *shardState) {
+	cr, ok := s.clusters[jobID]
+	if !ok || !cr.activeLocked() {
+		return nil, nil
+	}
+	for i := range cr.shards {
+		ss := &cr.shards[i]
+		if ss.state == shardLeased && ss.leaseID == leaseID {
+			return cr, ss
+		}
+	}
+	return nil, nil
+}
+
+// heartbeatLease extends a lease and folds the worker's progress into
+// the job envelope; false means the lease is gone (expired and
+// re-stolen, job cancelled, or cluster finished) and the holder must
+// abandon the shard.
+func (s *Server) heartbeatLease(jobID, leaseID, worker string, done int) bool {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if worker != "" {
+		s.workersSeen[worker] = now
+	}
+	cr, ss := s.leaseShardLocked(jobID, leaseID)
+	if cr == nil {
+		return false
+	}
+	ss.expires = now.Add(s.cfg.LeaseTTL)
+	if done > ss.done {
+		ss.done = done
+	}
+	s.clusterProgressLocked(cr)
+	return true
+}
+
+// clusterProgressLocked refreshes the job's progress counter from the
+// shard heartbeat/done tallies. Shard counts can overlap (a shard's
+// merge attempt reads other shards' cells), so clamp. Caller holds
+// s.mu.
+func (s *Server) clusterProgressLocked(cr *clusterRun) {
+	sum := 0
+	for i := range cr.shards {
+		sum += cr.shards[i].done
+	}
+	if sum > cr.cells {
+		sum = cr.cells
+	}
+	if sum > cr.job.progressDone {
+		cr.job.progressDone = sum
+	}
+	cr.job.progressTotal = cr.cells
+}
+
+// completeLease records a shard outcome; false means the lease was no
+// longer live (the result is still fine — its cells are in the store —
+// but the slot already moved on).
+func (s *Server) completeLease(req CompleteRequest) bool {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.Worker != "" {
+		s.workersSeen[req.Worker] = now
+	}
+	cr, ss := s.leaseShardLocked(req.JobID, req.LeaseID)
+	if cr == nil {
+		return false
+	}
+	if req.Error != "" {
+		cr.failure = fmt.Sprintf("shard %d/%d (worker %s): %s", ss.index, len(cr.shards), req.Worker, req.Error)
+		cr.closeLocked()
+		return true
+	}
+	ss.state = shardDone
+	ss.done = req.Stats.Computed + req.Stats.CacheHits
+	cr.doneN++
+	cr.computed += req.Stats.Computed
+	cr.storeErrs += req.Stats.StoreErrors
+	cr.busy += time.Duration(req.ElapsedMS) * time.Millisecond
+	if !req.SynthCached {
+		cr.synthAllCached = false
+	}
+	// Cache-hit cell accounting happens once at merge time (shard
+	// CacheHits overlap across shards); computed cells are exact.
+	s.stats.cellsComputed += int64(req.Stats.Computed)
+	s.stats.busy += time.Duration(req.ElapsedMS) * time.Millisecond
+	s.clusterProgressLocked(cr)
+	if cr.doneN == len(cr.shards) {
+		cr.closeLocked()
+	}
+	return true
+}
+
+// ---- HTTP handlers ----
+
+func (s *Server) handleClusterClaim(w http.ResponseWriter, r *http.Request) {
+	var req ClaimRequest
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "bad claim body: %v", err)
+			return
+		}
+	}
+	worker := defaultStr(req.Worker, clientKey(r))
+	now := time.Now()
+	s.mu.Lock()
+	s.workersSeen[worker] = now
+	lease := s.claimAnyLocked(worker, now, 0)
+	s.mu.Unlock()
+	if lease == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, lease)
+}
+
+func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if body, ok := readBody(w, r); !ok {
+		return
+	} else if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "bad heartbeat body: %v", err)
+		return
+	}
+	if !s.heartbeatLease(req.JobID, req.LeaseID, req.Worker, req.Done) {
+		writeError(w, http.StatusGone, "lease_gone", "lease %s on job %s is no longer live", req.LeaseID, req.JobID)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleClusterComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if body, ok := readBody(w, r); !ok {
+		return
+	} else if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "bad completion body: %v", err)
+		return
+	}
+	if !s.completeLease(req) {
+		writeError(w, http.StatusGone, "lease_gone", "lease %s on job %s is no longer live", req.LeaseID, req.JobID)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ---- the coordinator-side job runner ----
+
+// clusterMatrixRun returns the runFunc for a sharded matrix job: post
+// the lease slots, wait for workers (optionally picking up neglected
+// shards itself), then merge.
+func (s *Server) clusterMatrixRun(plan *matrixPlan, reqJSON []byte, shards int) runFunc {
+	return func(ctx context.Context, j *job) (any, bool, error) {
+		cells := plan.cellCount()
+		now := time.Now()
+		cr := &clusterRun{
+			jobID: j.id, job: j, reqJSON: reqJSON, cells: cells,
+			shards:         make([]shardState, shards),
+			synthAllCached: true,
+			finished:       make(chan struct{}),
+		}
+		for i := range cr.shards {
+			cr.shards[i] = shardState{index: i, created: now}
+		}
+		s.mu.Lock()
+		s.clusters[j.id] = cr
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			cr.closeLocked()
+			delete(s.clusters, j.id)
+			s.mu.Unlock()
+		}()
+
+		// Self-work cadence: often enough to steal an expired lease
+		// promptly, bounded so short test TTLs don't spin.
+		tickEvery := s.cfg.LeaseTTL / 4
+		if tickEvery < 10*time.Millisecond {
+			tickEvery = 10 * time.Millisecond
+		}
+		tick := time.NewTicker(tickEvery)
+		defer tick.Stop()
+	wait:
+		for {
+			select {
+			case <-ctx.Done():
+				// Cancellation: close the run so in-flight workers'
+				// next heartbeat answers 410 and they abandon the
+				// shard mid-cell.
+				s.mu.Lock()
+				cr.failure = "job cancelled"
+				cr.closeLocked()
+				s.mu.Unlock()
+				return nil, false, ctx.Err()
+			case <-cr.finished:
+				break wait
+			case <-tick.C:
+				if s.cfg.DisableSelfWork {
+					continue
+				}
+				// External workers get a full lease TTL of first
+				// refusal on virgin shards; expired leases are fair
+				// game immediately.
+				s.mu.Lock()
+				lease := s.claimFromLocked(cr, "coordinator", time.Now(), s.cfg.LeaseTTL)
+				s.mu.Unlock()
+				if lease != nil {
+					s.runLeasedShard(ctx, plan, lease)
+				}
+			}
+		}
+
+		s.mu.Lock()
+		failure := cr.failure
+		shardComputed, storeErrs := cr.computed, cr.storeErrs
+		synthAll := cr.synthAllCached
+		s.mu.Unlock()
+		if failure != "" {
+			return nil, false, errors.New(failure)
+		}
+		// Merge: an unsharded cache-first run over the now-warm store.
+		// Deterministic cell keys make this byte-identical to a local
+		// single-process run; it simulates nothing unless a worker's
+		// store write failed.
+		start := time.Now()
+		res, mergeSynthCached, err := plan.run(ctx, s.cfg.Store, sim.Shard{}, func(done, total int) {
+			s.setProgress(j, done, total)
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		totalComputed := shardComputed + res.Stats.Computed
+		if totalComputed > cells {
+			totalComputed = cells
+		}
+		agg := sim.MatrixStats{
+			Cells:    cells,
+			Computed: totalComputed, CacheHits: cells - totalComputed,
+			StoreErrors: storeErrs + res.Stats.StoreErrors,
+		}
+		// Shard completions already counted their computed cells; count
+		// the effective cache hits (and any merge-time recomputation)
+		// exactly once here.
+		s.noteMatrix(sim.MatrixStats{Computed: res.Stats.Computed, CacheHits: agg.CacheHits}, time.Since(start))
+		out := MatrixJobResult{
+			Matrix: res, Stats: agg,
+			SynthCacheHit: synthAll && mergeSynthCached,
+			Shards:        shards,
+		}
+		return out, totalComputed == 0 && synthAll && mergeSynthCached, nil
+	}
+}
+
+// runLeasedShard executes one shard in-process (coordinator
+// self-work), with the same heartbeat discipline a remote worker
+// keeps: if the lease is lost, the shard context dies and the slice is
+// abandoned mid-cell.
+func (s *Server) runLeasedShard(ctx context.Context, plan *matrixPlan, lease *Lease) {
+	shardCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var doneCells atomic.Int64
+	hbDone := make(chan struct{})
+	defer close(hbDone)
+	go func() {
+		t := time.NewTicker(time.Duration(lease.TTLMS) * time.Millisecond / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbDone:
+				return
+			case <-t.C:
+				if !s.heartbeatLease(lease.JobID, lease.LeaseID, "coordinator", int(doneCells.Load())) {
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	res, synthCached, err := plan.run(shardCtx, s.cfg.Store, sim.Shard{Index: lease.Shard, Count: lease.Of},
+		func(done, total int) { doneCells.Store(int64(done)) })
+	stats, ok := shardOutcome(res, err)
+	if !ok {
+		if shardCtx.Err() != nil {
+			return // lease lost or job cancelled: let the slot move on
+		}
+		s.completeLease(CompleteRequest{
+			JobID: lease.JobID, LeaseID: lease.LeaseID, Worker: "coordinator",
+			Error: err.Error(), ElapsedMS: time.Since(start).Milliseconds(),
+		})
+		return
+	}
+	s.completeLease(CompleteRequest{
+		JobID: lease.JobID, LeaseID: lease.LeaseID, Worker: "coordinator",
+		Stats: stats, SynthCached: synthCached,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	})
+}
+
+// shardOutcome classifies a sharded plan run: sim.IncompleteError —
+// "my slice is done, others pending" — IS success for a shard worker;
+// a full result (possible when other shards finished first) is too.
+func shardOutcome(res *sim.MatrixResult, err error) (sim.MatrixStats, bool) {
+	if err == nil {
+		return res.Stats, true
+	}
+	var inc *sim.IncompleteError
+	if errors.As(err, &inc) {
+		return sim.MatrixStats{Cells: inc.Cells, Computed: inc.Computed, CacheHits: inc.CacheHits}, true
+	}
+	return sim.MatrixStats{}, false
+}

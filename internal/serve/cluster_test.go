@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"netsmith/internal/exp"
+	"netsmith/internal/sim"
+	"netsmith/internal/store"
+)
+
+// newClusterServer starts a coordinator over a fresh shared store
+// directory, returning the server, its test listener, and the store
+// path (workers open their own handle on it, as separate processes
+// would).
+func newClusterServer(t *testing.T, cfg Config) (*Server, *httptest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = st
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 8
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts, dir
+}
+
+// startWorker runs a RunWorker loop against the coordinator until the
+// test ends.
+func startWorker(t *testing.T, coordinator, storeDir, name string) {
+	t.Helper()
+	wst, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = RunWorker(ctx, WorkerConfig{
+			Coordinator: coordinator, Store: wst, Name: name,
+			Poll: 20 * time.Millisecond,
+		})
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+}
+
+// localReference runs the request in a single process over a fresh
+// store and renders the matrix to CSV and JSON — the byte-identity
+// baseline for cluster runs.
+func localReference(t *testing.T, req MatrixRequest) (matrix *sim.MatrixResult, csv, js []byte) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := ExecuteMatrix(context.Background(), st, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Matrix, renderCSV(t, res.Matrix), renderJSON(t, res.Matrix)
+}
+
+func renderCSV(t *testing.T, m *sim.MatrixResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := exp.MatrixCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func renderJSON(t *testing.T, m *sim.MatrixResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := exp.MatrixJSON(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func clusterJobResult(t *testing.T, v JobView) MatrixJobResult {
+	t.Helper()
+	if v.State != StateDone {
+		t.Fatalf("cluster job state %q (error %q)", v.State, v.Error)
+	}
+	var r MatrixJobResult
+	if err := json.Unmarshal(v.Result, &r); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+var clusterReqBody = `{"kind":"matrix","grid":"3x3","patterns":["uniform","tornado"],"rates":[0.02,0.05,0.08,0.11],"fidelity":"smoke","energy":true,"seed":31,"shards":2}`
+
+func clusterMatrixRequest(t *testing.T) MatrixRequest {
+	t.Helper()
+	var req MatrixRequest
+	if err := decodeStrict([]byte(strings.Replace(clusterReqBody, `"kind":"matrix",`, "", 1)), &req); err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// TestClusterSelfWork: with no workers attached, the coordinator picks
+// up neglected shard leases itself after the grace period, and the
+// merged result is byte-identical to a single-process run.
+func TestClusterSelfWork(t *testing.T) {
+	_, ts, _ := newClusterServer(t, Config{LeaseTTL: 100 * time.Millisecond})
+	code, j := postReq(t, ts.URL+"/v1/jobs", clusterReqBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+	r := clusterJobResult(t, pollDone(t, ts.URL, j.ID))
+	if r.Shards != 2 {
+		t.Errorf("result shards = %d, want 2", r.Shards)
+	}
+	if r.Stats.Cells != 8 || r.Stats.Computed+r.Stats.CacheHits != 8 {
+		t.Errorf("cluster stats %+v, want 8 cells fully accounted", r.Stats)
+	}
+	_, wantCSV, wantJSON := localReference(t, clusterMatrixRequest(t))
+	if !bytes.Equal(renderCSV(t, r.Matrix), wantCSV) {
+		t.Error("self-worked cluster CSV differs from single-process run")
+	}
+	if !bytes.Equal(renderJSON(t, r.Matrix), wantJSON) {
+		t.Error("self-worked cluster JSON differs from single-process run")
+	}
+}
+
+// TestClusterWorkersExecute: two workers drain the shard leases (self
+// work disabled, so they must), and the coordinator's merge is
+// byte-identical to a single-process run.
+func TestClusterWorkersExecute(t *testing.T) {
+	s, ts, dir := newClusterServer(t, Config{LeaseTTL: 2 * time.Second, DisableSelfWork: true})
+	startWorker(t, ts.URL, dir, "w1")
+	startWorker(t, ts.URL, dir, "w2")
+
+	code, j := postReq(t, ts.URL+"/v1/jobs", clusterReqBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+	r := clusterJobResult(t, pollDone(t, ts.URL, j.ID))
+	if r.Stats.Computed == 0 {
+		t.Error("workers computed nothing — did self-work run?")
+	}
+	_, wantCSV, wantJSON := localReference(t, clusterMatrixRequest(t))
+	if !bytes.Equal(renderCSV(t, r.Matrix), wantCSV) {
+		t.Error("cluster CSV differs from single-process run")
+	}
+	if !bytes.Equal(renderJSON(t, r.Matrix), wantJSON) {
+		t.Error("cluster JSON differs from single-process run")
+	}
+
+	// Liveness: both workers were seen by the coordinator.
+	s.mu.Lock()
+	_, saw1 := s.workersSeen["w1"]
+	_, saw2 := s.workersSeen["w2"]
+	s.mu.Unlock()
+	if !saw1 || !saw2 {
+		t.Errorf("worker liveness: w1=%v w2=%v", saw1, saw2)
+	}
+}
+
+// TestClusterWorkerKilledMidShard is the acceptance scenario: a worker
+// claims a shard, simulates part of it, and dies without completing or
+// heartbeating. Its lease expires, a live worker re-steals the shard,
+// resumes from the dead worker's persisted cells (content addressing
+// makes the partial work durable), and the merged result is
+// byte-identical to a single-process run.
+func TestClusterWorkerKilledMidShard(t *testing.T) {
+	_, ts, dir := newClusterServer(t, Config{LeaseTTL: 300 * time.Millisecond, DisableSelfWork: true})
+	code, j := postReq(t, ts.URL+"/v1/jobs", clusterReqBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+
+	// Act as the doomed worker: claim a lease over HTTP the way
+	// RunWorker does...
+	var lease Lease
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(ts.URL+"/v1/cluster/claim", "application/json", strings.NewReader(`{"worker":"doomed"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			break
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("never got a lease (job not registered?)")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// ...execute PART of the shard (killed after the first cell: the
+	// context dies, no heartbeat, no completion — exactly a crash as
+	// the coordinator observes it)...
+	wst, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req MatrixRequest
+	if err := json.Unmarshal(lease.Request, &req); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := req.plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	_, _, runErr := plan.run(ctx, wst, sim.Shard{Index: lease.Shard, Count: lease.Of},
+		func(done, total int) { once.Do(cancel) })
+	if runErr == nil {
+		t.Fatal("partial shard run unexpectedly completed")
+	}
+	persisted, err := wst.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if persisted == 0 {
+		t.Fatal("dead worker persisted nothing; the re-steal would resume from scratch")
+	}
+
+	// ...then bring up a live worker. It picks up the other shard at
+	// once and the dead worker's shard after the lease expires.
+	startWorker(t, ts.URL, dir, "rescuer")
+	r := clusterJobResult(t, pollDone(t, ts.URL, j.ID))
+
+	// The dead worker's persisted cells were reused, not re-simulated:
+	// the cluster-wide computed count excludes them.
+	if r.Stats.Cells != 8 || r.Stats.Computed+r.Stats.CacheHits != 8 {
+		t.Errorf("cluster stats %+v, want 8 cells fully accounted", r.Stats)
+	}
+	if r.Stats.CacheHits < persisted {
+		t.Errorf("cache hits %d < %d cells the dead worker persisted", r.Stats.CacheHits, persisted)
+	}
+	if r.Stats.Computed >= 8 {
+		t.Errorf("re-steal re-simulated everything (%d computed): partial work lost", r.Stats.Computed)
+	}
+
+	_, wantCSV, wantJSON := localReference(t, clusterMatrixRequest(t))
+	if !bytes.Equal(renderCSV(t, r.Matrix), wantCSV) {
+		t.Error("re-stolen cluster CSV differs from single-process run")
+	}
+	if !bytes.Equal(renderJSON(t, r.Matrix), wantJSON) {
+		t.Error("re-stolen cluster JSON differs from single-process run")
+	}
+}
+
+// TestClusterCancelRevokesLeases: DELETE on a running cluster job
+// flips it to cancelled, answers in-flight heartbeats with 410 Gone so
+// workers abandon their shards, stops offering leases, and frees the
+// coordinator's worker slot.
+func TestClusterCancelRevokesLeases(t *testing.T) {
+	s, ts, _ := newClusterServer(t, Config{Workers: 1, DisableSelfWork: true})
+	code, j := postReq(t, ts.URL+"/v1/jobs", clusterReqBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+	waitState(t, s, j.ID, StateRunning)
+
+	// Hold a lease as a fake worker.
+	var lease Lease
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(ts.URL+"/v1/cluster/claim", "application/json", strings.NewReader(`{"worker":"w1"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			break
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("never got a lease")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if code, _, _ := doDelete(t, ts.URL+"/v1/jobs/"+j.ID); code != http.StatusOK {
+		t.Fatalf("DELETE cluster job: status %d", code)
+	}
+	v := pollDone(t, ts.URL, j.ID)
+	if v.State != StateCancelled {
+		t.Fatalf("cancelled cluster job state %q", v.State)
+	}
+
+	// The held lease is revoked: heartbeats answer 410 and no new
+	// leases are offered.
+	hb, _ := json.Marshal(HeartbeatRequest{JobID: lease.JobID, LeaseID: lease.LeaseID, Worker: "w1", Done: 1})
+	resp, err := http.Post(ts.URL+"/v1/cluster/heartbeat", "application/json", bytes.NewReader(hb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Errorf("heartbeat after cancel: status %d, want 410", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/cluster/claim", "application/json", strings.NewReader(`{"worker":"w1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("claim after cancel: status %d, want 204", resp.StatusCode)
+	}
+
+	// The single worker slot is free again.
+	j2, qerr := s.enqueue("noop", 0, noopRun)
+	if qerr != nil {
+		t.Fatal(qerr)
+	}
+	if v := pollDone(t, ts.URL, j2.id); v.State != StateDone {
+		t.Fatalf("job after cluster cancellation: %+v", v)
+	}
+}

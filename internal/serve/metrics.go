@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"netsmith/internal/sim"
+)
+
+// serverStats accumulates the counters behind /metrics; guarded by
+// Server.mu.
+type serverStats struct {
+	accepted         map[string]int64 // jobs accepted, by kind
+	shedTotal        int64            // POSTs rejected by admission (full queue or priority shed)
+	rateLimitedTotal int64
+	cancelledTotal   int64
+
+	cellsComputed int64 // matrix cells simulated (local + cluster shards)
+	cellsCached   int64 // matrix cells served from the store
+	busy          time.Duration
+	synthRuns     int64
+	synthCached   int64
+}
+
+func (s *Server) noteSynth(hit bool) {
+	s.mu.Lock()
+	s.stats.synthRuns++
+	if hit {
+		s.stats.synthCached++
+	}
+	s.mu.Unlock()
+}
+
+// noteMatrix folds one matrix (or shard) execution into the counters.
+// elapsed is wall time spent executing — cells/busy-second is the
+// cluster's aggregate simulation throughput.
+func (s *Server) noteMatrix(stats sim.MatrixStats, elapsed time.Duration) {
+	s.mu.Lock()
+	s.stats.cellsComputed += int64(stats.Computed)
+	s.stats.cellsCached += int64(stats.CacheHits)
+	s.stats.busy += elapsed
+	s.mu.Unlock()
+}
+
+// handleMetrics is GET /metrics: Prometheus text exposition, hand
+// rolled (no client library dependency). Everything is a counter or
+// gauge scraped from one lock acquisition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	s.mu.Lock()
+	byState := map[string]int{}
+	for _, j := range s.jobs {
+		byState[j.state]++
+	}
+	queued := s.queuedLocked()
+	st := s.stats
+	accepted := make(map[string]int64, len(st.accepted))
+	for k, v := range st.accepted {
+		accepted[k] = v
+	}
+	liveWorkers := 0
+	for _, seen := range s.workersSeen {
+		if now.Sub(seen) <= 2*s.cfg.LeaseTTL {
+			liveWorkers++
+		}
+	}
+	shardsByState := map[string]int{}
+	for _, cr := range s.clusters {
+		for i := range cr.shards {
+			shardsByState[cr.shards[i].stateName(now)]++
+		}
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintf(w, "# HELP netsmith_jobs Jobs in the registry by state.\n# TYPE netsmith_jobs gauge\n")
+	for _, state := range []string{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "netsmith_jobs{state=%q} %d\n", state, byState[state])
+	}
+	fmt.Fprintf(w, "# HELP netsmith_queue_depth Live queued jobs.\n# TYPE netsmith_queue_depth gauge\n")
+	fmt.Fprintf(w, "netsmith_queue_depth %d\n", queued)
+	fmt.Fprintf(w, "# HELP netsmith_queue_capacity Configured queue bound.\n# TYPE netsmith_queue_capacity gauge\n")
+	fmt.Fprintf(w, "netsmith_queue_capacity %d\n", s.cfg.QueueDepth)
+
+	fmt.Fprintf(w, "# HELP netsmith_jobs_accepted_total Jobs accepted, by kind.\n# TYPE netsmith_jobs_accepted_total counter\n")
+	kinds := make([]string, 0, len(accepted))
+	for k := range accepted {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "netsmith_jobs_accepted_total{kind=%q} %d\n", k, accepted[k])
+	}
+	fmt.Fprintf(w, "# HELP netsmith_jobs_shed_total POSTs rejected by admission control.\n# TYPE netsmith_jobs_shed_total counter\n")
+	fmt.Fprintf(w, "netsmith_jobs_shed_total %d\n", st.shedTotal)
+	fmt.Fprintf(w, "# HELP netsmith_rate_limited_total POSTs rejected by the per-client rate limit.\n# TYPE netsmith_rate_limited_total counter\n")
+	fmt.Fprintf(w, "netsmith_rate_limited_total %d\n", st.rateLimitedTotal)
+	fmt.Fprintf(w, "# HELP netsmith_jobs_cancelled_total Jobs cancelled via DELETE.\n# TYPE netsmith_jobs_cancelled_total counter\n")
+	fmt.Fprintf(w, "netsmith_jobs_cancelled_total %d\n", st.cancelledTotal)
+
+	fmt.Fprintf(w, "# HELP netsmith_matrix_cells_total Matrix cells resolved, by source.\n# TYPE netsmith_matrix_cells_total counter\n")
+	fmt.Fprintf(w, "netsmith_matrix_cells_total{source=\"computed\"} %d\n", st.cellsComputed)
+	fmt.Fprintf(w, "netsmith_matrix_cells_total{source=\"cache\"} %d\n", st.cellsCached)
+	total := st.cellsComputed + st.cellsCached
+	ratio := 0.0
+	if total > 0 {
+		ratio = float64(st.cellsCached) / float64(total)
+	}
+	fmt.Fprintf(w, "# HELP netsmith_cache_hit_ratio Fraction of matrix cells served from the store.\n# TYPE netsmith_cache_hit_ratio gauge\n")
+	fmt.Fprintf(w, "netsmith_cache_hit_ratio %g\n", ratio)
+	cellsPerSec := 0.0
+	if st.busy > 0 {
+		cellsPerSec = float64(total) / st.busy.Seconds()
+	}
+	fmt.Fprintf(w, "# HELP netsmith_cells_per_second Matrix cells resolved per busy second.\n# TYPE netsmith_cells_per_second gauge\n")
+	fmt.Fprintf(w, "netsmith_cells_per_second %g\n", cellsPerSec)
+
+	fmt.Fprintf(w, "# HELP netsmith_synth_runs_total Synthesis executions (cached or searched).\n# TYPE netsmith_synth_runs_total counter\n")
+	fmt.Fprintf(w, "netsmith_synth_runs_total %d\n", st.synthRuns)
+	fmt.Fprintf(w, "netsmith_synth_cached_total %d\n", st.synthCached)
+
+	fmt.Fprintf(w, "# HELP netsmith_cluster_workers_live Workers seen within two lease TTLs.\n# TYPE netsmith_cluster_workers_live gauge\n")
+	fmt.Fprintf(w, "netsmith_cluster_workers_live %d\n", liveWorkers)
+	fmt.Fprintf(w, "# HELP netsmith_cluster_shards Active cluster shard leases by state.\n# TYPE netsmith_cluster_shards gauge\n")
+	for _, state := range []string{"pending", "leased", "expired", "done"} {
+		fmt.Fprintf(w, "netsmith_cluster_shards{state=%q} %d\n", state, shardsByState[state])
+	}
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token-bucket limiter for the
+// job-creating POST endpoints. Each client address gets a bucket of
+// `burst` tokens refilled at `rate` per second; a request spends one
+// token or is rejected with a Retry-After estimate. State is in-memory
+// and advisory — the point is protecting the queue from one chatty
+// client, not billing-grade accounting.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	return &rateLimiter{rate: rate, burst: float64(burst), buckets: map[string]*bucket{}}
+}
+
+// allow spends a token for key, reporting (false, seconds) when the
+// bucket is empty.
+func (l *rateLimiter) allow(key string, now time.Time) (bool, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		// Bound the map: before adding a client, drop entries whose
+		// buckets have refilled completely — they carry no state a
+		// fresh bucket wouldn't.
+		if len(l.buckets) >= 4096 {
+			for k, old := range l.buckets {
+				if now.Sub(old.last).Seconds()*l.rate >= l.burst {
+					delete(l.buckets, k)
+				}
+			}
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		retry := int((1-b.tokens)/l.rate) + 1
+		return false, retry
+	}
+	b.tokens--
+	return true, 0
+}
+
+// clientKey identifies the client for rate limiting: the remote IP
+// (not IP:port, so reconnecting doesn't reset the budget). Proxy
+// headers are deliberately ignored — they are client-controlled and
+// would let anyone mint fresh buckets.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// allowClient applies the limiter (when configured) to a job-creating
+// request, writing the 429 itself on rejection.
+func (s *Server) allowClient(w http.ResponseWriter, r *http.Request) bool {
+	if s.limiter == nil {
+		return true
+	}
+	ok, retry := s.limiter.allow(clientKey(r), time.Now())
+	if ok {
+		return true
+	}
+	s.mu.Lock()
+	s.stats.rateLimitedTotal++
+	s.mu.Unlock()
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeError(w, http.StatusTooManyRequests, "rate_limited",
+		"client %s over %g req/s (burst %g); retry in %ds", clientKey(r), s.limiter.rate, s.limiter.burst, retry)
+	return false
+}

@@ -1,42 +1,59 @@
 // Package serve exposes topology synthesis and scenario-matrix
 // simulation as an HTTP API with async job semantics, backed by the
-// content-addressed result store. POST /v1/synth and POST /v1/matrix
-// validate the request, enqueue a job on a bounded worker pool and
-// return its ID; GET /v1/jobs/{id} polls status and, once done, the
-// result. Because every unit of work is content-addressed (synthesis
-// runs by config+seed, matrix cells by their canonical input hash),
-// repeating a request re-simulates nothing: the job completes from the
-// store in milliseconds and reports cache_hit — the "serve heavy
-// repeated load at near-zero marginal cost" move the ROADMAP asks for.
+// content-addressed result store, and scales it horizontally: one
+// coordinator process accepts jobs through a unified /v1/jobs surface
+// and splits matrix work into shard leases that any number of worker
+// processes (RunWorker; `netsmith serve -worker`) claim, execute
+// cache-first over the shared store, and report back. Because every
+// unit of work is content-addressed (synthesis runs by config+seed,
+// matrix cells by their canonical input hash), repeated requests
+// re-simulate nothing, a killed worker's shard is safely re-stolen
+// after its lease expires (finished cells are already in the store),
+// and the coordinator's merged result is byte-identical to a
+// single-process run.
 //
-// The package is transport only. All semantics live in internal/synth
-// (CachedGenerate), internal/sim (store-backed RunMatrix) and
-// internal/store; the server adds request validation, the job registry
-// and the pool.
+// The v1 job surface:
+//
+//	POST   /v1/jobs             tagged body {"kind":"synth"|"matrix",...}
+//	GET    /v1/jobs             list (pagination ?limit=&after=, ?state=)
+//	GET    /v1/jobs/{id}        poll one job
+//	DELETE /v1/jobs/{id}        cancel (stops a running matrix within a cell)
+//	GET    /v1/jobs/{id}/events SSE stream of job state/progress changes
+//	GET    /metrics             Prometheus-style text metrics
+//	GET    /healthz             liveness + queue summary
+//	POST   /v1/synth, /v1/matrix   deprecated aliases of POST /v1/jobs
+//
+// Every error response uses one envelope: {"error":{"code","message"}}.
+// Admission is priority-aware (negative-priority jobs shed first, with
+// Retry-After) and per-client token-bucket rate limiting guards the
+// POST surface.
+//
+// The package is transport and orchestration only. All simulation
+// semantics live in internal/synth (CachedGenerate), internal/sim
+// (store-backed, cancellable RunMatrix) and internal/store.
 package serve
 
 import (
+	"container/heap"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
-	"netsmith/internal/exp"
-	"netsmith/internal/expert"
-	"netsmith/internal/fault"
-	"netsmith/internal/layout"
-	"netsmith/internal/sim"
 	"netsmith/internal/store"
-	"netsmith/internal/synth"
-	"netsmith/internal/traffic"
 )
 
 // Config parameterizes a server.
 type Config struct {
-	// Store is the content-addressed result cache; required.
+	// Store is the content-addressed result cache; required. Cluster
+	// workers must point at the same directory (shared filesystem): it
+	// is the data plane shard results travel through.
 	Store *store.Store
 	// Workers is the job pool size (default 2): at most this many
 	// synthesis/matrix jobs execute concurrently. Each matrix job's
@@ -44,7 +61,7 @@ type Config struct {
 	Workers int
 	// QueueDepth bounds the pending-job queue (default 32). A full
 	// queue rejects new POSTs with 503 rather than buffering unbounded
-	// work.
+	// work; above half depth, negative-priority jobs are shed early.
 	QueueDepth int
 	// MaxJobs bounds the job registry (default 1000). When a new job
 	// would exceed it, the oldest finished jobs are evicted (their
@@ -57,15 +74,53 @@ type Config struct {
 	// memory. Over the cap, oldest finished jobs are evicted; their
 	// results remain reproducible from the store.
 	MaxResultBytes int
+
+	// RatePerSec enables per-client token-bucket rate limiting of the
+	// job-creating POST endpoints at this sustained rate (requests per
+	// second per client address). 0 disables. Over-rate requests get
+	// 429 with a Retry-After header.
+	RatePerSec float64
+	// RateBurst is the token-bucket capacity (default: 2*RatePerSec,
+	// at least 1).
+	RateBurst int
+
+	// ClusterShards, when > 1, is the default shard count for matrix
+	// jobs that do not set "shards" themselves: such jobs are split
+	// into that many leases for cluster workers instead of executing
+	// locally. 0 or 1 keeps matrix jobs local unless a request asks.
+	ClusterShards int
+	// LeaseTTL is how long a claimed shard lease lives without a
+	// heartbeat before it is considered abandoned and re-offered to
+	// other workers (default 10s). Short TTLs re-steal dead workers'
+	// shards faster but demand faster heartbeats.
+	LeaseTTL time.Duration
+	// DisableSelfWork stops the coordinator from executing shards
+	// itself. By default a cluster job's coordinator claims any shard
+	// that has stayed unclaimed for a full LeaseTTL — external workers
+	// get first shot, but a job always completes even with zero
+	// workers. Tests that pin worker behavior disable it.
+	DisableSelfWork bool
 }
 
-// Job statuses.
+// Job states. A job moves queued -> running -> done|failed|cancelled;
+// cancellation of a queued job is immediate.
 const (
-	StatusQueued  = "queued"
-	StatusRunning = "running"
-	StatusDone    = "done"
-	StatusFailed  = "failed"
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
 )
+
+// terminal reports whether a state is final.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// runFunc executes a job's work. ctx is cancelled by DELETE
+// /v1/jobs/{id} and by server Close; matrix jobs honor it with
+// cell-granular cancellation, synthesis jobs check it before starting.
+type runFunc func(ctx context.Context, j *job) (result any, cacheHit bool, err error)
 
 // job is the registry entry; mutable fields are guarded by Server.mu.
 type job struct {
@@ -73,21 +128,42 @@ type job struct {
 	seq      int    // creation order (authoritative; IDs are display only)
 	finSeq   int    // finish order (eviction spares the newest-finished)
 	kind     string // "synth" | "matrix"
-	status   string
+	priority int
+	state    string
 	cacheHit bool
 	err      string
 	result   json.RawMessage
 	created  time.Time
 	started  time.Time
 	finished time.Time
-	run      func() (result any, cacheHit bool, err error)
+
+	progressDone  int
+	progressTotal int
+
+	cancelled bool // DELETE arrived (running jobs flip state on finish)
+	cancel    context.CancelFunc
+	ctx       context.Context
+	heapIdx   int // position in the pending heap; -1 once popped
+	run       runFunc
 }
 
-// JobView is the wire form of a job.
+// Progress is a job's resolved-work counter: done of total units
+// (matrix cells for matrix jobs).
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// JobView is the canonical wire form of a job — the single envelope
+// every handler (and the SSE stream) emits.
 type JobView struct {
-	ID     string `json:"id"`
-	Kind   string `json:"kind"`
-	Status string `json:"status"`
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	State    string `json:"state"`
+	Priority int    `json:"priority"`
+	// Progress reports resolved work units (matrix cells); omitted
+	// until the job's total is known.
+	Progress *Progress `json:"progress,omitempty"`
 	// CacheHit reports that the job's entire result came from the
 	// store: no synthesis search, no simulated cells.
 	CacheHit bool   `json:"cache_hit"`
@@ -96,23 +172,65 @@ type JobView struct {
 	// excluded).
 	ElapsedMS int64           `json:"elapsed_ms"`
 	Result    json.RawMessage `json:"result,omitempty"`
+
+	// Status is a deprecated alias of State, kept for clients of the
+	// pre-/v1/jobs API.
+	Status string `json:"status"`
+}
+
+// pendingHeap orders queued jobs by (priority desc, seq asc): higher
+// priority first, FIFO within a priority band.
+type pendingHeap []*job
+
+func (h pendingHeap) Len() int { return len(h) }
+func (h pendingHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pendingHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx, h[j].heapIdx = i, j
+}
+func (h *pendingHeap) Push(x any) {
+	j := x.(*job)
+	j.heapIdx = len(*h)
+	*h = append(*h, j)
+}
+func (h *pendingHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIdx = -1
+	*h = old[:n-1]
+	return j
 }
 
 // Server is the HTTP front end. Create with New, mount Handler, and
 // Close when done.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	queue chan *job
-	stop  chan struct{}
-	wg    sync.WaitGroup
+	cfg     Config
+	mux     *http.ServeMux
+	wg      sync.WaitGroup
+	limiter *rateLimiter
 
 	mu          sync.Mutex
+	cond        *sync.Cond // job queued, or server closing
+	pending     pendingHeap
 	jobs        map[string]*job
 	nextID      int
 	nextFin     int
 	closed      bool
 	resultBytes int // total len(job.result) across finished jobs
+
+	// Cluster coordination state (cluster.go).
+	clusters    map[string]*clusterRun
+	leaseSeq    int
+	workersSeen map[string]time.Time
+
+	stats serverStats
 }
 
 // New validates the config and starts the worker pool.
@@ -132,21 +250,49 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxResultBytes == 0 {
 		cfg.MaxResultBytes = 64 << 20
 	}
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
 	if cfg.Workers < 1 || cfg.QueueDepth < 1 || cfg.MaxJobs < 1 || cfg.MaxResultBytes < 1 {
 		return nil, fmt.Errorf("serve: need at least 1 worker, queue slot, job slot and result byte")
 	}
+	if cfg.RatePerSec < 0 || cfg.RateBurst < 0 || cfg.ClusterShards < 0 || cfg.LeaseTTL < 0 {
+		return nil, fmt.Errorf("serve: negative rate, burst, shard count or lease TTL")
+	}
+	if cfg.ClusterShards > maxShards {
+		return nil, fmt.Errorf("serve: ClusterShards %d over cap %d", cfg.ClusterShards, maxShards)
+	}
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		queue: make(chan *job, cfg.QueueDepth),
-		stop:  make(chan struct{}),
-		jobs:  map[string]*job{},
+		cfg:         cfg,
+		mux:         http.NewServeMux(),
+		jobs:        map[string]*job{},
+		clusters:    map[string]*clusterRun{},
+		workersSeen: map[string]time.Time{},
+		stats:       serverStats{accepted: map[string]int64{}},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if cfg.RatePerSec > 0 {
+		burst := cfg.RateBurst
+		if burst == 0 {
+			burst = int(2 * cfg.RatePerSec)
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		s.limiter = newRateLimiter(cfg.RatePerSec, burst)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("POST /v1/synth", s.handleSynth)
-	s.mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/jobs", s.handlePostJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("POST /v1/synth", s.handleSynthAlias)
+	s.mux.HandleFunc("POST /v1/matrix", s.handleMatrixAlias)
+	s.mux.HandleFunc("POST /v1/cluster/claim", s.handleClusterClaim)
+	s.mux.HandleFunc("POST /v1/cluster/heartbeat", s.handleClusterHeartbeat)
+	s.mux.HandleFunc("POST /v1/cluster/complete", s.handleClusterComplete)
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -157,11 +303,11 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the HTTP handler (mount on any server or mux).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close rejects new jobs (POSTs answer 503) and stops the worker pool.
-// In-flight jobs finish (a worker racing the stop signal may even pick
-// up one last queued job); jobs still queued afterwards are marked
-// failed so pollers terminate instead of spinning on a job that will
-// never run.
+// Close rejects new jobs (POSTs answer 503), cancels the contexts of
+// running jobs (a running matrix job stops within one cell per pool
+// worker and finishes cancelled; synthesis runs complete), and stops
+// the worker pool. Jobs still queued afterwards are marked failed so
+// pollers terminate instead of spinning on a job that will never run.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -169,45 +315,87 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	s.mu.Unlock()
-	close(s.stop)
-	s.wg.Wait()
-	for {
-		select {
-		case j := <-s.queue:
-			s.mu.Lock()
-			j.status = StatusFailed
-			j.err = "server shut down before the job started"
-			j.finished = time.Now()
-			s.nextFin++
-			j.finSeq = s.nextFin
-			j.run = nil
-			s.mu.Unlock()
-		default:
-			return
+	for _, j := range s.jobs {
+		if j.state == StateRunning && j.cancel != nil {
+			j.cancel()
 		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.pending) > 0 {
+		j := heap.Pop(&s.pending).(*job)
+		if terminal(j.state) {
+			continue // cancelled while queued; already accounted
+		}
+		s.finishLocked(j, StateFailed, "server shut down before the job started")
+	}
+}
+
+// finishLocked moves a job into a terminal state. Caller holds s.mu.
+func (s *Server) finishLocked(j *job, state, errMsg string) {
+	j.state = state
+	j.err = errMsg
+	j.finished = time.Now()
+	s.nextFin++
+	j.finSeq = s.nextFin
+	j.run = nil
+	if j.cancel != nil {
+		j.cancel() // release the context's resources
 	}
 }
 
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.stop:
-			return
-		case j := <-s.queue:
-			s.execute(j)
+		s.mu.Lock()
+		for !s.closed && s.queuedLocked() == 0 {
+			s.cond.Wait()
 		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := s.popLocked()
+		if j == nil {
+			s.mu.Unlock()
+			continue
+		}
+		j.state = StateRunning
+		j.started = time.Now()
+		s.mu.Unlock()
+		s.execute(j)
 	}
 }
 
-func (s *Server) execute(j *job) {
-	s.mu.Lock()
-	j.status = StatusRunning
-	j.started = time.Now()
-	s.mu.Unlock()
+// queuedLocked counts live (non-cancelled) queued jobs; cancelled jobs
+// linger in the heap until popped but consume no admission budget.
+func (s *Server) queuedLocked() int {
+	n := 0
+	for _, j := range s.pending {
+		if !terminal(j.state) {
+			n++
+		}
+	}
+	return n
+}
 
-	result, cacheHit, err := runContained(j.run)
+// popLocked pops the highest-priority live queued job, discarding
+// entries cancelled while they waited.
+func (s *Server) popLocked() *job {
+	for len(s.pending) > 0 {
+		j := heap.Pop(&s.pending).(*job)
+		if !terminal(j.state) {
+			return j
+		}
+	}
+	return nil
+}
+
+func (s *Server) execute(j *job) {
+	result, cacheHit, err := runContained(j.ctx, j, j.run)
 	// Marshal outside the lock: a big matrix result must not stall
 	// every handler and enqueue behind one critical section.
 	var b []byte
@@ -217,22 +405,18 @@ func (s *Server) execute(j *job) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j.finished = time.Now()
-	s.nextFin++
-	j.finSeq = s.nextFin
-	// The closure captures the whole validated request (pattern
-	// factories, weight matrices); release it — the job never runs
-	// again.
-	j.run = nil
-	if err != nil {
-		j.status = StatusFailed
-		j.err = err.Error()
-		return
+	switch {
+	case err != nil && (j.cancelled || errors.Is(err, context.Canceled)):
+		s.stats.cancelledTotal++
+		s.finishLocked(j, StateCancelled, err.Error())
+	case err != nil:
+		s.finishLocked(j, StateFailed, err.Error())
+	default:
+		s.finishLocked(j, StateDone, "")
+		j.cacheHit = cacheHit
+		j.result = b
+		s.resultBytes += len(b)
 	}
-	j.status = StatusDone
-	j.cacheHit = cacheHit
-	j.result = b
-	s.resultBytes += len(b)
 	s.evictLocked()
 }
 
@@ -253,7 +437,7 @@ func (s *Server) evictLocked() {
 	}
 	finished := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
-		if j.status == StatusDone || j.status == StatusFailed {
+		if terminal(j.state) && j.heapIdx < 0 {
 			finished = append(finished, j)
 		}
 	}
@@ -271,49 +455,95 @@ func (s *Server) evictLocked() {
 // the synthesis/simulation stack into a failed job instead of a dead
 // server (workers share the process with every other job and the
 // listener).
-func runContained(run func() (any, bool, error)) (result any, cacheHit bool, err error) {
+func runContained(ctx context.Context, j *job, run runFunc) (result any, cacheHit bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			result, cacheHit = nil, false
 			err = fmt.Errorf("job panicked: %v", r)
 		}
 	}()
-	return run()
+	return run(ctx, j)
 }
 
-// enqueue registers the job and hands it to the pool; a full queue or
-// a closed server is the caller's 503. Registration and the
-// (non-blocking) queue send happen under one critical section, so
-// Close — which flips closed under the same mutex before draining —
-// can never leave a job stranded in the queue with nobody to run it.
-func (s *Server) enqueue(kind string, run func() (any, bool, error)) (*job, error) {
+// apiError is a handler-layer rejection: HTTP status, stable error
+// code, message, and an optional Retry-After hint in seconds.
+type apiError struct {
+	status     int
+	code       string
+	message    string
+	retryAfter int
+}
+
+func (e *apiError) Error() string { return e.message }
+
+func errBadRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: "bad_request", message: fmt.Sprintf(format, args...)}
+}
+
+// enqueue admits and registers a job. Admission is priority-aware: a
+// full queue rejects everything; a queue at or past half depth rejects
+// negative-priority (batch) jobs early so interactive work keeps
+// queueing. Both rejections carry a Retry-After estimate.
+func (s *Server) enqueue(kind string, priority int, run runFunc) (*job, *apiError) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, fmt.Errorf("server shutting down")
+		return nil, &apiError{status: http.StatusServiceUnavailable, code: "shutting_down", message: "server shutting down"}
 	}
 	s.evictLocked()
+	queued := s.queuedLocked()
+	retry := 1 + queued/s.cfg.Workers
+	if queued >= s.cfg.QueueDepth {
+		s.stats.shedTotal++
+		return nil, &apiError{
+			status: http.StatusServiceUnavailable, code: "queue_full",
+			message:    fmt.Sprintf("job queue full (%d pending)", queued),
+			retryAfter: retry,
+		}
+	}
+	if priority < 0 && queued >= (s.cfg.QueueDepth+1)/2 {
+		s.stats.shedTotal++
+		return nil, &apiError{
+			status: http.StatusServiceUnavailable, code: "shed_low_priority",
+			message:    fmt.Sprintf("queue past high-water mark (%d pending): negative-priority jobs shed first", queued),
+			retryAfter: retry,
+		}
+	}
 	s.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		id:     fmt.Sprintf("j%06d", s.nextID),
-		seq:    s.nextID,
-		kind:   kind,
-		status: StatusQueued, created: time.Now(),
+		id:   fmt.Sprintf("j%06d", s.nextID),
+		seq:  s.nextID,
+		kind: kind, priority: priority,
+		state: StateQueued, created: time.Now(),
+		ctx: ctx, cancel: cancel,
 		run: run,
 	}
-	select {
-	case s.queue <- j:
-		s.jobs[j.id] = j
-		return j, nil
-	default:
-		return nil, fmt.Errorf("job queue full (%d pending)", s.cfg.QueueDepth)
+	s.jobs[j.id] = j
+	heap.Push(&s.pending, j)
+	s.stats.accepted[kind]++
+	s.cond.Signal()
+	return j, nil
+}
+
+// setProgress updates a job's resolved-work counter; safe for
+// concurrent calls from RunMatrix's pool (done is monotone).
+func (s *Server) setProgress(j *job, done, total int) {
+	s.mu.Lock()
+	if done > j.progressDone {
+		j.progressDone = done
 	}
+	j.progressTotal = total
+	s.mu.Unlock()
 }
 
 func (s *Server) view(j *job, withResult bool) JobView {
 	v := JobView{
-		ID: j.id, Kind: j.kind, Status: j.status,
-		CacheHit: j.cacheHit, Error: j.err,
+		ID: j.id, Kind: j.kind, State: j.state, Status: j.state,
+		Priority: j.priority, CacheHit: j.cacheHit, Error: j.err,
+	}
+	if j.progressTotal > 0 {
+		v.Progress = &Progress{Done: j.progressDone, Total: j.progressTotal}
 	}
 	switch {
 	case j.started.IsZero():
@@ -329,7 +559,7 @@ func (s *Server) view(j *job, withResult bool) JobView {
 	return v
 }
 
-// ---- handlers ----
+// ---- shared handler plumbing ----
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -339,13 +569,34 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// ErrorDetail is the body of the uniform error envelope.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
+
+// ErrorEnvelope is the JSON shape of every non-2xx response:
+// {"error":{"code":"...","message":"..."}}.
+type ErrorEnvelope struct {
+	Error ErrorDetail `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorDetail{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+func writeAPIError(w http.ResponseWriter, e *apiError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
+	writeError(w, e.status, e.code, "%s", e.message)
+}
+
+// ---- core handlers ----
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	jobs, queued := len(s.jobs), len(s.queue)
+	jobs, queued := len(s.jobs), s.queuedLocked()
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
@@ -364,13 +615,81 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, "not_found", "no such job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
 }
 
+// handleCancelJob is DELETE /v1/jobs/{id}: a queued job cancels
+// immediately; a running job's context is cancelled (matrix jobs stop
+// within one cell per pool worker, cluster jobs revoke their shard
+// leases) and flips to cancelled when its runner returns. Terminal
+// jobs answer 409.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "not_found", "no such job %q", id)
+		return
+	}
+	switch j.state {
+	case StateQueued:
+		j.cancelled = true
+		s.stats.cancelledTotal++
+		s.finishLocked(j, StateCancelled, "cancelled before start")
+	case StateRunning:
+		j.cancelled = true
+		j.cancel()
+	default:
+		state := j.state
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "conflict", "job %s already %s", id, state)
+		return
+	}
+	v := s.view(j, false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleJobs is GET /v1/jobs: creation-ordered listing with pagination
+// (?limit=, ?after=<job id>) and state filtering (?state=running). The
+// response carries next_after when truncated.
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 100
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad_request", "bad limit %q", ls)
+			return
+		}
+		if n > 1000 {
+			n = 1000
+		}
+		limit = n
+	}
+	stateFilter := q.Get("state")
+	switch stateFilter {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+	default:
+		writeError(w, http.StatusBadRequest, "bad_request", "unknown state %q", stateFilter)
+		return
+	}
+	afterSeq := 0
+	if as := q.Get("after"); as != "" {
+		// The cursor is a job ID; evicted IDs still work (the sequence
+		// is embedded in the ID), so pagination survives eviction.
+		n, err := strconv.Atoi(strings.TrimPrefix(as, "j"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "bad after cursor %q", as)
+			return
+		}
+		afterSeq = n
+	}
+
 	type seqView struct {
 		seq  int
 		view JobView
@@ -378,410 +697,94 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	entries := make([]seqView, 0, len(s.jobs))
 	for _, j := range s.jobs {
+		if j.seq <= afterSeq {
+			continue
+		}
+		if stateFilter != "" && j.state != stateFilter {
+			continue
+		}
 		entries = append(entries, seqView{j.seq, s.view(j, false)})
 	}
 	s.mu.Unlock()
 	// Deterministic creation-order listing (by sequence, not ID string:
 	// the zero padding runs out past a million jobs).
 	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	resp := map[string]any{}
+	truncated := len(entries) > limit
+	if truncated {
+		entries = entries[:limit]
+		resp["next_after"] = entries[len(entries)-1].view.ID
+	}
 	views := make([]JobView, len(entries))
 	for i, e := range entries {
 		views[i] = e.view
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+	resp["jobs"] = views
+	writeJSON(w, http.StatusOK, resp)
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return false
-	}
-	return true
-}
-
-// ---- synth ----
-
-// SynthRequest is the POST /v1/synth body. Zero values select the
-// paper defaults (radix 4, asymmetric, fixed 60000x4 search budget).
-type SynthRequest struct {
-	Grid         string  `json:"grid"`      // "RxC", e.g. "4x5"
-	Class        string  `json:"class"`     // small | medium | large
-	Objective    string  `json:"objective"` // latop | scop | shufopt
-	Radix        int     `json:"radix,omitempty"`
-	Symmetric    bool    `json:"symmetric,omitempty"`
-	MaxDiameter  int     `json:"max_diameter,omitempty"`
-	MinCutBW     float64 `json:"min_cut_bw,omitempty"`
-	EnergyWeight float64 `json:"energy_weight,omitempty"`
-	RobustWeight float64 `json:"robust_weight,omitempty"`
-	Seed         int64   `json:"seed,omitempty"`
-	Iterations   int     `json:"iterations,omitempty"`
-	Restarts     int     `json:"restarts,omitempty"`
-}
-
-// SynthResult is a synth job's result payload.
-type SynthResult struct {
-	Topology    json.RawMessage `json:"topology"` // topo JSON (name, grid, links)
-	Objective   float64         `json:"objective"`
-	Bound       float64         `json:"bound"`
-	Gap         float64         `json:"gap"`
-	Optimal     bool            `json:"optimal"`
-	EnergyProxy float64         `json:"energy_proxy,omitempty"`
-	// CriticalLinks and Fragility are filled when the request priced
-	// fragility (robust_weight > 0): single links whose loss disconnects
-	// some pair, and the residual fragility score.
-	CriticalLinks int     `json:"critical_links,omitempty"`
-	Fragility     int     `json:"fragility,omitempty"`
-	Links         int     `json:"links"`
-	Diameter      int     `json:"diameter"`
-	AvgHops       float64 `json:"avg_hops"`
-}
-
-func (req *SynthRequest) config() (synth.Config, error) {
-	g, err := parseBoundedGrid(req.Grid)
-	if err != nil {
-		return synth.Config{}, err
-	}
-	if req.Iterations < 0 || req.Iterations > maxSynthIters {
-		return synth.Config{}, fmt.Errorf("iterations %d outside [0, %d]", req.Iterations, maxSynthIters)
-	}
-	if req.Restarts < 0 || req.Restarts > maxSynthRestarts {
-		return synth.Config{}, fmt.Errorf("restarts %d outside [0, %d]", req.Restarts, maxSynthRestarts)
-	}
-	// Statically invalid knobs must 400 at POST time, not fail the job
-	// after consuming a queue slot.
-	if req.Radix < 0 {
-		return synth.Config{}, fmt.Errorf("negative radix %d", req.Radix)
-	}
-	if req.EnergyWeight < 0 {
-		return synth.Config{}, fmt.Errorf("negative energy_weight %v", req.EnergyWeight)
-	}
-	if req.RobustWeight < 0 {
-		return synth.Config{}, fmt.Errorf("negative robust_weight %v", req.RobustWeight)
-	}
-	if req.MaxDiameter < 0 || req.MinCutBW < 0 {
-		return synth.Config{}, fmt.Errorf("negative constraint bound")
-	}
-	cl, err := layout.ParseClass(defaultStr(req.Class, "medium"))
-	if err != nil {
-		return synth.Config{}, err
-	}
-	cfg := synth.Config{
-		Grid: g, Class: cl,
-		Radix: req.Radix, Symmetric: req.Symmetric,
-		MaxDiameter: req.MaxDiameter, MinCutBW: req.MinCutBW,
-		EnergyWeight: req.EnergyWeight, RobustWeight: req.RobustWeight,
-		Seed: req.Seed, Iterations: req.Iterations, Restarts: req.Restarts,
-	}
-	switch defaultStr(req.Objective, "latop") {
-	case "latop":
-		cfg.Objective = synth.LatOp
-	case "scop":
-		cfg.Objective = synth.SCOp
-	case "shufopt":
-		cfg.Objective = synth.Weighted
-		cfg.Weights = traffic.Shuffle{N: g.N()}.WeightMatrix()
-	default:
-		return synth.Config{}, fmt.Errorf("unknown objective %q (want latop, scop or shufopt)", req.Objective)
-	}
-	return cfg, nil
-}
-
-func (s *Server) handleSynth(w http.ResponseWriter, r *http.Request) {
-	var req SynthRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
-	cfg, err := req.config()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	j, qerr := s.enqueue("synth", func() (any, bool, error) {
-		res, hit, err := synth.CachedGenerate(s.cfg.Store, cfg)
-		if err != nil {
-			return nil, false, err
-		}
-		payload, err := synthResult(res)
-		return payload, hit, err
-	})
-	if qerr != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", qerr)
-		return
-	}
+// handleJobEvents is GET /v1/jobs/{id}/events: a Server-Sent Events
+// stream of the job's envelope, emitted on every state or progress
+// change plus a keepalive comment, ending after the terminal event.
+// The terminal event omits the result payload — fetch it with a final
+// GET /v1/jobs/{id}.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
 	s.mu.Lock()
-	v := s.view(j, false)
+	_, ok := s.jobs[id]
 	s.mu.Unlock()
-	writeJSON(w, http.StatusAccepted, v)
-}
-
-func synthResult(res *synth.Result) (any, error) {
-	tj, err := json.Marshal(res.Topology)
-	if err != nil {
-		return nil, err
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such job %q", id)
+		return
 	}
-	return SynthResult{
-		Topology:  tj,
-		Objective: res.Objective, Bound: res.Bound, Gap: res.Gap,
-		Optimal: res.Optimal, EnergyProxy: res.EnergyProxy,
-		CriticalLinks: res.CriticalLinks, Fragility: res.Fragility,
-		Links:    res.Topology.NumLinks(),
-		Diameter: res.Topology.Diameter(),
-		AvgHops:  res.Topology.AverageHops(),
-	}, nil
-}
-
-// ---- matrix ----
-
-// MatrixRequest is the POST /v1/matrix body; it mirrors the
-// netbench -matrix flags.
-type MatrixRequest struct {
-	Grid     string    `json:"grid"`               // "RxC"
-	Class    string    `json:"class,omitempty"`    // synthesized-topology class
-	Topos    []string  `json:"topos,omitempty"`    // "mesh" and/or "ns"; default mesh
-	Patterns []string  `json:"patterns,omitempty"` // registry args; default uniform
-	Rates    []float64 `json:"rates,omitempty"`    // default 0.02, 0.08, 0.14
-	// Fidelity selects the cycle budgets: smoke, fast (default) or
-	// full.
-	Fidelity string `json:"fidelity,omitempty"`
-	// Seed is the matrix base seed. Omitted means 42 — the
-	// netbench -matrix default, so a bare HTTP request and a bare CLI
-	// run share cache cells (an explicit 0 is honored as 0).
-	Seed         *int64  `json:"seed,omitempty"`
-	Energy       bool    `json:"energy,omitempty"`
-	EnergyWeight float64 `json:"energy_weight,omitempty"`
-	RobustWeight float64 `json:"robust_weight,omitempty"`
-	// Faults lists fault-schedule registry args ("name" or
-	// "name:key=val:..."), each added as a matrix axis entry alongside
-	// the always-present fault-free baseline.
-	Faults []string `json:"faults,omitempty"`
-	// SynthIterations bounds "ns" topology synthesis (default 20000,
-	// fixed 4 restarts; deterministic, hence cacheable).
-	SynthIterations int `json:"synth_iterations,omitempty"`
-}
-
-// MatrixJobResult is a matrix job's result payload: the matrix itself
-// plus the cache accounting the byte-identical JSON emission omits.
-type MatrixJobResult struct {
-	Matrix *sim.MatrixResult `json:"matrix"`
-	// Stats reports the simulated/cached/persist-failure split (see
-	// sim.MatrixStats; a nonzero StoreErrors means the matrix is
-	// complete but some cells will re-simulate on the next request).
-	Stats         sim.MatrixStats `json:"stats"`
-	SynthCacheHit bool            `json:"synth_cache_hit"` // true when no ns topology was searched
-}
-
-func defaultStr(s, def string) string {
-	if s == "" {
-		return def
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, "internal", "response writer cannot stream")
+		return
 	}
-	return s
-}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
 
-// Request size caps. The bounded queue sheds load across jobs; these
-// bound the work inside one accepted job, so a single well-formed POST
-// cannot monopolize a worker for hours or exhaust memory.
-const (
-	maxGridRouters   = 1024
-	maxSynthIters    = 1_000_000
-	maxSynthRestarts = 64
-	maxTopos         = 8
-	maxRatePoints    = 64
-	maxPatterns      = 64
-	maxFaults        = 16
-)
-
-// parseBoundedGrid is layout.ParseGrid plus the router-count cap.
-func parseBoundedGrid(s string) (*layout.Grid, error) {
-	g, err := layout.ParseGrid(s)
-	if err != nil {
-		return nil, err
-	}
-	if g.N() > maxGridRouters {
-		return nil, fmt.Errorf("grid %q has %d routers (cap %d)", s, g.N(), maxGridRouters)
-	}
-	return g, nil
-}
-
-// matrixPlan is the validated, executable form of a MatrixRequest.
-type matrixPlan struct {
-	grid      *layout.Grid
-	class     layout.Class
-	topos     []string
-	factories []sim.PatternFactory
-	faults    []sim.FaultFactory
-	rates     []float64
-	base      sim.Config
-	seed      int64
-	ew        float64
-	rw        float64
-	synthIter int
-}
-
-func (req *MatrixRequest) plan() (*matrixPlan, error) {
-	g, err := parseBoundedGrid(req.Grid)
-	if err != nil {
-		return nil, err
-	}
-	cl, err := layout.ParseClass(defaultStr(req.Class, "medium"))
-	if err != nil {
-		return nil, err
-	}
-	// Defaulting matters for cache sharing: a bare request must key its
-	// cells exactly like a bare `netbench -matrix` run (seed 42).
-	seed := int64(42)
-	if req.Seed != nil {
-		seed = *req.Seed
-	}
-	p := &matrixPlan{grid: g, class: cl, seed: seed, ew: req.EnergyWeight, rw: req.RobustWeight}
-	p.topos = req.Topos
-	if len(p.topos) == 0 {
-		p.topos = []string{"mesh"}
-	}
-	if len(p.topos) > maxTopos {
-		return nil, fmt.Errorf("%d topologies over cap %d", len(p.topos), maxTopos)
-	}
-	for _, name := range p.topos {
-		if name != "mesh" && name != "ns" {
-			return nil, fmt.Errorf("unknown topology %q (want mesh or ns)", name)
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	last := ""
+	idle := 0
+	for {
+		s.mu.Lock()
+		j, ok := s.jobs[id]
+		var v JobView
+		if ok {
+			v = s.view(j, false)
 		}
-	}
-	patterns := req.Patterns
-	if len(patterns) == 0 {
-		patterns = []string{"uniform"}
-	}
-	if len(patterns) > maxPatterns {
-		return nil, fmt.Errorf("%d patterns over cap %d", len(patterns), maxPatterns)
-	}
-	env := traffic.GridEnv(g)
-	reg := traffic.Default()
-	for _, arg := range patterns {
-		name, params, err := traffic.ParsePatternArg(strings.TrimSpace(arg))
+		s.mu.Unlock()
+		if !ok {
+			// Evicted mid-stream: tell the client instead of hanging.
+			fmt.Fprintf(w, "event: gone\ndata: {}\n\n")
+			flusher.Flush()
+			return
+		}
+		b, err := json.Marshal(v)
 		if err != nil {
-			return nil, err
+			return
 		}
-		// Trace replay is CLI-only: over HTTP it would make the server
-		// open client-chosen local file paths, and its cache key would
-		// follow the file name, not the file content (netbench hashes
-		// the trace bytes into the key; a path-keyed cell would serve
-		// stale results after the file changes).
-		if name == "trace" {
-			return nil, fmt.Errorf("trace replay is not available over the API; use netbench -matrix -trace")
+		if string(b) != last {
+			last = string(b)
+			idle = 0
+			fmt.Fprintf(w, "data: %s\n\n", b)
+			flusher.Flush()
+		} else if idle++; idle >= 150 { // ~15s of silence
+			idle = 0
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
 		}
-		if _, err := reg.Build(name, env, params); err != nil {
-			return nil, err
+		if terminal(v.State) {
+			return
 		}
-		p.factories = append(p.factories, sim.RegistryFactory(reg, name, env, params))
-	}
-	p.rates = req.Rates
-	if len(p.rates) == 0 {
-		p.rates = []float64{0.02, 0.08, 0.14}
-	}
-	if len(p.rates) > maxRatePoints {
-		return nil, fmt.Errorf("%d rates over cap %d", len(p.rates), maxRatePoints)
-	}
-	for _, r := range p.rates {
-		if r <= 0 {
-			return nil, fmt.Errorf("bad rate %g", r)
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
 		}
 	}
-	// The shared presets keep the cycle budgets — part of every cell's
-	// cache key — in lockstep with netbench -matrix.
-	if err := sim.ApplyFidelity(&p.base, defaultStr(req.Fidelity, sim.FidelityFast)); err != nil {
-		return nil, err
-	}
-	p.base.CollectEnergy = req.Energy
-	if req.EnergyWeight < 0 {
-		return nil, fmt.Errorf("negative energy_weight %v", req.EnergyWeight)
-	}
-	if req.RobustWeight < 0 {
-		return nil, fmt.Errorf("negative robust_weight %v", req.RobustWeight)
-	}
-	if len(req.Faults) > maxFaults {
-		return nil, fmt.Errorf("%d faults over cap %d", len(req.Faults), maxFaults)
-	}
-	if len(req.Faults) > 0 {
-		// Same axis construction as netbench -faults: the fault-free
-		// baseline leads, schedules are validated eagerly against the
-		// grid's mesh, and duplicate canonical specs collapse.
-		freg := fault.Default()
-		mesh := expert.Mesh(g)
-		p.faults = []sim.FaultFactory{sim.FaultRegistryFactory(freg, "none", nil)}
-		seen := map[string]bool{p.faults[0].Name: true}
-		for _, arg := range req.Faults {
-			name, params, err := fault.ParseScheduleArg(strings.TrimSpace(arg))
-			if err != nil {
-				return nil, err
-			}
-			if _, err := freg.Build(name, mesh, params); err != nil {
-				return nil, err
-			}
-			f := sim.FaultRegistryFactory(freg, name, params)
-			if seen[f.Name] {
-				continue
-			}
-			seen[f.Name] = true
-			p.faults = append(p.faults, f)
-		}
-	}
-	p.synthIter = req.SynthIterations
-	if p.synthIter == 0 {
-		// Match netbench -matrix exactly (fast: 20000, -full: 80000) —
-		// the synthesis budget decides the ns topology, whose
-		// fingerprint anchors every cell key, so a different default
-		// here would stop "full" CLI and HTTP runs from sharing cells.
-		p.synthIter = 20000
-		if defaultStr(req.Fidelity, sim.FidelityFast) == sim.FidelityFull {
-			p.synthIter = 80000
-		}
-	}
-	if p.synthIter < 0 || p.synthIter > maxSynthIters {
-		return nil, fmt.Errorf("synth_iterations %d outside [0, %d]", p.synthIter, maxSynthIters)
-	}
-	return p, nil
-}
-
-// execute builds the setups through the builder shared with
-// netbench -matrix (exp.MatrixSetups: mesh expert-routed, ns via
-// cached synthesis) and runs the store-backed matrix.
-func (p *matrixPlan) execute(st *store.Store) (any, bool, error) {
-	setups, synthAllCached, err := exp.MatrixSetups(p.topos, p.grid, p.class, st, p.ew, p.rw, p.seed, p.synthIter)
-	if err != nil {
-		return nil, false, err
-	}
-	res, err := sim.RunMatrix(sim.MatrixConfig{
-		Setups: setups, Patterns: p.factories, Faults: p.faults,
-		Rates: p.rates,
-		Base:  p.base, Seed: p.seed, Store: st,
-	})
-	if err != nil {
-		return nil, false, err
-	}
-	out := MatrixJobResult{Matrix: res, Stats: res.Stats, SynthCacheHit: synthAllCached}
-	cacheHit := res.Stats.Computed == 0 && synthAllCached
-	return out, cacheHit, nil
-}
-
-func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
-	var req MatrixRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
-	plan, err := req.plan()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	j, qerr := s.enqueue("matrix", func() (any, bool, error) {
-		return plan.execute(s.cfg.Store)
-	})
-	if qerr != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", qerr)
-		return
-	}
-	s.mu.Lock()
-	v := s.view(j, false)
-	s.mu.Unlock()
-	writeJSON(w, http.StatusAccepted, v)
 }

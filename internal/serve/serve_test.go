@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -26,7 +27,7 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-func postJSON(t *testing.T, url, body string) (int, JobView) {
+func postReq(t *testing.T, url, body string) (int, JobView) {
 	t.Helper()
 	resp, err := http.Post(url, "application/json", strings.NewReader(body))
 	if err != nil {
@@ -42,7 +43,7 @@ func postJSON(t *testing.T, url, body string) (int, JobView) {
 	return resp.StatusCode, v
 }
 
-// pollDone polls the job until it leaves the queue/running states.
+// pollDone polls the job until it reaches a terminal state.
 func pollDone(t *testing.T, base, id string) JobView {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
@@ -57,7 +58,7 @@ func pollDone(t *testing.T, base, id string) JobView {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if v.Status == StatusDone || v.Status == StatusFailed {
+		if terminal(v.State) {
 			return v
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -66,25 +67,40 @@ func pollDone(t *testing.T, base, id string) JobView {
 	return JobView{}
 }
 
-// waitStatus spins until the job reaches the wanted status (registry
+// waitState spins until the job reaches the wanted state (registry
 // access; only usable from this package's tests).
-func waitStatus(t *testing.T, s *Server, id, want string) {
+func waitState(t *testing.T, s *Server, id, want string) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
 		s.mu.Lock()
 		j, ok := s.jobs[id]
-		var status string
+		var state string
 		if ok {
-			status = j.status
+			state = j.state
 		}
 		s.mu.Unlock()
-		if status == want {
+		if state == want {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("job %s never reached %s", id, want)
+}
+
+// noopRun is a trivial job body for queue-mechanics tests.
+func noopRun(ctx context.Context, _ *job) (any, bool, error) { return "ok", false, nil }
+
+// gatedRun blocks until the gate closes or the job is cancelled.
+func gatedRun(gate chan struct{}) runFunc {
+	return func(ctx context.Context, _ *job) (any, bool, error) {
+		select {
+		case <-gate:
+			return "ok", false, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
 }
 
 func TestHealthz(t *testing.T) {
@@ -108,20 +124,23 @@ func TestHealthz(t *testing.T) {
 
 // TestSynthJobLifecycleAndCacheHit: first POST computes, second POST of
 // the identical request completes from the store with cache_hit set and
-// an identical topology.
+// an identical topology. Runs through the unified /v1/jobs surface.
 func TestSynthJobLifecycleAndCacheHit(t *testing.T) {
 	_, ts := newTestServer(t)
-	body := `{"grid":"4x5","class":"medium","objective":"latop","seed":3,"iterations":1500,"restarts":1}`
+	body := `{"kind":"synth","grid":"4x5","class":"medium","objective":"latop","seed":3,"iterations":1500,"restarts":1}`
 
-	code, j1 := postJSON(t, ts.URL+"/v1/synth", body)
+	code, j1 := postReq(t, ts.URL+"/v1/jobs", body)
 	if code != http.StatusAccepted {
 		t.Fatalf("POST status %d", code)
 	}
-	if j1.Status != StatusQueued && j1.Status != StatusRunning {
-		t.Fatalf("fresh job status %q", j1.Status)
+	if j1.State != StateQueued && j1.State != StateRunning {
+		t.Fatalf("fresh job state %q", j1.State)
+	}
+	if j1.Status != j1.State {
+		t.Fatalf("deprecated status alias %q != state %q", j1.Status, j1.State)
 	}
 	done1 := pollDone(t, ts.URL, j1.ID)
-	if done1.Status != StatusDone {
+	if done1.State != StateDone {
 		t.Fatalf("job 1: %+v", done1)
 	}
 	if done1.CacheHit {
@@ -135,12 +154,12 @@ func TestSynthJobLifecycleAndCacheHit(t *testing.T) {
 		t.Fatalf("implausible synth result: %+v", r1)
 	}
 
-	code, j2 := postJSON(t, ts.URL+"/v1/synth", body)
+	code, j2 := postReq(t, ts.URL+"/v1/jobs", body)
 	if code != http.StatusAccepted {
 		t.Fatalf("POST 2 status %d", code)
 	}
 	done2 := pollDone(t, ts.URL, j2.ID)
-	if done2.Status != StatusDone || !done2.CacheHit {
+	if done2.State != StateDone || !done2.CacheHit {
 		t.Fatalf("repeated request not served from cache: %+v", done2)
 	}
 	var r2 SynthResult
@@ -156,21 +175,36 @@ func TestSynthJobLifecycleAndCacheHit(t *testing.T) {
 }
 
 // TestMatrixJobCacheHit: the serve-smoke contract — a repeated matrix
-// POST simulates zero cells.
+// POST simulates zero cells. Exercises the deprecated /v1/matrix alias
+// to pin that it still works and routes into the same path.
 func TestMatrixJobCacheHit(t *testing.T) {
 	_, ts := newTestServer(t)
 	body := `{"grid":"3x3","patterns":["uniform","tornado"],"rates":[0.02,0.1],"fidelity":"smoke","energy":true,"seed":9}`
 
-	code, j1 := postJSON(t, ts.URL+"/v1/matrix", body)
-	if code != http.StatusAccepted {
-		t.Fatalf("POST status %d", code)
+	resp, err := http.Post(ts.URL+"/v1/matrix", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
 	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") == "" {
+		t.Error("alias response missing Deprecation header")
+	}
+	var j1 JobView
+	if err := json.NewDecoder(resp.Body).Decode(&j1); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
 	done1 := pollDone(t, ts.URL, j1.ID)
-	if done1.Status != StatusDone {
+	if done1.State != StateDone {
 		t.Fatalf("matrix job failed: %+v", done1)
 	}
 	if done1.CacheHit {
 		t.Error("first matrix run claims a cache hit")
+	}
+	if done1.Progress == nil || done1.Progress.Done != 4 || done1.Progress.Total != 4 {
+		t.Errorf("finished matrix progress = %+v, want 4/4", done1.Progress)
 	}
 	var r1 MatrixJobResult
 	if err := json.Unmarshal(done1.Result, &r1); err != nil {
@@ -183,12 +217,13 @@ func TestMatrixJobCacheHit(t *testing.T) {
 		t.Fatalf("curves: %d", len(r1.Matrix.Curves))
 	}
 
-	code, j2 := postJSON(t, ts.URL+"/v1/matrix", body)
+	// Second run through the unified endpoint: same cells, all cached.
+	code, j2 := postReq(t, ts.URL+"/v1/jobs", `{"kind":"matrix",`+body[1:])
 	if code != http.StatusAccepted {
 		t.Fatalf("POST 2 status %d", code)
 	}
 	done2 := pollDone(t, ts.URL, j2.ID)
-	if done2.Status != StatusDone || !done2.CacheHit {
+	if done2.State != StateDone || !done2.CacheHit {
 		t.Fatalf("repeated matrix not served from cache: %+v", done2)
 	}
 	var r2 MatrixJobResult
@@ -233,20 +268,43 @@ func TestBadRequests(t *testing.T) {
 		{"/v1/matrix", `{"grid":"4x5","faults":["klinks:k=abc"]}`},        // bad param
 		{"/v1/matrix", `{"grid":"4x5","faults":["klinks:k=1","klinks:k=2","klinks:k=3","klinks:k=4","klinks:k=5","klinks:k=6","klinks:k=7","klinks:k=8","klinks:k=9","klinks:k=10","klinks:k=11","klinks:k=12","klinks:k=13","klinks:k=14","klinks:k=15","klinks:k=16","klinks:k=17"]}`}, // fault cap
 		{"/v1/matrix", `not json`},
+		// Unified-endpoint rejections: missing/unknown kind, bad
+		// priority, out-of-range shards, typoed fields.
+		{"/v1/jobs", `{"grid":"4x5"}`},                                // missing kind
+		{"/v1/jobs", `{"kind":"paint","grid":"4x5"}`},                 // unknown kind
+		{"/v1/jobs", `{"kind":"synth","grid":"4x5","priority":9000}`}, // priority range
+		{"/v1/jobs", `{"kind":"matrix","grid":"4x5","shards":-1}`},    // negative shards
+		{"/v1/jobs", `{"kind":"matrix","grid":"4x5","shards":100}`},   // shard cap
+		{"/v1/jobs", `{"kind":"synth","grid":"4x5","unknown_field":1}`},
+		{"/v1/jobs", `not json`},
 	}
 	for _, c := range cases {
-		code, _ := postJSON(t, ts.URL+c.path, c.body)
-		if code != http.StatusBadRequest {
-			t.Errorf("POST %s %s: status %d, want 400", c.path, c.body, code)
+		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env ErrorEnvelope
+		decErr := json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s %s: status %d, want 400", c.path, c.body, resp.StatusCode)
+			continue
+		}
+		if decErr != nil || env.Error.Code != "bad_request" || env.Error.Message == "" {
+			t.Errorf("POST %s %s: error envelope %+v (decode err %v)", c.path, c.body, env, decErr)
 		}
 	}
 	resp, err := http.Get(ts.URL + "/v1/jobs/j999999")
 	if err != nil {
 		t.Fatal(err)
 	}
+	var env ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	if resp.StatusCode != http.StatusNotFound || env.Error.Code != "not_found" {
+		t.Errorf("unknown job: status %d code %q, want 404 not_found", resp.StatusCode, env.Error.Code)
 	}
 }
 
@@ -255,14 +313,14 @@ func TestBadRequests(t *testing.T) {
 // populated robustness columns.
 func TestMatrixFaultAxisJob(t *testing.T) {
 	_, ts := newTestServer(t)
-	body := `{"grid":"3x3","patterns":["uniform"],"rates":[0.02],"fidelity":"smoke","faults":["krouters:k=1:seed=3:at=150"],"seed":9}`
+	body := `{"kind":"matrix","grid":"3x3","patterns":["uniform"],"rates":[0.02],"fidelity":"smoke","faults":["krouters:k=1:seed=3:at=150"],"seed":9}`
 
-	code, j := postJSON(t, ts.URL+"/v1/matrix", body)
+	code, j := postReq(t, ts.URL+"/v1/jobs", body)
 	if code != http.StatusAccepted {
 		t.Fatalf("POST status %d", code)
 	}
 	done := pollDone(t, ts.URL, j.ID)
-	if done.Status != StatusDone {
+	if done.State != StateDone {
 		t.Fatalf("matrix job failed: %+v", done)
 	}
 	var r MatrixJobResult
@@ -330,26 +388,28 @@ func TestCloseTerminatesQueuedJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 	gate := make(chan struct{})
-	j1, err := s.enqueue("block", func() (any, bool, error) { <-gate; return "ok", false, nil })
-	if err != nil {
-		t.Fatal("job 1 rejected:", err)
+	j1, qerr := s.enqueue("block", 0, gatedRun(gate))
+	if qerr != nil {
+		t.Fatal("job 1 rejected:", qerr)
 	}
-	waitStatus(t, s, j1.id, StatusRunning)
-	j2, err := s.enqueue("noop", func() (any, bool, error) { return "ok", false, nil })
-	if err != nil {
-		t.Fatal("job 2 rejected:", err)
+	waitState(t, s, j1.id, StateRunning)
+	j2, qerr := s.enqueue("noop", 0, noopRun)
+	if qerr != nil {
+		t.Fatal("job 2 rejected:", qerr)
 	}
 	close(gate)
 	s.Close()
 	s.mu.Lock()
-	got := s.jobs[j2.id].status
+	got := s.jobs[j2.id].state
 	s.mu.Unlock()
-	if got != StatusDone && got != StatusFailed {
+	if !terminal(got) {
 		t.Fatalf("queued job left in %q after Close", got)
 	}
 	// A closed server accepts nothing further.
-	if _, err := s.enqueue("noop", func() (any, bool, error) { return "ok", false, nil }); err == nil {
+	if _, qerr := s.enqueue("noop", 0, noopRun); qerr == nil {
 		t.Error("closed server accepted a job")
+	} else if qerr.code != "shutting_down" {
+		t.Errorf("closed-server rejection code %q", qerr.code)
 	}
 }
 
@@ -366,11 +426,11 @@ func TestJobEviction(t *testing.T) {
 	}
 	defer s.Close()
 	for i := 0; i < 5; i++ {
-		j, err := s.enqueue("noop", func() (any, bool, error) { return "ok", false, nil })
-		if err != nil {
-			t.Fatalf("job %d rejected: %v", i, err)
+		j, qerr := s.enqueue("noop", 0, noopRun)
+		if qerr != nil {
+			t.Fatalf("job %d rejected: %v", i, qerr)
 		}
-		waitStatus(t, s, j.id, StatusDone)
+		waitState(t, s, j.id, StateDone)
 	}
 	s.mu.Lock()
 	n := len(s.jobs)
@@ -406,39 +466,50 @@ func TestQueueBounded(t *testing.T) {
 	// worker, a second fills the single queue slot; the next POST must
 	// shed with 503.
 	gate := make(chan struct{})
-	blocked := func() (any, bool, error) { <-gate; return "ok", false, nil }
-	if _, err := s.enqueue("block", blocked); err != nil {
-		t.Fatal("first job rejected:", err)
+	if _, qerr := s.enqueue("block", 0, gatedRun(gate)); qerr != nil {
+		t.Fatal("first job rejected:", qerr)
 	}
-	waitStatus(t, s, "j000001", StatusRunning)
-	if _, err := s.enqueue("block", blocked); err != nil {
-		t.Fatal("second job rejected with a free queue slot:", err)
+	waitState(t, s, "j000001", StateRunning)
+	if _, qerr := s.enqueue("block", 0, gatedRun(gate)); qerr != nil {
+		t.Fatal("second job rejected with a free queue slot:", qerr)
 	}
-	code, _ := postJSON(t, ts.URL+"/v1/synth", `{"grid":"4x5","seed":11,"iterations":1000,"restarts":1}`)
-	if code != http.StatusServiceUnavailable {
-		t.Errorf("POST against a full queue: status %d, want 503", code)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"synth","grid":"4x5","seed":11,"iterations":1000,"restarts":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || env.Error.Code != "queue_full" {
+		t.Errorf("POST against a full queue: status %d code %q, want 503 queue_full", resp.StatusCode, env.Error.Code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queue_full response missing Retry-After")
 	}
 	close(gate)
 	pollDone(t, ts.URL, "j000002")
 	// With the gate open the queue drains and POSTs flow again.
-	code, j := postJSON(t, ts.URL+"/v1/synth", `{"grid":"4x5","seed":11,"iterations":1000,"restarts":1}`)
+	code, j := postReq(t, ts.URL+"/v1/jobs", `{"kind":"synth","grid":"4x5","seed":11,"iterations":1000,"restarts":1}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("POST after drain: status %d", code)
 	}
-	if v := pollDone(t, ts.URL, j.ID); v.Status != StatusDone {
+	if v := pollDone(t, ts.URL, j.ID); v.State != StateDone {
 		t.Fatalf("post-drain job: %+v", v)
 	}
 
 	// The jobs listing endpoint stays responsive and well-formed.
-	resp, err := http.Get(ts.URL + "/v1/jobs")
+	resp2, err := http.Get(ts.URL + "/v1/jobs")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
+	defer resp2.Body.Close()
 	var list struct {
 		Jobs []JobView `json:"jobs"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+	if err := json.NewDecoder(resp2.Body).Decode(&list); err != nil {
 		t.Fatal(err)
 	}
 	if len(list.Jobs) == 0 {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -120,6 +121,24 @@ type MatrixConfig struct {
 	// Seed is the matrix-level seed; cell i simulates with
 	// Seed + i*7919 where i is the cell's fixed matrix position.
 	Seed int64
+
+	// Ctx, when non-nil, cancels the run: the worker pool checks it
+	// before starting each cell, so a cancelled matrix stops simulating
+	// within at most one in-flight cell per worker and RunMatrix returns
+	// the context's error. Cells already computed by a store-backed run
+	// have been persisted — a re-run resumes from them. Cancellation
+	// never changes emitted bytes: a run either completes (identical to
+	// an uncancelled run) or errors.
+	Ctx context.Context
+
+	// Progress, when non-nil, is invoked once per resolved cell (whether
+	// simulated or served from the store) with the number of resolved
+	// cells so far and the total cell count. Calls arrive concurrently
+	// from the worker pool: done values may repeat or arrive out of
+	// order (consumers should keep a running max; a done == total call
+	// is guaranteed on completion), and the callback must be cheap and
+	// safe for concurrent use.
+	Progress func(done, total int)
 
 	// Unbatched disables batched cell execution (each worker reusing
 	// one engine's flat arrays across consecutive cells of the same
@@ -339,6 +358,10 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 		return cellKey(fps[ti], mc.Patterns[pi].Key, faults[fi].Key, baseCfg(ti, fi, ri, i).normalized())
 	}
 
+	// Progress is derived from the two existing counters rather than a
+	// dedicated one: an extra captured atomic (or a reporting closure)
+	// costs a heap allocation the Progress-free path must not pay (the
+	// bench gate counts allocs/op).
 	var computed, cacheHits, storeErrs atomic.Int64
 	workers := runtime.GOMAXPROCS(0)
 	if workers > cells {
@@ -361,6 +384,12 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 				if i >= cells {
 					return
 				}
+				// Cancellation is cell-granular: the check sits before
+				// each cell's work, so a cancelled run stops after at
+				// most one in-flight cell per worker.
+				if mc.Ctx != nil && mc.Ctx.Err() != nil {
+					return
+				}
 				if !mc.Shard.Owns(i) {
 					continue // filled from the store after the pool drains
 				}
@@ -378,6 +407,9 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 						points[i] = cellPoint(rates[ri], &cached)
 						have[i] = true
 						cacheHits.Add(1)
+						if mc.Progress != nil {
+							mc.Progress(int(computed.Load()+cacheHits.Load()), cells)
+						}
 						continue
 					}
 				}
@@ -401,6 +433,9 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 				points[i] = cellPoint(rates[ri], res)
 				have[i] = true
 				computed.Add(1)
+				if mc.Progress != nil {
+					mc.Progress(int(computed.Load()+cacheHits.Load()), cells)
+				}
 				if mc.Store != nil {
 					// Persistence is best-effort: a full or read-only
 					// store must not discard a computed result. The
@@ -417,6 +452,13 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if mc.Ctx != nil && mc.Ctx.Err() != nil {
+		// Cancelled: owned cells that finished before the cancellation
+		// were persisted (store-backed runs), so a resumed run picks up
+		// exactly where this one stopped.
+		return nil, fmt.Errorf("sim: matrix cancelled after %d of %d cells: %w",
+			int(computed.Load()+cacheHits.Load()), cells, mc.Ctx.Err())
 	}
 
 	// Sharded runs: pull the other shards' cells out of the store.
@@ -438,6 +480,9 @@ func RunMatrix(mc MatrixConfig) (*MatrixResult, error) {
 			points[i] = cellPoint(rates[i%nR], &cached)
 			have[i] = true
 			cacheHits.Add(1)
+			if mc.Progress != nil {
+				mc.Progress(int(computed.Load()+cacheHits.Load()), cells)
+			}
 		}
 	}
 	if missing > 0 {

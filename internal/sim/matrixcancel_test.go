@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"netsmith/internal/store"
+)
+
+// TestMatrixCancellation pins the cell-granular cancellation contract:
+// a context cancelled mid-run stops the matrix within at most one
+// in-flight cell per worker, RunMatrix reports the context error, and a
+// resumed run over the same store completes with output identical to an
+// uncancelled run.
+func TestMatrixCancellation(t *testing.T) {
+	mc := storeMatrix(t)
+	// Widen the rate grid so the matrix comfortably exceeds the worker
+	// pool: cancellation after the first cell must leave most of it
+	// unsimulated on any realistic core count.
+	mc.Rates = []float64{0.01, 0.02, 0.04, 0.06, 0.08, 0.10}
+	want, err := RunMatrix(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := len(mc.Setups) * len(mc.Patterns) * len(mc.Rates)
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	doneAtCancel := 0
+	mc.Store = st
+	mc.Ctx = ctx
+	mc.Progress = func(done, total int) {
+		if total != cells {
+			t.Errorf("progress total = %d, want %d", total, cells)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if doneAtCancel == 0 {
+			doneAtCancel = done
+			cancel() // cancel after the first resolved cell
+		}
+	}
+	if _, err := RunMatrix(mc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run error = %v, want context.Canceled", err)
+	}
+	// Each pool worker finishes at most the cell it was simulating when
+	// the context died — the "stops within one cell" bound.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cells {
+		workers = cells
+	}
+	n, err := st.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n > workers {
+		t.Fatalf("cancelled run persisted %d cells, want in [1, %d] (one in-flight cell per worker)", n, workers)
+	}
+
+	// Resume: the remaining cells compute, the finished ones come from
+	// the store, and the merged result matches the uncancelled run.
+	mc.Ctx = nil
+	mc.Progress = nil
+	res, err := RunMatrix(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CacheHits != n || res.Stats.Computed != cells-n {
+		t.Fatalf("resumed stats = %+v, want %d cached + %d computed", res.Stats, n, cells-n)
+	}
+	res.Stats, want.Stats = MatrixStats{}, MatrixStats{}
+	if !reflect.DeepEqual(want, res) {
+		t.Error("resumed matrix differs from uncancelled run")
+	}
+}
+
+// TestMatrixPreCancelled: a context cancelled before the run starts
+// simulates nothing.
+func TestMatrixPreCancelled(t *testing.T) {
+	mc := storeMatrix(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	mc.Ctx = ctx
+	if _, err := RunMatrix(mc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run error = %v, want context.Canceled", err)
+	}
+}
+
+// TestMatrixProgressCompletes: an uncancelled run invokes Progress once
+// per cell with in-range done values and guarantees a final
+// (total, total) call. Concurrent callbacks may repeat or skip
+// intermediate values (the documented contract), so the test counts
+// invocations rather than distinct values.
+func TestMatrixProgressCompletes(t *testing.T) {
+	mc := storeMatrix(t)
+	cells := len(mc.Setups) * len(mc.Patterns) * len(mc.Rates)
+	var mu sync.Mutex
+	calls, sawTotal := 0, false
+	mc.Progress = func(done, total int) {
+		mu.Lock()
+		calls++
+		if done == cells {
+			sawTotal = true
+		}
+		if done < 1 || done > cells || total != cells {
+			t.Errorf("progress out of range: done=%d total=%d (cells=%d)", done, total, cells)
+		}
+		mu.Unlock()
+	}
+	if _, err := RunMatrix(mc); err != nil {
+		t.Fatal(err)
+	}
+	if calls != cells || !sawTotal {
+		t.Fatalf("progress invoked %d times (saw total: %v), want %d invocations ending at %d/%d",
+			calls, sawTotal, cells, cells, cells)
+	}
+}
