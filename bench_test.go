@@ -314,6 +314,23 @@ func BenchmarkSynthesisIteration(b *testing.B) {
 	}
 }
 
+// BenchmarkPopulationGeneration measures population-mode synthesis on
+// the paper's 4x5 medium configuration: a 4-member pool evolved for 2
+// generations of 1200-step bursts (tournament crossover, journaled
+// repair, elitist merge). The benchdiff gate holds its ns/op and
+// allocs/op so operator overhead (crossover scratch graphs, repair
+// probes) stays visible.
+func BenchmarkPopulationGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := synth.Generate(synth.Config{Grid: layout.Grid4x5, Class: layout.Medium,
+			Objective: synth.LatOp, Seed: int64(i), Iterations: 1200, Restarts: 1,
+			Population: 4, Generations: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSynthesisIteration100 is the same throughput measurement on
 // the beyond-paper 100-router grid, exercising the multi-word bitset
 // path (the PR 1 engine capped out at 64 routers).

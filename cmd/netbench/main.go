@@ -90,6 +90,8 @@ func realMain() int {
 	storeDir := flag.String("store", "", "matrix: content-addressed result store directory (cells cached; runs resume)")
 	shardArg := flag.String("shard", "", "matrix: compute only shard i/n of the cells (e.g. 0/2; requires -store)")
 	unbatched := flag.Bool("unbatched", false, "matrix: build a fresh engine per cell instead of reusing per-worker engines (bit-identical output; for A/B verification)")
+	population := flag.Int("population", 0, "matrix: ns synthesis population size (0 = restart annealer; >= 2 enables population mode)")
+	generations := flag.Int("generations", 0, "matrix: ns synthesis evolution rounds (default 8 when -population is set)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -126,7 +128,7 @@ func realMain() int {
 	}
 
 	if *matrix {
-		if err := runMatrix(*grid, *class, *topos, *patterns, *rates, *traceFile, *faults, *csvDir, *storeDir, *shardArg, *smoke, *full, *energy, *unbatched, *energyWeight, *robustWeight, *seed); err != nil {
+		if err := runMatrix(*grid, *class, *topos, *patterns, *rates, *traceFile, *faults, *csvDir, *storeDir, *shardArg, *smoke, *full, *energy, *unbatched, *energyWeight, *robustWeight, *seed, *population, *generations); err != nil {
 			fmt.Fprintf(os.Stderr, "matrix: %v\n", err)
 			return 1
 		}
@@ -254,12 +256,12 @@ func realMain() int {
 // (fast-budget synthesis unless -full) with MCLB routing. With a
 // store, synthesis results are content-addressed too (fixed budgets
 // are deterministic), so re-runs skip the search.
-func matrixSetups(topos string, g *layout.Grid, cl layout.Class, st *store.Store, full bool, energyWeight, robustWeight float64, seed int64) ([]*sim.Setup, error) {
+func matrixSetups(topos string, g *layout.Grid, cl layout.Class, st *store.Store, full bool, energyWeight, robustWeight float64, seed int64, population, generations int) ([]*sim.Setup, error) {
 	iters := 20000
 	if full {
 		iters = 80000
 	}
-	setups, _, err := exp.MatrixSetups(strings.Split(topos, ","), g, cl, st, energyWeight, robustWeight, seed, iters)
+	setups, _, err := exp.MatrixSetups(strings.Split(topos, ","), g, cl, st, energyWeight, robustWeight, seed, iters, population, generations)
 	return setups, err
 }
 
@@ -298,7 +300,7 @@ func matrixFaults(args string, g *layout.Grid) ([]sim.FaultFactory, error) {
 	return factories, nil
 }
 
-func runMatrix(grid, class, topos, patterns, rates, traceFile, faults, csvDir, storeDir, shardArg string, smoke, full, energy, unbatched bool, energyWeight, robustWeight float64, seed int64) error {
+func runMatrix(grid, class, topos, patterns, rates, traceFile, faults, csvDir, storeDir, shardArg string, smoke, full, energy, unbatched bool, energyWeight, robustWeight float64, seed int64, population, generations int) error {
 	g, err := layout.ParseGrid(grid)
 	if err != nil {
 		return err
@@ -321,7 +323,7 @@ func runMatrix(grid, class, topos, patterns, rates, traceFile, faults, csvDir, s
 			return err
 		}
 	}
-	setups, err := matrixSetups(topos, g, cl, st, full, energyWeight, robustWeight, seed)
+	setups, err := matrixSetups(topos, g, cl, st, full, energyWeight, robustWeight, seed, population, generations)
 	if err != nil {
 		return err
 	}

@@ -130,6 +130,9 @@ func main() {
 	symmetric := flag.Bool("symmetric", false, "force symmetric links (constraint C9)")
 	maxDiameter := flag.Int("diameter", 0, "optional diameter bound (constraint C8)")
 	seconds := flag.Float64("seconds", 5, "time budget for the optimizer")
+	iterations := flag.Int("iterations", 0, "fixed annealing-step budget instead of -seconds (deterministic output)")
+	population := flag.Int("population", 0, "population size (0 = restart annealer; >= 2 enables population mode)")
+	generations := flag.Int("generations", 0, "population evolution rounds (default 8 when -population is set)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -142,7 +145,17 @@ func main() {
 		Grid: g, Class: class, Radix: *radix,
 		Symmetric: *symmetric, MaxDiameter: *maxDiameter,
 		Seed: *seed, Iterations: 1 << 30, Restarts: 1 << 20,
-		TimeBudget: time.Duration(*seconds * float64(time.Second)),
+		TimeBudget:  time.Duration(*seconds * float64(time.Second)),
+		Population:  *population,
+		Generations: *generations,
+	}
+	if *iterations > 0 {
+		// A fixed step budget makes the run a pure function of the flags:
+		// rerunning prints byte-identical output (the CI smoke relies on
+		// this to diff population runs across processes).
+		cfg.Iterations = *iterations
+		cfg.Restarts = 4
+		cfg.TimeBudget = 0
 	}
 	switch *objective {
 	case "latop":

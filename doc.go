@@ -33,6 +33,17 @@
 // TimeBudget) are deterministic: the same Options produce the same
 // topology at any GOMAXPROCS.
 //
+// Options.Population (>= 2) switches the fixed-budget search to
+// population mode: a pool of topologies evolved for
+// Options.Generations rounds (default 8) of tournament crossover with
+// journaled connectivity repair, bound-based offspring pruning and
+// polish-anneal bursts, elitist-merged deterministically. The total
+// budget is Population*(1+Generations)*Iterations annealing steps, and
+// the purity contract is unchanged. With GenerateCached, population
+// runs also persist their initial portfolio members under weight- and
+// seed-agnostic keys, so nearby configs (same grid/class/radix/
+// symmetry) warm-start from the store.
+//
 // # Preparation and simulation
 //
 // Prepare builds the standard pipeline — MCLB routing plus a verified

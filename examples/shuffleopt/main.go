@@ -60,4 +60,34 @@ func main() {
 	}
 	shufOpt.Topology.Name = "NS-ShufOpt-medium"
 	run(shufOpt.Topology, false)
+
+	// Same pattern-optimized synthesis, equal evaluation budget, two
+	// search strategies: 6 parallel restarts of 6000 steps each versus a
+	// population of 4 evolved for 5 generations of 1500-step bursts
+	// (both 36000 annealing steps). Fixed budgets are deterministic, so
+	// this comparison is reproducible run to run.
+	restartOpt, err := netsmith.Generate(netsmith.Options{
+		Grid: grid, Class: netsmith.Medium, Objective: netsmith.PatternOp,
+		Weights: netsmith.ShuffleWeights(grid.N()),
+		Seed:    42, Iterations: 6000, Restarts: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	restartOpt.Topology.Name = "NS-ShufOpt-restarts"
+	run(restartOpt.Topology, false)
+
+	popOpt, err := netsmith.Generate(netsmith.Options{
+		Grid: grid, Class: netsmith.Medium, Objective: netsmith.PatternOp,
+		Weights: netsmith.ShuffleWeights(grid.N()),
+		Seed:    42, Iterations: 1500, Restarts: 1,
+		Population: 4, Generations: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	popOpt.Topology.Name = "NS-ShufOpt-population"
+	run(popOpt.Topology, false)
+	fmt.Printf("weighted-hop objective: restarts %.0f vs population %.0f (equal 36000-step budget)\n",
+		restartOpt.Objective, popOpt.Objective)
 }

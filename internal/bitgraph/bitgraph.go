@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 )
 
 // MaxFastNodes is the largest node count served by the single-word
@@ -120,6 +121,28 @@ func (g *Graph) Remove(a, b int) {
 	g.linkIndex[last.A*g.n+last.B] = idx
 	g.linkList = g.linkList[:len(g.linkList)-1]
 	g.linkIndex[a*g.n+b] = -1
+}
+
+// CanonicalClone rebuilds the graph with its link list in sorted (A, B)
+// order. Two graphs with the same link set always produce identical
+// canonical clones, regardless of the insertion/removal history that
+// shaped their link lists. Search code that samples links by index
+// (LinkAt) depends on this: a graph reloaded from a stored link list and
+// the same graph rebuilt by a fresh search agree on every sampled index
+// only after canonicalization.
+func (g *Graph) CanonicalClone() *Graph {
+	links := append([]Link(nil), g.linkList...)
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].A != links[j].A {
+			return links[i].A < links[j].A
+		}
+		return links[i].B < links[j].B
+	})
+	c := New(g.n)
+	for _, l := range links {
+		c.Add(l.A, l.B)
+	}
+	return c
 }
 
 // Clone deep-copies the graph.

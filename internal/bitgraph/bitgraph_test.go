@@ -108,6 +108,43 @@ func TestPoolMin(t *testing.T) {
 	}
 }
 
+// Property: graphs with the same link set canonicalize to identical
+// link lists regardless of insertion/removal history.
+func TestCanonicalCloneOrderIndependent(t *testing.T) {
+	a := New(5)
+	for _, l := range [][2]int{{3, 1}, {0, 2}, {1, 4}, {2, 3}} {
+		a.Add(l[0], l[1])
+	}
+	b := New(5)
+	// Same final set, scrambled history: extra links added and removed.
+	b.Add(1, 4)
+	b.Add(4, 0)
+	b.Add(2, 3)
+	b.Add(0, 2)
+	b.Remove(4, 0)
+	b.Add(3, 1)
+	ca, cb := a.CanonicalClone(), b.CanonicalClone()
+	if len(ca.Links()) != len(cb.Links()) {
+		t.Fatalf("link counts differ: %d vs %d", len(ca.Links()), len(cb.Links()))
+	}
+	for i := range ca.Links() {
+		if ca.LinkAt(i) != cb.LinkAt(i) {
+			t.Fatalf("link %d differs: %v vs %v", i, ca.LinkAt(i), cb.LinkAt(i))
+		}
+		if i > 0 {
+			p, q := ca.LinkAt(i-1), ca.LinkAt(i)
+			if p.A > q.A || (p.A == q.A && p.B >= q.B) {
+				t.Fatalf("canonical list not sorted at %d: %v then %v", i, p, q)
+			}
+		}
+	}
+	// The clone is independent of the original.
+	ca.Remove(0, 2)
+	if !a.Has(0, 2) {
+		t.Fatal("canonical clone shares state with the original")
+	}
+}
+
 func TestCloneIsDeep(t *testing.T) {
 	g := New(4)
 	g.Add(0, 1)

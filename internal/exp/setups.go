@@ -21,8 +21,9 @@ import (
 // cells — it lives here, next to the other experiment drivers, for the
 // same reason sim.ApplyFidelity and synth.MatrixNSConfig are shared.
 // The returned bool reports whether every "ns" synthesis came from the
-// cache.
-func MatrixSetups(topos []string, g *layout.Grid, cl layout.Class, st *store.Store, energyWeight, robustWeight float64, seed int64, synthIters int) ([]*sim.Setup, bool, error) {
+// cache. population/generations select population-mode synthesis for
+// the "ns" topology (0 keeps the classic restart annealer).
+func MatrixSetups(topos []string, g *layout.Grid, cl layout.Class, st *store.Store, energyWeight, robustWeight float64, seed int64, synthIters, population, generations int) ([]*sim.Setup, bool, error) {
 	var setups []*sim.Setup
 	synthAllCached := true
 	for _, name := range topos {
@@ -35,7 +36,7 @@ func MatrixSetups(topos []string, g *layout.Grid, cl layout.Class, st *store.Sto
 			setups = append(setups, setup)
 		case "ns":
 			res, hit, err := synth.CachedGenerate(st,
-				synth.MatrixNSConfig(g, cl, energyWeight, robustWeight, seed, synthIters))
+				synth.MatrixNSConfig(g, cl, energyWeight, robustWeight, seed, synthIters, population, generations))
 			if err != nil {
 				return nil, false, err
 			}

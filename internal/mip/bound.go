@@ -1,0 +1,80 @@
+package mip
+
+import "fmt"
+
+// DistanceLevelBound computes a rigorous lower bound on the sum of
+// shortest-path distances from one source to the n-1 other nodes of any
+// feasible topology, by solving a small LP over distance-level counts.
+//
+// The model has one variable y_d per distance level d = 1..D (the number
+// of nodes at exactly distance d from the source), minimizing
+// sum(d * y_d) subject to:
+//
+//   - sum(y_d) = n-1: every node sits at some finite distance (any
+//     feasible topology is strongly connected);
+//   - y_1 <= radix: the source has at most radix out-links;
+//   - y_{d+1} <= radix * y_d: each node at distance d contributes at
+//     most radix out-links, so the next level cannot be more than radix
+//     times larger (the Moore argument, level by level);
+//   - sum(y_{d'} for d' <= d) <= cumReach[d-1]: no topology can reach
+//     more nodes within d hops than the "full" graph containing every
+//     valid candidate link does (adding links never increases
+//     distances).
+//
+// cumReach[d-1] is that reachability capacity for level d; levels past
+// len(cumReach) reuse the final entry (reachability saturates at the
+// full graph's horizon) and D extends to n-1, the longest possible
+// shortest path, so topologies with a larger diameter than the full
+// graph remain feasible points of the relaxation.
+//
+// The LP relaxes true level vectors (integrality is dropped), so its
+// optimum is a valid lower bound — and because the branching constraint
+// couples consecutive levels, it dominates bounds that cap each level
+// independently. An error is returned only for malformed inputs
+// (n < 2, radix < 1, empty cumReach, or a final capacity below n-1,
+// which means even the full graph cannot reach every node).
+func DistanceLevelBound(n, radix int, cumReach []int) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("mip: DistanceLevelBound needs n >= 2, got %d", n)
+	}
+	if radix < 1 {
+		return 0, fmt.Errorf("mip: DistanceLevelBound needs radix >= 1, got %d", radix)
+	}
+	if len(cumReach) == 0 {
+		return 0, fmt.Errorf("mip: DistanceLevelBound needs a reachability profile")
+	}
+	if last := cumReach[len(cumReach)-1]; last < n-1 {
+		return 0, fmt.Errorf("mip: full-graph reachability %d < n-1 = %d (no feasible topology)", last, n-1)
+	}
+	maxD := n - 1
+	p := NewProblem()
+	ys := make([]Var, maxD)
+	sum := make([]Term, 0, maxD)
+	for d := 1; d <= maxD; d++ {
+		cap := cumReach[len(cumReach)-1]
+		if d-1 < len(cumReach) {
+			cap = cumReach[d-1]
+		}
+		ys[d-1] = p.AddVar(0, float64(cap), float64(d), fmt.Sprintf("y%d", d))
+		sum = append(sum, Term{Var: ys[d-1], Coeff: 1})
+		// Cumulative reachability: levels 1..d together cannot exceed the
+		// full graph's d-hop horizon.
+		p.AddConstraint(append([]Term(nil), sum...), LE, float64(cap))
+	}
+	p.AddConstraint(sum, EQ, float64(n-1))
+	p.AddConstraint([]Term{{Var: ys[0], Coeff: 1}}, LE, float64(radix))
+	for d := 1; d < maxD; d++ {
+		p.AddConstraint([]Term{
+			{Var: ys[d], Coeff: 1},
+			{Var: ys[d-1], Coeff: -float64(radix)},
+		}, LE, 0)
+	}
+	sol, err := p.SolveLP()
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != Optimal {
+		return 0, fmt.Errorf("mip: DistanceLevelBound LP ended %s", sol.Status)
+	}
+	return sol.Obj, nil
+}

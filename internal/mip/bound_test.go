@@ -1,0 +1,75 @@
+package mip
+
+import (
+	"math"
+	"testing"
+)
+
+// A radix-1 topology is a path: the k-th closest node is at distance k,
+// so the per-source distance sum is 1+2+...+(n-1).
+func TestDistanceLevelBoundPath(t *testing.T) {
+	got, err := DistanceLevelBound(5, 1, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(1 + 2 + 3 + 4); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("radix-1 bound = %v, want %v", got, want)
+	}
+}
+
+// With radix 2 and no reachability restriction the Moore levels are
+// 2, 4, ...: for n=7 the optimum packs 2 nodes at distance 1 and 4 at
+// distance 2 — 2*1 + 4*2 = 10.
+func TestDistanceLevelBoundMoore(t *testing.T) {
+	got, err := DistanceLevelBound(7, 2, []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10.0; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("moore bound = %v, want %v", got, want)
+	}
+}
+
+// The branching constraint must tighten the bound beyond independent
+// per-level caps: with radix 4 but only one reachable neighbor at
+// distance 1, level 2 is capped at 4*1 = 4 even though the full graph
+// reaches 7 nodes within two hops. n=9: y = (1, 4, 3) -> 1 + 8 + 9 = 18,
+// whereas per-level caps alone would allow (1, 6, 1) -> 16.
+func TestDistanceLevelBoundBranchingTightens(t *testing.T) {
+	got, err := DistanceLevelBound(9, 4, []int{1, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 18.0; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("branching bound = %v, want %v", got, want)
+	}
+}
+
+// Reachability horizons shorter than the eventual diameter must not make
+// the LP infeasible: levels past the profile reuse the final capacity.
+func TestDistanceLevelBoundExtendsHorizon(t *testing.T) {
+	// radix 1 forces one node per level; the profile only describes two
+	// hops but the path needs five levels.
+	got, err := DistanceLevelBound(6, 1, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(1 + 2 + 3 + 4 + 5); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("extended-horizon bound = %v, want %v", got, want)
+	}
+}
+
+func TestDistanceLevelBoundErrors(t *testing.T) {
+	if _, err := DistanceLevelBound(1, 2, []int{1}); err == nil {
+		t.Error("n < 2 should error")
+	}
+	if _, err := DistanceLevelBound(5, 0, []int{4}); err == nil {
+		t.Error("radix < 1 should error")
+	}
+	if _, err := DistanceLevelBound(5, 2, nil); err == nil {
+		t.Error("empty profile should error")
+	}
+	if _, err := DistanceLevelBound(5, 2, []int{3}); err == nil {
+		t.Error("profile that never reaches n-1 should error")
+	}
+}

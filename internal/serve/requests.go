@@ -38,6 +38,11 @@ type SynthRequest struct {
 	Seed         int64   `json:"seed,omitempty"`
 	Iterations   int     `json:"iterations,omitempty"`
 	Restarts     int     `json:"restarts,omitempty"`
+	// Population >= 2 selects population-mode synthesis (evolution over
+	// a pool of that many topologies); Generations is the number of
+	// evolution rounds (default 8). See synth.Config.
+	Population  int `json:"population,omitempty"`
+	Generations int `json:"generations,omitempty"`
 }
 
 // SynthResult is a synth job's result payload.
@@ -69,6 +74,9 @@ func (req *SynthRequest) config() (synth.Config, error) {
 	if req.Restarts < 0 || req.Restarts > maxSynthRestarts {
 		return synth.Config{}, fmt.Errorf("restarts %d outside [0, %d]", req.Restarts, maxSynthRestarts)
 	}
+	if err := checkPopulation(req.Population, req.Generations, req.Iterations); err != nil {
+		return synth.Config{}, err
+	}
 	// Statically invalid knobs must 400 at POST time, not fail the job
 	// after consuming a queue slot.
 	if req.Radix < 0 {
@@ -93,6 +101,7 @@ func (req *SynthRequest) config() (synth.Config, error) {
 		MaxDiameter: req.MaxDiameter, MinCutBW: req.MinCutBW,
 		EnergyWeight: req.EnergyWeight, RobustWeight: req.RobustWeight,
 		Seed: req.Seed, Iterations: req.Iterations, Restarts: req.Restarts,
+		Population: req.Population, Generations: req.Generations,
 	}
 	switch defaultStr(req.Objective, "latop") {
 	case "latop":
@@ -169,6 +178,12 @@ type MatrixRequest struct {
 	// SynthIterations bounds "ns" topology synthesis (default 20000,
 	// fixed 4 restarts; deterministic, hence cacheable).
 	SynthIterations int `json:"synth_iterations,omitempty"`
+	// SynthPopulation/SynthGenerations switch "ns" synthesis to
+	// population mode (still deterministic and cacheable). Like the
+	// synthesis budget, they are part of the ns topology's identity, so
+	// CLI and HTTP runs must agree on them to share matrix cells.
+	SynthPopulation  int `json:"synth_population,omitempty"`
+	SynthGenerations int `json:"synth_generations,omitempty"`
 	// Shards, when > 1, splits the matrix into that many shard leases
 	// for cluster workers instead of executing locally (clamped to the
 	// cell count; capped at 32). 0 defers to the server's configured
@@ -211,7 +226,38 @@ const (
 	maxPatterns      = 64
 	maxFaults        = 16
 	maxShards        = 32
+	maxPopulation    = 64
+	maxGenerations   = 64
 )
+
+// checkPopulation validates population-mode knobs, including the total
+// annealing budget population * (1 + generations) * iterations — a
+// population job must not exceed what the restart caps already allow
+// (maxSynthIters * maxSynthRestarts steps).
+func checkPopulation(population, generations, iterations int) error {
+	if population < 0 || population == 1 || population > maxPopulation {
+		return fmt.Errorf("population %d outside {0, 2..%d}", population, maxPopulation)
+	}
+	if generations < 0 || generations > maxGenerations {
+		return fmt.Errorf("generations %d outside [0, %d]", generations, maxGenerations)
+	}
+	if generations > 0 && population == 0 {
+		return fmt.Errorf("generations %d needs population >= 2", generations)
+	}
+	if population > 0 {
+		iters, gens := iterations, generations
+		if iters == 0 {
+			iters = 60000 // synth.Config default
+		}
+		if gens == 0 {
+			gens = 8 // synth.Config default
+		}
+		if total := int64(population) * int64(1+gens) * int64(iters); total > int64(maxSynthIters)*int64(maxSynthRestarts) {
+			return fmt.Errorf("population budget %d annealing steps over cap %d", total, int64(maxSynthIters)*int64(maxSynthRestarts))
+		}
+	}
+	return nil
+}
 
 // parseBoundedGrid is layout.ParseGrid plus the router-count cap.
 func parseBoundedGrid(s string) (*layout.Grid, error) {
@@ -238,6 +284,8 @@ type matrixPlan struct {
 	ew        float64
 	rw        float64
 	synthIter int
+	synthPop  int
+	synthGens int
 }
 
 // cellCount is the matrix cell total the plan will resolve — the
@@ -370,6 +418,10 @@ func (req *MatrixRequest) plan() (*matrixPlan, error) {
 	if p.synthIter < 0 || p.synthIter > maxSynthIters {
 		return nil, fmt.Errorf("synth_iterations %d outside [0, %d]", p.synthIter, maxSynthIters)
 	}
+	if err := checkPopulation(req.SynthPopulation, req.SynthGenerations, p.synthIter); err != nil {
+		return nil, err
+	}
+	p.synthPop, p.synthGens = req.SynthPopulation, req.SynthGenerations
 	if req.Shards < 0 || req.Shards > maxShards {
 		return nil, fmt.Errorf("shards %d outside [0, %d]", req.Shards, maxShards)
 	}
@@ -385,7 +437,7 @@ func (req *MatrixRequest) plan() (*matrixPlan, error) {
 // success. synthAllCached reports whether every "ns" topology came
 // from the store.
 func (p *matrixPlan) run(ctx context.Context, st *store.Store, shard sim.Shard, progress func(done, total int)) (res *sim.MatrixResult, synthAllCached bool, err error) {
-	setups, synthAllCached, err := exp.MatrixSetups(p.topos, p.grid, p.class, st, p.ew, p.rw, p.seed, p.synthIter)
+	setups, synthAllCached, err := exp.MatrixSetups(p.topos, p.grid, p.class, st, p.ew, p.rw, p.seed, p.synthIter, p.synthPop, p.synthGens)
 	if err != nil {
 		return nil, false, err
 	}

@@ -174,6 +174,52 @@ func TestSynthJobLifecycleAndCacheHit(t *testing.T) {
 	}
 }
 
+// TestSynthPopulationJob: population-mode synth bodies run end to end
+// through /v1/jobs, the repeated POST is a cache hit, and a classic
+// restart body over the same store never collides with it.
+func TestSynthPopulationJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"kind":"synth","grid":"4x5","class":"medium","objective":"latop","seed":3,"iterations":1200,"restarts":1,"population":2,"generations":1}`
+
+	code, j1 := postReq(t, ts.URL+"/v1/jobs", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+	done1 := pollDone(t, ts.URL, j1.ID)
+	if done1.State != StateDone || done1.CacheHit {
+		t.Fatalf("population job 1: %+v", done1)
+	}
+	var r1 SynthResult
+	if err := json.Unmarshal(done1.Result, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Links == 0 || r1.Objective == 0 {
+		t.Fatalf("implausible population result: %+v", r1)
+	}
+
+	code, j2 := postReq(t, ts.URL+"/v1/jobs", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST 2 status %d", code)
+	}
+	done2 := pollDone(t, ts.URL, j2.ID)
+	if done2.State != StateDone || !done2.CacheHit {
+		t.Fatalf("repeated population request not served from cache: %+v", done2)
+	}
+
+	classic := `{"kind":"synth","grid":"4x5","class":"medium","objective":"latop","seed":3,"iterations":1200,"restarts":1}`
+	code, j3 := postReq(t, ts.URL+"/v1/jobs", classic)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST 3 status %d", code)
+	}
+	done3 := pollDone(t, ts.URL, j3.ID)
+	if done3.State != StateDone {
+		t.Fatalf("classic job: %+v", done3)
+	}
+	if done3.CacheHit {
+		t.Error("classic restart request collided with the population cache entry")
+	}
+}
+
 // TestMatrixJobCacheHit: the serve-smoke contract — a repeated matrix
 // POST simulates zero cells. Exercises the deprecated /v1/matrix alias
 // to pin that it still works and routes into the same path.
@@ -277,6 +323,18 @@ func TestBadRequests(t *testing.T) {
 		{"/v1/jobs", `{"kind":"matrix","grid":"4x5","shards":100}`},   // shard cap
 		{"/v1/jobs", `{"kind":"synth","grid":"4x5","unknown_field":1}`},
 		{"/v1/jobs", `not json`},
+		// Population knobs: population 1 is invalid, generations need a
+		// population, caps hold, and the total population budget
+		// (population x generations x iterations) is bounded even when
+		// each knob individually passes its cap.
+		{"/v1/synth", `{"grid":"4x5","population":1}`},
+		{"/v1/synth", `{"grid":"4x5","population":100}`},
+		{"/v1/synth", `{"grid":"4x5","generations":2}`},
+		{"/v1/synth", `{"grid":"4x5","population":2,"generations":100}`},
+		{"/v1/synth", `{"grid":"4x5","population":64,"generations":64,"iterations":1000000}`},
+		{"/v1/matrix", `{"grid":"4x5","synth_population":1}`},
+		{"/v1/matrix", `{"grid":"4x5","synth_generations":2}`},
+		{"/v1/matrix", `{"grid":"4x5","synth_population":64,"synth_generations":64,"synth_iterations":1000000}`},
 	}
 	for _, c := range cases {
 		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))

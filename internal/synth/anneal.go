@@ -78,7 +78,13 @@ func (a *annealer) run() (*Result, error) {
 		a.bound = scOpUpperBound(a.cfg)
 	}
 	a.setBest(nil, math.Inf(1))
-	if a.cfg.TimeBudget > 0 {
+	if a.cfg.Population > 0 {
+		// Population mode: evolve a pool of topologies. Children are
+		// computed in parallel but merged sequentially with (score,
+		// index) tie-breaking, so the trace and incumbent are rebuilt
+		// deterministically, like fixed-restart mode.
+		a.runPopulation()
+	} else if a.cfg.TimeBudget > 0 {
 		// Time-bounded runs are inherently timing-dependent; the trace
 		// and Progress callbacks stream live from record().
 		a.traceLive = true
@@ -550,6 +556,20 @@ func (a *annealer) annealRestart(restart int64, iters int) restartResult {
 	rng := newFastRand(cfg.Seed*1000003 + restart)
 	state := stateFromTopology(seedTopology(cfg))
 	a.fillRandom(state, rng)
+	return a.annealFrom(rng, state, iters, 1)
+}
+
+// annealFrom runs one annealing schedule of iters steps starting from
+// state (mutated in place) and returns the local best found. The
+// trajectory is a pure function of (rng state, state, iters, tempScale),
+// which lets population mode reuse the annealer as its mutation
+// operator: crossover children are burst-annealed from their repaired
+// link sets with child-derived RNGs, preserving the determinism
+// contract. tempScale scales the starting temperature: restarts explore
+// from scratch at 1; population bursts polish an already-good child at
+// popBurstTemp, cool enough not to scramble the inherited structure.
+func (a *annealer) annealFrom(rng *fastRand, state *bitgraph.Graph, iters int, tempScale float64) restartResult {
+	cfg := a.cfg
 	ctx := a.newSearchCtx(state)
 	curScore := ctx.score()
 	curValid := true
@@ -602,7 +622,7 @@ func (a *annealer) annealRestart(restart int64, iters int) restartResult {
 	}
 
 	// Geometric cooling scaled to the initial score magnitude.
-	t0 := math.Max(1, 0.02*math.Abs(curScore))
+	t0 := tempScale * math.Max(1, 0.02*math.Abs(curScore))
 	tEnd := math.Max(1e-6, 1e-4*t0)
 	cooling := math.Pow(tEnd/t0, 1/float64(max(1, iters)))
 	temp := t0

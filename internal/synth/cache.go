@@ -36,6 +36,12 @@ type synthPayload struct {
 	Seed         int64       `json:"seed"`
 	Iterations   int         `json:"iterations"`
 	Restarts     int         `json:"restarts"`
+	// Population/Generations select population mode; omitempty keeps
+	// every pre-population cache key byte-identical. Config.Store is
+	// deliberately absent: it is a mechanism, not an input — results
+	// are bit-identical with or without it.
+	Population  int `json:"population,omitempty"`
+	Generations int `json:"generations,omitempty"`
 }
 
 // cacheKey canonicalizes the config. ok is false when the run is not
@@ -55,6 +61,7 @@ func (c Config) cacheKey() (store.Key, bool) {
 		Weights: cfg.Weights, EnergyWeight: cfg.EnergyWeight,
 		RobustWeight: cfg.RobustWeight,
 		Seed:         cfg.Seed, Iterations: cfg.Iterations, Restarts: cfg.Restarts,
+		Population: cfg.Population, Generations: cfg.Generations,
 	}), true
 }
 
@@ -78,11 +85,12 @@ type cachedResult struct {
 // presets: the config determines the topology, the topology fingerprint
 // anchors every cell cache key, so front ends sharing a store must
 // build the exact same config or cache-sharing silently breaks.
-func MatrixNSConfig(g *layout.Grid, cl layout.Class, energyWeight, robustWeight float64, seed int64, iterations int) Config {
+func MatrixNSConfig(g *layout.Grid, cl layout.Class, energyWeight, robustWeight float64, seed int64, iterations, population, generations int) Config {
 	return Config{
 		Grid: g, Class: cl, Objective: LatOp,
 		EnergyWeight: energyWeight, RobustWeight: robustWeight,
 		Seed: seed, Iterations: iterations, Restarts: 4,
+		Population: population, Generations: generations,
 	}
 }
 
@@ -98,6 +106,10 @@ func CachedGenerate(st *store.Store, c Config) (*Result, bool, error) {
 		res, err := Generate(c)
 		return res, false, err
 	}
+	// Population mode additionally caches its portfolio members through
+	// Config.Store, even when the final result itself is uncacheable
+	// (TimeBudget runs still reuse deterministic members).
+	c.Store = st
 	key, ok := c.cacheKey()
 	if !ok {
 		res, err := Generate(c)

@@ -72,6 +72,62 @@ func TestCachedGenerateKeySensitivity(t *testing.T) {
 	}
 }
 
+// Population-mode keys: each population knob (and the seed) must miss
+// against the others' entries, an unrelated knob (Progress) must still
+// hit, and a classic restart config must never collide with a
+// population one.
+func TestCachedGeneratePopulationKeySensitivity(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	popCfg := func() Config {
+		cfg := smallCfg()
+		cfg.Population = 2
+		cfg.Generations = 1
+		return cfg
+	}
+	if _, hit, err := CachedGenerate(st, popCfg()); err != nil || hit {
+		t.Fatalf("populate: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := CachedGenerate(st, popCfg()); err != nil || !hit {
+		t.Fatalf("identical population config missed: hit=%v err=%v", hit, err)
+	}
+	for name, mutate := range map[string]func(*Config){
+		"population":  func(c *Config) { c.Population = 3 },
+		"generations": func(c *Config) { c.Generations = 2 },
+		"seed":        func(c *Config) { c.Seed++ },
+		"classic":     func(c *Config) { c.Population = 0; c.Generations = 0 },
+	} {
+		cfg := popCfg()
+		mutate(&cfg)
+		if _, hit, err := CachedGenerate(st, cfg); err != nil || hit {
+			t.Fatalf("%s change hit the population entry: hit=%v err=%v", name, hit, err)
+		}
+	}
+	cfg := popCfg()
+	cfg.Progress = func(ProgressPoint) {}
+	if _, hit, err := CachedGenerate(st, cfg); err != nil || !hit {
+		t.Fatalf("unrelated knob (Progress) missed: hit=%v err=%v", hit, err)
+	}
+}
+
+// Population configs are uncacheable under a time budget by the same
+// construction as classic ones: cacheKey refuses any TimeBudget > 0
+// before the population fields are even considered.
+func TestPopulationTimeBudgetUncacheable(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Population = 2
+	cfg.Generations = 1
+	if _, ok := cfg.cacheKey(); !ok {
+		t.Fatal("fixed-budget population config reported uncacheable")
+	}
+	cfg.TimeBudget = 1
+	if _, ok := cfg.cacheKey(); ok {
+		t.Fatal("time-budgeted population config reported cacheable")
+	}
+}
+
 // TestCachedGenerateTimeBudgetUncacheable: wall-clock-bounded runs must
 // never populate or hit the cache.
 func TestCachedGenerateTimeBudgetUncacheable(t *testing.T) {

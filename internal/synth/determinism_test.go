@@ -7,6 +7,7 @@ import (
 
 	"netsmith/internal/bitgraph"
 	"netsmith/internal/layout"
+	"netsmith/internal/store"
 )
 
 // traceValues renders the scheduling-independent part of a progress
@@ -75,6 +76,106 @@ func TestGenerateDeterministicAcrossGOMAXPROCS(t *testing.T) {
 			}
 		}
 	}
+}
+
+// Population mode must honor the same purity contract as fixed-restart
+// mode: the breeding plan is drawn sequentially, children are keyed by
+// index and the elitist merge is sequential, so evolution is a pure
+// function of the Config at any GOMAXPROCS.
+func TestPopulationDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, obj := range []Objective{LatOp, SCOp} {
+		cfg := quickCfg(layout.Grid4x5, layout.Medium, obj)
+		cfg.Iterations = 1200
+		cfg.Restarts = 1
+		cfg.Population = 4
+		cfg.Generations = 2
+		var want, wantTrace string
+		var wantObj, wantBound float64
+		for _, procs := range []int{1, 4, 8} {
+			runtime.GOMAXPROCS(procs)
+			res, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			canon := res.Topology.CanonicalLinkList()
+			trace := traceValues(res)
+			if want == "" {
+				want, wantTrace = canon, trace
+				wantObj, wantBound = res.Objective, res.Bound
+			} else if canon != want {
+				t.Fatalf("%v: GOMAXPROCS=%d produced a different topology", obj, procs)
+			} else if trace != wantTrace {
+				t.Fatalf("%v: GOMAXPROCS=%d produced a different progress trace", obj, procs)
+			} else if res.Objective != wantObj || res.Bound != wantBound {
+				t.Fatalf("%v: GOMAXPROCS=%d produced different metrics", obj, procs)
+			}
+		}
+	}
+}
+
+// The member store is a bit-exact cache of a pure computation: a cold
+// run (computing and persisting members), a warm run (reloading them)
+// and a store-less run must evolve identically, topology, metrics and
+// trace included.
+func TestPopulationDeterministicWarmStore(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg(layout.Grid4x5, layout.Medium, LatOp)
+	cfg.Iterations = 1200
+	cfg.Restarts = 1
+	cfg.Population = 4
+	cfg.Generations = 2
+	cfg.Store = st
+	cold, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = nil
+	bare, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cold.Topology.CanonicalLinkList()
+	for name, res := range map[string]*Result{"warm": warm, "store-less": bare} {
+		if got := res.Topology.CanonicalLinkList(); got != want {
+			t.Errorf("%s run produced a different topology", name)
+		}
+		if res.Objective != cold.Objective || res.Bound != cold.Bound {
+			t.Errorf("%s run produced different metrics", name)
+		}
+		if got, wantT := traceValues(res), traceValues(cold); got != wantT {
+			t.Errorf("%s run produced a different progress trace", name)
+		}
+	}
+	// Weight-agnostic member keys: a config differing only in seed (and
+	// thus evolving differently) still reloads the same stored members.
+	// Observable here as the store growing no new member blobs.
+	before := storeEntryCount(t, st)
+	cfg.Store = st
+	cfg.Seed += 17
+	if _, err := Generate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if after := storeEntryCount(t, st); after != before {
+		t.Errorf("nearby-config run wrote %d new member blobs, want full reuse", after-before)
+	}
+}
+
+func storeEntryCount(t *testing.T, st *store.Store) int {
+	t.Helper()
+	n, err := st.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
 }
 
 // The incremental score must be bit-identical to a from-scratch

@@ -1,0 +1,73 @@
+package synth
+
+import (
+	"sync"
+
+	"netsmith/internal/mip"
+)
+
+var mipBoundMemo sync.Map // boundKey -> float64
+
+// mipLatOpBound is latOpLowerBound tightened by the LP relaxation in
+// internal/mip: per source, mip.DistanceLevelBound couples consecutive
+// distance levels through the radix branching constraint, so a source
+// whose reachable neighborhood is thin (few valid links) caps every
+// later level too — something the element-wise max of the reachability
+// and Moore sequences cannot express. The result is still a rigorous
+// lower bound on total hops (each per-source LP relaxes every feasible
+// topology's true level vector), and it dominates the combinatorial
+// bound, which it falls back to if any per-source LP is unavailable.
+// Population mode uses it to prune hopeless offspring.
+func mipLatOpBound(cfg Config) float64 {
+	key := boundKey{cfg.Grid.Rows, cfg.Grid.Cols, cfg.Class, cfg.Radix, false}
+	if v, ok := mipBoundMemo.Load(key); ok {
+		return v.(float64)
+	}
+	v := mipLatOpBoundCompute(cfg)
+	mipBoundMemo.Store(key, v)
+	return v
+}
+
+func mipLatOpBoundCompute(cfg Config) float64 {
+	comb := latOpLowerBound(cfg)
+	n := cfg.Grid.N()
+	if n < 2 {
+		return comb
+	}
+	g := validGraph(cfg)
+	dist := make([]int16, n)
+	var total float64
+	for s := 0; s < n; s++ {
+		g.BFSRow(s, dist)
+		maxD := 0
+		for v, d := range dist {
+			if v != s && d < 0 {
+				// Even the full valid graph cannot reach every node: no
+				// feasible topology exists and the LP has no feasible
+				// point; keep the combinatorial bound's behaviour.
+				return comb
+			}
+			if int(d) > maxD {
+				maxD = int(d)
+			}
+		}
+		cum := make([]int, maxD)
+		for v, d := range dist {
+			if v != s && d > 0 {
+				cum[d-1]++
+			}
+		}
+		for i := 1; i < maxD; i++ {
+			cum[i] += cum[i-1]
+		}
+		b, err := mip.DistanceLevelBound(n, cfg.Radix, cum)
+		if err != nil {
+			return comb
+		}
+		total += b
+	}
+	if comb > total {
+		return comb
+	}
+	return total
+}

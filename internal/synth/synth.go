@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"netsmith/internal/layout"
+	"netsmith/internal/store"
 	"netsmith/internal/topo"
 )
 
@@ -124,6 +125,27 @@ type Config struct {
 	Iterations int
 	Restarts   int
 
+	// Population, when >= 2, switches Generate to population mode: a
+	// pool of Population topologies evolved for Generations rounds of
+	// tournament selection, link-subset crossover with journaled
+	// connectivity repair, and short anneal bursts of Iterations steps
+	// each (Restarts is ignored). Evolution is a pure function of the
+	// Config: same seed, same topology, at any GOMAXPROCS. The total
+	// search budget is Population * (1 + Generations) * Iterations
+	// annealing steps (initial portfolio plus one burst per child).
+	Population int
+	// Generations is the number of evolution rounds in population mode
+	// (default 8 when Population > 0, ignored otherwise).
+	Generations int
+
+	// Store, when non-nil, caches the deterministic initial-population
+	// portfolio members under family keys (grid, class, radix, symmetry
+	// and budget — but not weights, objective or seed), so past
+	// population runs warm-start nearby configs. The store is purely a
+	// cache of pure computations: results are bit-identical with or
+	// without it. CachedGenerate wires it automatically.
+	Store *store.Store
+
 	// TimeBudget, when positive, stops the search after this duration
 	// even if iterations remain.
 	TimeBudget time.Duration
@@ -200,6 +222,18 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.Restarts == 0 {
 		cfg.Restarts = 4
+	}
+	if cfg.Population < 0 || cfg.Population == 1 {
+		return cfg, fmt.Errorf("synth: population must be 0 (off) or >= 2, got %d", cfg.Population)
+	}
+	if cfg.Generations < 0 {
+		return cfg, fmt.Errorf("synth: negative generations %d", cfg.Generations)
+	}
+	if cfg.Generations > 0 && cfg.Population == 0 {
+		return cfg, errors.New("synth: Generations requires Population >= 2")
+	}
+	if cfg.Population > 0 && cfg.Generations == 0 {
+		cfg.Generations = 8
 	}
 	if cfg.Objective == Weighted {
 		n := cfg.Grid.N()

@@ -149,7 +149,15 @@ type Options struct {
 	Iterations int
 	Restarts   int
 	TimeBudget time.Duration
-	Progress   func(ProgressPoint)
+	// Population >= 2 switches the fixed-budget search to population
+	// mode: a pool of Population topologies evolved for Generations
+	// rounds (default 8) of tournament crossover + anneal-burst
+	// mutation, elitist-merged deterministically. Total budget is
+	// Population*(1+Generations)*Iterations annealing steps. Generation
+	// counts require Population; Population 1 is invalid.
+	Population  int
+	Generations int
+	Progress    func(ProgressPoint)
 }
 
 // synthConfig maps the public Options onto the solver config — the one
@@ -163,6 +171,7 @@ func (o Options) synthConfig() synth.Config {
 		RobustWeight: o.RobustWeight,
 		Seed:         o.Seed, Iterations: o.Iterations, Restarts: o.Restarts,
 		TimeBudget: o.TimeBudget, Progress: o.Progress,
+		Population: o.Population, Generations: o.Generations,
 	}
 	if o.TimeBudget > 0 {
 		// Time-bounded runs should not stop early on iteration count.
