@@ -11,6 +11,7 @@ package netsmith
 
 import (
 	"io"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -512,6 +513,27 @@ func BenchmarkExactLatOpTiny(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := synth.ExactLatOp(cfg, 0); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParetoFilter measures the exact domination filter behind
+// ParetoSweep on a 1024-point cloud (the filter is O(n²) in swept
+// points, so this is the frontier-assembly hot path at fleet scale).
+func BenchmarkParetoFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ms := make([]exp.ParetoMetrics, 1024)
+	for i := range ms {
+		ms[i] = exp.ParetoMetrics{
+			LatencyNs:       20 + 40*rng.Float64(),
+			SaturationPerNs: 0.05 + 0.25*rng.Float64(),
+			EnergyPerFlitPJ: 1 + 9*rng.Float64(),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if keep := exp.FilterDominated(ms); len(keep) == 0 {
+			b.Fatal("empty frontier")
 		}
 	}
 }

@@ -32,6 +32,13 @@ type (
 	// MatrixJobOutcome is a matrix job's payload: the matrix plus the
 	// simulated/cached cell split.
 	MatrixJobOutcome = serve.MatrixJobResult
+	// ParetoJob describes one Pareto-frontier sweep (POST /v1/pareto):
+	// synthesize a topology per weight-grid point, measure each, prune
+	// dominated points, report fleet-level energy accounting.
+	ParetoJob = serve.ParetoRequest
+	// ParetoJobOutcome is a pareto job's payload: the frontier plus the
+	// run's synthesis/cell cache accounting.
+	ParetoJobOutcome = serve.ParetoJobResult
 	// JobView is the canonical job envelope the HTTP API reports.
 	JobView = serve.JobView
 )
@@ -177,6 +184,28 @@ func (c *Client) Matrix(ctx context.Context, job MatrixJob) (*MatrixJobOutcome, 
 	}
 	var out MatrixJobOutcome
 	hit, err := c.remote(ctx, "matrix", job, &out)
+	if err != nil {
+		return nil, false, err
+	}
+	return &out, hit, nil
+}
+
+// Pareto runs one Pareto-frontier sweep to completion. The bool
+// reports that the sweep did no new work (the frontier itself — or
+// every synthesis and matrix cell under it — came from the store).
+// Frontier bytes are identical between local and remote mode, warm and
+// cold store. Progress is reported in sweep units: one per synthesis
+// point plus an equal measurement share.
+func (c *Client) Pareto(ctx context.Context, job ParetoJob) (*ParetoJobOutcome, bool, error) {
+	if c.server == "" {
+		out, hit, err := serve.ExecutePareto(ctx, c.st, job, monotone(c.progress))
+		if err != nil {
+			return nil, false, err
+		}
+		return out, hit, nil
+	}
+	var out ParetoJobOutcome
+	hit, err := c.remote(ctx, "pareto", job, &out)
 	if err != nil {
 		return nil, false, err
 	}

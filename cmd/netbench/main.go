@@ -19,6 +19,9 @@
 //	netbench -matrix -store .netsmith-store     # cached + resumable
 //	netbench -matrix -store S -shard 0/2        # this machine's half
 //	netbench -matrix -unbatched                 # fresh engine per cell
+//	netbench -pareto                            # energy-weight Pareto frontier
+//	netbench -pareto -energy-weights 0,1,2 -robust-weights 0,50 \
+//	    -store S -csv out                       # cached sweep + frontier.csv/.json
 //	netbench -exp fig6 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Experiments: fig1, table2, fig5, fig6, fig7, fig8, fig9, fig10,
@@ -34,6 +37,14 @@
 // deterministic 1/n of the cells (requires -store); once all n shards
 // have run against a shared store, the last one (or any re-run)
 // assembles CSV/JSON byte-identical to an unsharded run.
+//
+// -pareto sweeps an (energy, robust) synthesis-weight grid instead of a
+// scenario matrix: one topology synthesized per grid point, measured
+// under uniform traffic, dominated points pruned, the surviving
+// frontier printed with fleet-level energy accounting (and written to
+// -csv dir frontier.csv/frontier.json, byte-identical across reruns).
+// -store caches synthesis, measurement and the assembled frontier;
+// -shard i/n computes a deterministic 1/n of the sweep points.
 package main
 
 import (
@@ -57,6 +68,7 @@ import (
 	"netsmith/internal/layout"
 	"netsmith/internal/sim"
 	"netsmith/internal/store"
+	"netsmith/internal/synth"
 	"netsmith/internal/traffic"
 )
 
@@ -75,6 +87,9 @@ func realMain() int {
 	full := flag.Bool("full", false, "full fidelity (slower, tighter numbers)")
 	csvDir := flag.String("csv", "", "also write <dir>/<experiment>.csv data files")
 	matrix := flag.Bool("matrix", false, "run the scenario matrix instead of figure experiments")
+	pareto := flag.Bool("pareto", false, "run a Pareto-frontier sweep over the synthesis weight grid instead of figure experiments")
+	energyWeights := flag.String("energy-weights", "", "pareto: comma-separated energy-weight grid (default 0,0.5,1,2)")
+	robustWeights := flag.String("robust-weights", "", "pareto: comma-separated robust-weight grid (default 0)")
 	grid := flag.String("grid", "4x5", "matrix: interposer grid RxC")
 	class := flag.String("class", "medium", "matrix: link-length class of the synthesized topology")
 	topos := flag.String("topos", "mesh,ns", "matrix: comma-separated topologies (mesh, ns)")
@@ -130,6 +145,13 @@ func realMain() int {
 	if *matrix {
 		if err := runMatrix(*grid, *class, *topos, *patterns, *rates, *traceFile, *faults, *csvDir, *storeDir, *shardArg, *smoke, *full, *energy, *unbatched, *energyWeight, *robustWeight, *seed, *population, *generations); err != nil {
 			fmt.Fprintf(os.Stderr, "matrix: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *pareto {
+		if err := runPareto(*grid, *class, *energyWeights, *robustWeights, *rates, *csvDir, *storeDir, *shardArg, *smoke, *full, *seed, *population, *generations); err != nil {
+			fmt.Fprintf(os.Stderr, "pareto: %v\n", err)
 			return 1
 		}
 		return 0
@@ -369,13 +391,9 @@ func runMatrix(grid, class, topos, patterns, rates, traceFile, faults, csvDir, s
 		})
 	}
 
-	var rateGrid []float64
-	for _, f := range strings.Split(rates, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil || v <= 0 {
-			return fmt.Errorf("bad rate %q", f)
-		}
-		rateGrid = append(rateGrid, v)
+	rateGrid, err := parseFloatList("rate", rates, false)
+	if err != nil {
+		return err
 	}
 
 	// Use the shared presets: the budgets feed cell cache keys, so CLI
@@ -447,6 +465,134 @@ func runMatrix(grid, class, topos, patterns, rates, traceFile, faults, csvDir, s
 		}
 		defer jf.Close()
 		if err := exp.MatrixJSON(jf, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseFloatList parses a comma-separated float list; an empty string
+// is nil (callers default it). Values must be finite and positive, or
+// merely non-negative with allowZero (weight grids price terms away
+// with 0).
+func parseFloatList(name, args string, allowZero bool) ([]float64, error) {
+	if strings.TrimSpace(args) == "" {
+		return nil, nil
+	}
+	var vs []float64
+	for _, f := range strings.Split(args, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v < 0 || (!allowZero && v == 0) {
+			return nil, fmt.Errorf("bad %s %q", name, f)
+		}
+		vs = append(vs, v)
+	}
+	return vs, nil
+}
+
+// runPareto sweeps the synthesis weight grid into a dominated-point-free
+// frontier with fleet-level energy accounting. Shares the synthesis and
+// cell presets (iteration budgets, seed defaults, fidelity cycle
+// budgets) with -matrix and netsmith serve, so all three fronts warm
+// each other's stores.
+func runPareto(grid, class, energyWeights, robustWeights, rates, csvDir, storeDir, shardArg string, smoke, full bool, seed int64, population, generations int) error {
+	g, err := layout.ParseGrid(grid)
+	if err != nil {
+		return err
+	}
+	cl, err := layout.ParseClass(class)
+	if err != nil {
+		return err
+	}
+	shard, err := sim.ParseShard(shardArg)
+	if err != nil {
+		return err
+	}
+	ews, err := parseFloatList("energy weight", energyWeights, true)
+	if err != nil {
+		return err
+	}
+	rws, err := parseFloatList("robust weight", robustWeights, true)
+	if err != nil {
+		return err
+	}
+	rateGrid, err := parseFloatList("rate", rates, false)
+	if err != nil {
+		return err
+	}
+	var st *store.Store
+	if storeDir != "" {
+		if st, err = store.Open(storeDir); err != nil {
+			return err
+		}
+	}
+	iters := 20000
+	if full {
+		iters = 80000
+	}
+	fidelity := sim.FidelityFast
+	switch {
+	case smoke:
+		fidelity = sim.FidelitySmoke
+	case full:
+		fidelity = sim.FidelityFull
+	}
+
+	start := time.Now()
+	fr, err := exp.ParetoSweep(exp.ParetoConfig{
+		Base:          synth.MatrixNSConfig(g, cl, 0, 0, seed, iters, population, generations),
+		EnergyWeights: ews,
+		RobustWeights: rws,
+		Rates:         rateGrid,
+		Fidelity:      fidelity,
+		Store:         st,
+		Shard:         shard,
+	})
+	var inc *exp.ParetoIncompleteError
+	if errors.As(err, &inc) {
+		// Not a failure: this shard's points are persisted; the frontier
+		// assembles once the remaining shards run against the store.
+		fmt.Printf("[pareto shard %s done: %d of %d points owned (%d synthesized, %d cached; %d cells, %d computed); %d pending — run the other shards against %s, then an unsharded re-run emits the frontier]\n",
+			inc.Shard, inc.Owned, inc.Points, inc.Synthesized, inc.SynthCached, inc.Cells, inc.CellsComputed, inc.Pending, storeDir)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	exp.PrintFrontier(os.Stdout, fr)
+	fmt.Printf("[pareto: %d points (%d energy x %d robust weights) in %v]\n",
+		fr.Swept, len(fr.EnergyWeights), len(fr.RobustWeights), time.Since(start).Round(time.Millisecond))
+	if st != nil {
+		if fr.Stats.FrontierCached {
+			fmt.Printf("[store %s: frontier served from cache; 0 points synthesized, 0 cells simulated]\n", storeDir)
+		} else {
+			fmt.Printf("[store %s: %d points synthesized, %d from cache; %d cells simulated, %d from cache]\n",
+				storeDir, fr.Stats.Synthesized, fr.Stats.SynthCached, fr.Stats.CellsComputed, fr.Stats.CellsCached)
+			if fr.Stats.StoreErrors > 0 {
+				fmt.Fprintf(os.Stderr, "warning: %d cells could not be persisted to %s (the frontier above is complete; those cells recompute on re-run)\n",
+					fr.Stats.StoreErrors, storeDir)
+			}
+		}
+	}
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		cf, err := os.Create(filepath.Join(csvDir, "frontier.csv"))
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := exp.FrontierCSV(cf, fr); err != nil {
+			return err
+		}
+		jf, err := os.Create(filepath.Join(csvDir, "frontier.json"))
+		if err != nil {
+			return err
+		}
+		defer jf.Close()
+		if err := exp.FrontierJSON(jf, fr); err != nil {
 			return err
 		}
 	}

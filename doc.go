@@ -99,6 +99,29 @@
 // cross-checkable. Options.EnergyWeight adds an energy proxy to the
 // synthesis objective.
 //
+// # Pareto frontiers and fleet energy accounting
+//
+// ParetoSweep promotes the paper's latency/throughput/energy trade-off
+// to a first-class artifact: it synthesizes one topology per
+// (EnergyWeight, RobustWeight) grid point (cache-first through the
+// synthesis store), measures every distinct candidate with the matrix
+// harness, prunes dominated points with an exact non-domination filter
+// and reports the surviving Frontier with FleetEnergy aggregates
+// (idle vs. active power shares, mean energy per delivered flit).
+// Every stage is deterministic, so frontier CSV/JSON emissions are
+// byte-identical across GOMAXPROCS and warm/cold stores — a frontier
+// diff between code versions is a real behavior change:
+//
+//	fr, err := netsmith.ParetoSweep(netsmith.ParetoConfig{
+//		Base:          synthBase, // weights zero; the grids set them
+//		EnergyWeights: []float64{0, 0.5, 1, 2},
+//		Store:         st,
+//	})
+//
+// Client.Pareto runs the same sweep as a served job (POST /v1/pareto,
+// kind "pareto" on /v1/jobs), shardable across cluster workers like a
+// matrix; netbench -pareto is the CLI front end.
+//
 // # Full system
 //
 // BuildFullSystem assembles the paper's 64-core, 4-chiplet

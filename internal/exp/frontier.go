@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+)
+
+// Pareto-frontier emission. Rows keep the sweep's fixed weight-grid
+// order and floats use the same deterministic formatting as the figure
+// and matrix CSVs, so frontier output is bit-identical across reruns,
+// GOMAXPROCS settings and warm/cold stores — a frontier diff between
+// code versions is a real behavior change.
+
+// FrontierCSV emits one row per surviving (non-dominated) sweep point:
+// the swept weights, the synthesized topology's structural scores, and
+// its measured latency/saturation/energy.
+func FrontierCSV(w io.Writer, fr *Frontier) error {
+	var rows [][]string
+	for _, p := range fr.Points {
+		rows = append(rows, []string{fr.Grid, fr.Class,
+			f(p.EnergyWeight), f(p.RobustWeight),
+			strconv.Itoa(p.Links), f(p.Objective), f(p.EnergyProxy),
+			strconv.Itoa(p.CriticalLinks), strconv.Itoa(p.Fragility),
+			f(p.LatencyNs), f(p.SaturationPerNs),
+			f(p.AvgPowerMW), f(p.IdlePowerMW), f(p.ActivePowerMW),
+			f(p.IdleShare), f(p.ActiveShare), f(p.EnergyPerFlitPJ)})
+	}
+	return writeCSV(w, []string{"grid", "class",
+		"energy_weight", "robust_weight",
+		"links", "objective", "energy_proxy",
+		"critical_links", "fragility",
+		"latency_ns", "saturation_pkt_node_ns",
+		"avg_power_mw", "idle_power_mw", "active_power_mw",
+		"idle_share", "active_share", "energy_per_flit_pj"}, rows)
+}
+
+// FrontierJSON emits the full frontier (sweep description, surviving
+// points with topologies, fleet energy aggregate) as indented JSON.
+// Stats are excluded — they describe one run, not the artifact.
+func FrontierJSON(w io.Writer, fr *Frontier) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fr)
+}
+
+// PrintFrontier renders the frontier as an aligned table plus the
+// fleet-level energy aggregate.
+func PrintFrontier(w io.Writer, fr *Frontier) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "energy w\trobust w\tlinks\tzero-load ns\tsaturation pkt/node/ns\tavg mW\tidle mW\tactive mW\tpJ/flit")
+	for _, p := range fr.Points {
+		fmt.Fprintf(tw, "%g\t%g\t%d\t%.2f\t%.4f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			p.EnergyWeight, p.RobustWeight, p.Links,
+			p.LatencyNs, p.SaturationPerNs,
+			p.AvgPowerMW, p.IdlePowerMW, p.ActivePowerMW, p.EnergyPerFlitPJ)
+	}
+	tw.Flush()
+	fe := fr.Energy
+	fmt.Fprintf(w, "frontier: %d of %d points survive (%d dominated)\n",
+		len(fr.Points), fr.Swept, fr.Pruned)
+	fmt.Fprintf(w, "fleet: %.2f mW aggregate (%.1f%% idle, %.1f%% active), %.2f pJ/flit mean\n",
+		fe.AggregatePowerMW, 100*fe.IdleShare, 100*fe.ActiveShare, fe.EnergyPerFlitPJ)
+}

@@ -10,20 +10,23 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netsmith/internal/exp"
 	"netsmith/internal/sim"
+	"netsmith/internal/store"
 )
 
-// Cluster mode: a matrix job with shards > 1 does not execute in the
-// coordinator's job runner. Instead the runner registers a clusterRun
-// — one lease slot per Shard{i,n} slice — and waits. Worker processes
-// (RunWorker) poll POST /v1/cluster/claim, execute their slice
-// cache-first against the shared store, heartbeat to keep the lease
-// alive, and POST /v1/cluster/complete. A lease whose heartbeats stop
-// (killed worker) expires and is re-offered; because every finished
-// cell is already content-addressed in the store, the new claimant
-// re-simulates only what the dead worker never persisted. When all
-// shards report, the runner performs an unsharded cache-first merge
-// over the warm store — byte-identical to a single-process run.
+// Cluster mode: a matrix or pareto job with shards > 1 does not
+// execute in the coordinator's job runner. Instead the runner registers
+// a clusterRun — one lease slot per Shard{i,n} slice — and waits.
+// Worker processes (RunWorker) poll POST /v1/cluster/claim, execute
+// their slice cache-first against the shared store, heartbeat to keep
+// the lease alive, and POST /v1/cluster/complete. A lease whose
+// heartbeats stop (killed worker) expires and is re-offered; because
+// every finished unit is already content-addressed in the store
+// (matrix cells, synthesis results), the new claimant re-simulates
+// only what the dead worker never persisted. When all shards report,
+// the runner performs an unsharded cache-first merge over the warm
+// store — byte-identical to a single-process run.
 //
 // The protocol is deliberately coordinator-centric: workers keep no
 // state but the lease in hand, so killing one at any instant loses at
@@ -60,18 +63,20 @@ func (ss *shardState) stateName(now time.Time) string {
 	}
 }
 
-// clusterRun is the coordinator-side record of one sharded matrix job;
+// clusterRun is the coordinator-side record of one sharded job;
 // guarded by Server.mu except for the immutable fields.
 type clusterRun struct {
 	jobID   string
 	job     *job
-	reqJSON json.RawMessage // canonical MatrixRequest for lease bodies
-	cells   int
+	kind    string          // "matrix" | "pareto" (lease dispatch)
+	reqJSON json.RawMessage // canonical kind-specific request for lease bodies
+	cells   int             // total progress units (matrix cells, pareto sweep units)
 
 	shards         []shardState
 	doneN          int
 	computed       int // Σ shard stats.Computed
 	storeErrs      int
+	pointsSynth    int // Σ shard pareto points synthesized
 	busy           time.Duration
 	synthAllCached bool
 	failure        string
@@ -100,16 +105,19 @@ type ClaimRequest struct {
 	Worker string `json:"worker"`
 }
 
-// Lease grants one matrix shard to a worker: execute Request with
+// Lease grants one job shard to a worker: execute Request with
 // Shard{Index: Shard, Count: Of} against the shared store, heartbeat
-// well inside TTLMS, then complete.
+// well inside TTLMS, then complete. Kind selects the request type —
+// empty means "matrix", keeping pre-pareto workers and coordinators
+// wire-compatible.
 type Lease struct {
 	LeaseID string          `json:"lease_id"`
 	JobID   string          `json:"job_id"`
+	Kind    string          `json:"kind,omitempty"` // "" | "matrix" | "pareto"
 	Shard   int             `json:"shard"`
 	Of      int             `json:"of"`
 	TTLMS   int64           `json:"ttl_ms"`
-	Request json.RawMessage `json:"request"` // MatrixRequest JSON
+	Request json.RawMessage `json:"request"` // MatrixRequest or ParetoRequest JSON
 }
 
 // HeartbeatRequest is the POST /v1/cluster/heartbeat body; Done is the
@@ -132,7 +140,10 @@ type CompleteRequest struct {
 	Error       string          `json:"error,omitempty"`
 	Stats       sim.MatrixStats `json:"stats"`
 	SynthCached bool            `json:"synth_cached"`
-	ElapsedMS   int64           `json:"elapsed_ms"`
+	// PointsSynthesized counts pareto sweep points this shard actually
+	// searched (0 for matrix shards and fully cached sweeps).
+	PointsSynthesized int   `json:"points_synthesized,omitempty"`
+	ElapsedMS         int64 `json:"elapsed_ms"`
 }
 
 // ---- claim/heartbeat/complete core (shared by HTTP handlers and
@@ -158,7 +169,7 @@ func (s *Server) claimFromLocked(cr *clusterRun, worker string, now time.Time, m
 		ss.leaseID = fmt.Sprintf("L%06d", s.leaseSeq)
 		ss.expires = now.Add(s.cfg.LeaseTTL)
 		return &Lease{
-			LeaseID: ss.leaseID, JobID: cr.jobID,
+			LeaseID: ss.leaseID, JobID: cr.jobID, Kind: cr.kind,
 			Shard: ss.index, Of: len(cr.shards),
 			TTLMS: s.cfg.LeaseTTL.Milliseconds(), Request: cr.reqJSON,
 		}
@@ -260,10 +271,17 @@ func (s *Server) completeLease(req CompleteRequest) bool {
 		return true
 	}
 	ss.state = shardDone
-	ss.done = req.Stats.Computed + req.Stats.CacheHits
+	if cr.kind != "pareto" {
+		// Matrix progress is cell-denominated, so the completion stats
+		// are the exact tally. Pareto progress runs in sweep units —
+		// keep the shard's last heartbeat tally and let the merge pass
+		// drive the remainder.
+		ss.done = req.Stats.Computed + req.Stats.CacheHits
+	}
 	cr.doneN++
 	cr.computed += req.Stats.Computed
 	cr.storeErrs += req.Stats.StoreErrors
+	cr.pointsSynth += req.PointsSynthesized
 	cr.busy += time.Duration(req.ElapsedMS) * time.Millisecond
 	if !req.SynthCached {
 		cr.synthAllCached = false
@@ -338,15 +356,40 @@ func (s *Server) handleClusterComplete(w http.ResponseWriter, r *http.Request) {
 
 // ---- the coordinator-side job runner ----
 
-// clusterMatrixRun returns the runFunc for a sharded matrix job: post
-// the lease slots, wait for workers (optionally picking up neglected
-// shards itself), then merge.
-func (s *Server) clusterMatrixRun(plan *matrixPlan, reqJSON []byte, shards int) runFunc {
+// shardReport is the successful outcome of one shard execution,
+// kind-agnostic: matrix shards fill the cell stats; pareto shards also
+// count the sweep points they synthesized.
+type shardReport struct {
+	stats       sim.MatrixStats
+	pointsSynth int
+	synthCached bool
+}
+
+// shardRunner executes one Shard{Index,Count} slice of a cluster job
+// against a store, reporting resolved work units through progress. It
+// classifies "my slice done, others pending" as success; a nil report
+// with a live error means the shard genuinely failed.
+type shardRunner func(ctx context.Context, st *store.Store, shard sim.Shard, progress func(done, total int)) (*shardReport, error)
+
+// clusterAgg is the shard-phase tally handed to a cluster job's merge
+// step once every shard has reported.
+type clusterAgg struct {
+	computed    int // Σ shard computed cells
+	storeErrs   int
+	pointsSynth int // Σ shard pareto points synthesized
+	synthAll    bool
+}
+
+// clusterJobRun is the kind-agnostic coordinator runner for sharded
+// jobs: post the lease slots, wait for workers (optionally picking up
+// neglected shards itself via runShard), then hand the shard tallies
+// to merge for the final unsharded cache-first pass.
+func (s *Server) clusterJobRun(kind string, reqJSON []byte, units, shards int, runShard shardRunner,
+	merge func(ctx context.Context, j *job, agg clusterAgg) (any, bool, error)) runFunc {
 	return func(ctx context.Context, j *job) (any, bool, error) {
-		cells := plan.cellCount()
 		now := time.Now()
 		cr := &clusterRun{
-			jobID: j.id, job: j, reqJSON: reqJSON, cells: cells,
+			jobID: j.id, job: j, kind: kind, reqJSON: reqJSON, cells: units,
 			shards:         make([]shardState, shards),
 			synthAllCached: true,
 			finished:       make(chan struct{}),
@@ -397,19 +440,29 @@ func (s *Server) clusterMatrixRun(plan *matrixPlan, reqJSON []byte, shards int) 
 				lease := s.claimFromLocked(cr, "coordinator", time.Now(), s.cfg.LeaseTTL)
 				s.mu.Unlock()
 				if lease != nil {
-					s.runLeasedShard(ctx, plan, lease)
+					s.runLeasedShard(ctx, lease, runShard)
 				}
 			}
 		}
 
 		s.mu.Lock()
 		failure := cr.failure
-		shardComputed, storeErrs := cr.computed, cr.storeErrs
-		synthAll := cr.synthAllCached
+		agg := clusterAgg{
+			computed: cr.computed, storeErrs: cr.storeErrs,
+			pointsSynth: cr.pointsSynth, synthAll: cr.synthAllCached,
+		}
 		s.mu.Unlock()
 		if failure != "" {
 			return nil, false, errors.New(failure)
 		}
+		return merge(ctx, j, agg)
+	}
+}
+
+// clusterMatrixRun returns the runFunc for a sharded matrix job.
+func (s *Server) clusterMatrixRun(plan *matrixPlan, reqJSON []byte, shards int) runFunc {
+	cells := plan.cellCount()
+	merge := func(ctx context.Context, j *job, agg clusterAgg) (any, bool, error) {
 		// Merge: an unsharded cache-first run over the now-warm store.
 		// Deterministic cell keys make this byte-identical to a local
 		// single-process run; it simulates nothing unless a worker's
@@ -421,36 +474,81 @@ func (s *Server) clusterMatrixRun(plan *matrixPlan, reqJSON []byte, shards int) 
 		if err != nil {
 			return nil, false, err
 		}
-		totalComputed := shardComputed + res.Stats.Computed
+		totalComputed := agg.computed + res.Stats.Computed
 		if totalComputed > cells {
 			totalComputed = cells
 		}
-		agg := sim.MatrixStats{
+		stats := sim.MatrixStats{
 			Cells:    cells,
 			Computed: totalComputed, CacheHits: cells - totalComputed,
-			StoreErrors: storeErrs + res.Stats.StoreErrors,
+			StoreErrors: agg.storeErrs + res.Stats.StoreErrors,
 		}
 		// Shard completions already counted their computed cells; count
 		// the effective cache hits (and any merge-time recomputation)
 		// exactly once here.
-		s.noteMatrix(sim.MatrixStats{Computed: res.Stats.Computed, CacheHits: agg.CacheHits}, time.Since(start))
+		s.noteMatrix(sim.MatrixStats{Computed: res.Stats.Computed, CacheHits: stats.CacheHits}, time.Since(start))
 		out := MatrixJobResult{
-			Matrix: res, Stats: agg,
-			SynthCacheHit: synthAll && mergeSynthCached,
+			Matrix: res, Stats: stats,
+			SynthCacheHit: agg.synthAll && mergeSynthCached,
 			Shards:        shards,
 		}
-		return out, totalComputed == 0 && synthAll && mergeSynthCached, nil
+		return out, totalComputed == 0 && agg.synthAll && mergeSynthCached, nil
 	}
+	return s.clusterJobRun("matrix", reqJSON, cells, shards, plan.shardRunner(), merge)
+}
+
+// clusterParetoRun returns the runFunc for a sharded pareto job: each
+// shard synthesizes and measures its owned sweep points into the
+// shared store, then the merge assembles the frontier unsharded over
+// the warm store (recomputing nothing).
+func (s *Server) clusterParetoRun(plan *paretoPlan, reqJSON []byte, shards int) runFunc {
+	merge := func(ctx context.Context, j *job, agg clusterAgg) (any, bool, error) {
+		start := time.Now()
+		fr, err := plan.run(ctx, s.cfg.Store, sim.Shard{}, func(done, total int) {
+			s.setProgress(j, done, total)
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		stats := fr.Stats
+		if !stats.FrontierCached {
+			// Fold the shards' work into cluster-wide truth: a point or
+			// cell the merge pass found in the store is "cached" only if
+			// no shard filled it this job.
+			totalComputed := agg.computed + fr.Stats.CellsComputed
+			if totalComputed > fr.Stats.Cells {
+				totalComputed = fr.Stats.Cells
+			}
+			totalSynth := agg.pointsSynth + fr.Stats.Synthesized
+			if totalSynth > stats.Points {
+				totalSynth = stats.Points
+			}
+			stats.Synthesized = totalSynth
+			stats.SynthCached = stats.Points - totalSynth
+			stats.CellsComputed = totalComputed
+			stats.CellsCached = fr.Stats.Cells - totalComputed
+			stats.StoreErrors += agg.storeErrs
+		}
+		// Shard completions already counted their computed cells; charge
+		// only the merge pass's own split here.
+		s.notePareto(fr, exp.ParetoStats{
+			CellsComputed: fr.Stats.CellsComputed, CellsCached: stats.CellsCached,
+		}, time.Since(start))
+		out := ParetoJobResult{Frontier: fr, Stats: stats, Shards: shards}
+		hit := stats.FrontierCached || (stats.Synthesized == 0 && stats.CellsComputed == 0)
+		return out, hit, nil
+	}
+	return s.clusterJobRun("pareto", reqJSON, plan.units(), shards, plan.shardRunner(), merge)
 }
 
 // runLeasedShard executes one shard in-process (coordinator
 // self-work), with the same heartbeat discipline a remote worker
 // keeps: if the lease is lost, the shard context dies and the slice is
 // abandoned mid-cell.
-func (s *Server) runLeasedShard(ctx context.Context, plan *matrixPlan, lease *Lease) {
+func (s *Server) runLeasedShard(ctx context.Context, lease *Lease, runShard shardRunner) {
 	shardCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	var doneCells atomic.Int64
+	var doneUnits atomic.Int64
 	hbDone := make(chan struct{})
 	defer close(hbDone)
 	go func() {
@@ -461,7 +559,7 @@ func (s *Server) runLeasedShard(ctx context.Context, plan *matrixPlan, lease *Le
 			case <-hbDone:
 				return
 			case <-t.C:
-				if !s.heartbeatLease(lease.JobID, lease.LeaseID, "coordinator", int(doneCells.Load())) {
+				if !s.heartbeatLease(lease.JobID, lease.LeaseID, "coordinator", int(doneUnits.Load())) {
 					cancel()
 					return
 				}
@@ -469,10 +567,9 @@ func (s *Server) runLeasedShard(ctx context.Context, plan *matrixPlan, lease *Le
 		}
 	}()
 	start := time.Now()
-	res, synthCached, err := plan.run(shardCtx, s.cfg.Store, sim.Shard{Index: lease.Shard, Count: lease.Of},
-		func(done, total int) { doneCells.Store(int64(done)) })
-	stats, ok := shardOutcome(res, err)
-	if !ok {
+	rep, err := runShard(shardCtx, s.cfg.Store, sim.Shard{Index: lease.Shard, Count: lease.Of},
+		func(done, total int) { doneUnits.Store(int64(done)) })
+	if rep == nil {
 		if shardCtx.Err() != nil {
 			return // lease lost or job cancelled: let the slot move on
 		}
@@ -484,12 +581,12 @@ func (s *Server) runLeasedShard(ctx context.Context, plan *matrixPlan, lease *Le
 	}
 	s.completeLease(CompleteRequest{
 		JobID: lease.JobID, LeaseID: lease.LeaseID, Worker: "coordinator",
-		Stats: stats, SynthCached: synthCached,
+		Stats: rep.stats, SynthCached: rep.synthCached, PointsSynthesized: rep.pointsSynth,
 		ElapsedMS: time.Since(start).Milliseconds(),
 	})
 }
 
-// shardOutcome classifies a sharded plan run: sim.IncompleteError —
+// shardOutcome classifies a sharded matrix run: sim.IncompleteError —
 // "my slice is done, others pending" — IS success for a shard worker;
 // a full result (possible when other shards finished first) is too.
 func shardOutcome(res *sim.MatrixResult, err error) (sim.MatrixStats, bool) {
@@ -501,4 +598,27 @@ func shardOutcome(res *sim.MatrixResult, err error) (sim.MatrixStats, bool) {
 		return sim.MatrixStats{Cells: inc.Cells, Computed: inc.Computed, CacheHits: inc.CacheHits}, true
 	}
 	return sim.MatrixStats{}, false
+}
+
+// paretoShardOutcome classifies a sharded sweep the same way:
+// exp.ParetoIncompleteError IS success (the shard's points are in
+// the store), as is a full frontier (the whole sweep was cached).
+func paretoShardOutcome(fr *exp.Frontier, err error) (*shardReport, error) {
+	if err == nil {
+		st := fr.Stats
+		return &shardReport{
+			stats:       sim.MatrixStats{Cells: st.Cells, Computed: st.CellsComputed, CacheHits: st.CellsCached, StoreErrors: st.StoreErrors},
+			pointsSynth: st.Synthesized,
+			synthCached: st.Synthesized == 0,
+		}, nil
+	}
+	var inc *exp.ParetoIncompleteError
+	if errors.As(err, &inc) {
+		return &shardReport{
+			stats:       sim.MatrixStats{Cells: inc.Cells, Computed: inc.CellsComputed, CacheHits: inc.CellsCached},
+			pointsSynth: inc.Synthesized,
+			synthCached: inc.Synthesized == 0,
+		}, nil
+	}
+	return nil, err
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"netsmith/internal/exp"
 	"netsmith/internal/sim"
 )
 
@@ -22,6 +23,17 @@ type serverStats struct {
 	busy          time.Duration
 	synthRuns     int64
 	synthCached   int64
+
+	// Fleet-level energy accounting, accumulated over served frontiers.
+	// The power/energy sums divide out at scrape time into the exported
+	// idle/active shares and the mean energy per delivered flit.
+	paretoSweeps  int64
+	paretoKept    int64
+	paretoPruned  int64
+	fleetPowerMW  float64
+	fleetIdleMW   float64
+	fleetActiveMW float64
+	fleetFlitPJ   float64 // Σ per-frontier mean energy per flit
 }
 
 func (s *Server) noteSynth(hit bool) {
@@ -40,6 +52,24 @@ func (s *Server) noteMatrix(stats sim.MatrixStats, elapsed time.Duration) {
 	s.mu.Lock()
 	s.stats.cellsComputed += int64(stats.Computed)
 	s.stats.cellsCached += int64(stats.CacheHits)
+	s.stats.busy += elapsed
+	s.mu.Unlock()
+}
+
+// notePareto folds one completed sweep into the counters. stats
+// carries only the cell work to charge here — cluster merges pass the
+// merge-time split because shard completions already counted theirs.
+func (s *Server) notePareto(fr *exp.Frontier, stats exp.ParetoStats, elapsed time.Duration) {
+	s.mu.Lock()
+	s.stats.paretoSweeps++
+	s.stats.paretoKept += int64(len(fr.Points))
+	s.stats.paretoPruned += int64(fr.Pruned)
+	s.stats.fleetPowerMW += fr.Energy.AggregatePowerMW
+	s.stats.fleetIdleMW += fr.Energy.IdlePowerMW
+	s.stats.fleetActiveMW += fr.Energy.ActivePowerMW
+	s.stats.fleetFlitPJ += fr.Energy.EnergyPerFlitPJ
+	s.stats.cellsComputed += int64(stats.CellsComputed)
+	s.stats.cellsCached += int64(stats.CellsCached)
 	s.stats.busy += elapsed
 	s.mu.Unlock()
 }
@@ -121,6 +151,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP netsmith_synth_runs_total Synthesis executions (cached or searched).\n# TYPE netsmith_synth_runs_total counter\n")
 	fmt.Fprintf(w, "netsmith_synth_runs_total %d\n", st.synthRuns)
 	fmt.Fprintf(w, "netsmith_synth_cached_total %d\n", st.synthCached)
+
+	fmt.Fprintf(w, "# HELP netsmith_pareto_sweeps_total Pareto sweeps served.\n# TYPE netsmith_pareto_sweeps_total counter\n")
+	fmt.Fprintf(w, "netsmith_pareto_sweeps_total %d\n", st.paretoSweeps)
+	fmt.Fprintf(w, "# HELP netsmith_pareto_points_total Sweep points by frontier outcome.\n# TYPE netsmith_pareto_points_total counter\n")
+	fmt.Fprintf(w, "netsmith_pareto_points_total{result=\"kept\"} %d\n", st.paretoKept)
+	fmt.Fprintf(w, "netsmith_pareto_points_total{result=\"pruned\"} %d\n", st.paretoPruned)
+	fmt.Fprintf(w, "# HELP netsmith_fleet_power_mw Aggregate frontier power served, milliwatts.\n# TYPE netsmith_fleet_power_mw gauge\n")
+	fmt.Fprintf(w, "netsmith_fleet_power_mw %g\n", st.fleetPowerMW)
+	idleShare, activeShare := 0.0, 0.0
+	if st.fleetPowerMW > 0 {
+		idleShare = st.fleetIdleMW / st.fleetPowerMW
+		activeShare = st.fleetActiveMW / st.fleetPowerMW
+	}
+	fmt.Fprintf(w, "# HELP netsmith_fleet_idle_power_share Idle (leakage) fraction of served frontier power.\n# TYPE netsmith_fleet_idle_power_share gauge\n")
+	fmt.Fprintf(w, "netsmith_fleet_idle_power_share %g\n", idleShare)
+	fmt.Fprintf(w, "# HELP netsmith_fleet_active_power_share Active (dynamic) fraction of served frontier power.\n# TYPE netsmith_fleet_active_power_share gauge\n")
+	fmt.Fprintf(w, "netsmith_fleet_active_power_share %g\n", activeShare)
+	flitPJ := 0.0
+	if st.paretoSweeps > 0 {
+		flitPJ = st.fleetFlitPJ / float64(st.paretoSweeps)
+	}
+	fmt.Fprintf(w, "# HELP netsmith_fleet_energy_per_flit_pj Mean energy per delivered flit across served frontiers, picojoules.\n# TYPE netsmith_fleet_energy_per_flit_pj gauge\n")
+	fmt.Fprintf(w, "netsmith_fleet_energy_per_flit_pj %g\n", flitPJ)
 
 	fmt.Fprintf(w, "# HELP netsmith_cluster_workers_live Workers seen within two lease TTLs.\n# TYPE netsmith_cluster_workers_live gauge\n")
 	fmt.Fprintf(w, "netsmith_cluster_workers_live %d\n", liveWorkers)

@@ -467,6 +467,171 @@ func ExecuteMatrix(ctx context.Context, st *store.Store, req MatrixRequest, prog
 	return out, res.Stats.Computed == 0 && synthCached, nil
 }
 
+// ---- pareto ----
+
+// maxParetoPoints caps the sweep's weight grid (|energy_weights| x
+// |robust_weights|): each point is a full synthesis plus a matrix row.
+const maxParetoPoints = 64
+
+// ParetoRequest is the body of a {"kind":"pareto"} job (and of POST
+// /v1/pareto). It sweeps the synthesis weight grid, measures every
+// candidate, and returns the dominated-point-free frontier with
+// fleet-level energy accounting. Synthesis knobs default exactly like
+// matrix "ns" topologies (seed 42, 20000 iterations fast / 80000 full),
+// so a pareto sweep and a matrix run over the same store share
+// synthesis results and cells.
+type ParetoRequest struct {
+	Grid  string `json:"grid"`            // "RxC"
+	Class string `json:"class,omitempty"` // small | medium | large
+	// EnergyWeights/RobustWeights span the sweep grid; empty defaults to
+	// exp.DefaultEnergyWeights and {0}.
+	EnergyWeights []float64 `json:"energy_weights,omitempty"`
+	RobustWeights []float64 `json:"robust_weights,omitempty"`
+	// Rates is the measured offered-rate grid (positive, strictly
+	// ascending; default exp.DefaultParetoRates).
+	Rates []float64 `json:"rates,omitempty"`
+	// Fidelity selects the cycle budgets: smoke, fast (default) or full.
+	Fidelity string `json:"fidelity,omitempty"`
+	// Seed is the synthesis/matrix base seed; omitted means 42 (matrix
+	// parity — an explicit 0 is honored as 0).
+	Seed *int64 `json:"seed,omitempty"`
+	// SynthIterations bounds each point's synthesis (default 20000, or
+	// 80000 at full fidelity — matrix "ns" parity).
+	SynthIterations  int `json:"synth_iterations,omitempty"`
+	SynthPopulation  int `json:"synth_population,omitempty"`
+	SynthGenerations int `json:"synth_generations,omitempty"`
+	// Shards, when > 1, splits the sweep points into cluster leases
+	// (clamped to the point count; capped at 32). 0 defers to the
+	// server default; 1 forces local execution.
+	Shards int `json:"shards,omitempty"`
+}
+
+// ParetoJobResult is a pareto job's result payload: the frontier plus
+// the run's cache accounting (excluded from the cached artifact).
+type ParetoJobResult struct {
+	Frontier *exp.Frontier   `json:"frontier"`
+	Stats    exp.ParetoStats `json:"stats"`
+	// Shards is the shard count the job executed with (0 for a plain
+	// local run).
+	Shards int `json:"shards,omitempty"`
+}
+
+// paretoPlan is the validated, executable form of a ParetoRequest.
+type paretoPlan struct {
+	cfg    exp.ParetoConfig
+	points int // resolved weight-grid size
+}
+
+// units is the job's progress denominator (sweep units: one per
+// synthesis point plus an equal measurement share).
+func (p *paretoPlan) units() int { return 2 * p.points }
+
+func (req *ParetoRequest) plan() (*paretoPlan, error) {
+	g, err := parseBoundedGrid(req.Grid)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := layout.ParseClass(defaultStr(req.Class, "medium"))
+	if err != nil {
+		return nil, err
+	}
+	seed := int64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	fidelity := defaultStr(req.Fidelity, sim.FidelityFast)
+	// Matrix "ns" parity: the synthesis budget decides each candidate
+	// topology, whose fingerprint anchors its cells, so pareto and
+	// matrix front ends must agree on the default or stop sharing work.
+	synthIter := req.SynthIterations
+	if synthIter == 0 {
+		synthIter = 20000
+		if fidelity == sim.FidelityFull {
+			synthIter = 80000
+		}
+	}
+	if synthIter < 0 || synthIter > maxSynthIters {
+		return nil, fmt.Errorf("synth_iterations %d outside [0, %d]", synthIter, maxSynthIters)
+	}
+	if err := checkPopulation(req.SynthPopulation, req.SynthGenerations, synthIter); err != nil {
+		return nil, err
+	}
+	if len(req.Rates) > maxRatePoints {
+		return nil, fmt.Errorf("%d rates over cap %d", len(req.Rates), maxRatePoints)
+	}
+	if req.Shards < 0 || req.Shards > maxShards {
+		return nil, fmt.Errorf("shards %d outside [0, %d]", req.Shards, maxShards)
+	}
+	cfg := exp.ParetoConfig{
+		Base:          synth.MatrixNSConfig(g, cl, 0, 0, seed, synthIter, req.SynthPopulation, req.SynthGenerations),
+		EnergyWeights: req.EnergyWeights,
+		RobustWeights: req.RobustWeights,
+		Rates:         req.Rates,
+		Fidelity:      fidelity,
+	}
+	// Points validates the grids, rates and fidelity through the exact
+	// normalization ParetoSweep will apply — statically invalid knobs
+	// 400 at POST time instead of failing the job in the queue.
+	n, err := cfg.Points()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxParetoPoints {
+		return nil, fmt.Errorf("%d sweep points over cap %d", n, maxParetoPoints)
+	}
+	return &paretoPlan{cfg: cfg, points: n}, nil
+}
+
+// run executes the sweep (or one shard of it) against st.
+func (p *paretoPlan) run(ctx context.Context, st *store.Store, shard sim.Shard, progress func(done, total int)) (*exp.Frontier, error) {
+	cfg := p.cfg
+	cfg.Store, cfg.Ctx, cfg.Progress, cfg.Shard = st, ctx, progress, shard
+	return exp.ParetoSweep(cfg)
+}
+
+// shardRunner adapts the plan to the cluster lease loop.
+func (p *paretoPlan) shardRunner() shardRunner {
+	return func(ctx context.Context, st *store.Store, shard sim.Shard, progress func(done, total int)) (*shardReport, error) {
+		fr, err := p.run(ctx, st, shard, progress)
+		return paretoShardOutcome(fr, err)
+	}
+}
+
+// shardRunner adapts the matrix plan to the same lease loop.
+func (p *matrixPlan) shardRunner() shardRunner {
+	return func(ctx context.Context, st *store.Store, shard sim.Shard, progress func(done, total int)) (*shardReport, error) {
+		res, synthCached, err := p.run(ctx, st, shard, progress)
+		stats, ok := shardOutcome(res, err)
+		if !ok {
+			return nil, err
+		}
+		return &shardReport{stats: stats, synthCached: synthCached}, nil
+	}
+}
+
+// paretoCacheHit reports whether a sweep did no new work: the frontier
+// itself was cached, or every synthesis and every cell hit the store.
+func paretoCacheHit(st exp.ParetoStats) bool {
+	return st.FrontierCached || (st.Synthesized == 0 && st.CellsComputed == 0)
+}
+
+// ExecutePareto runs a pareto request in-process against st (full
+// sweep, no sharding), through the same validation and execution path
+// as the HTTP job runner. It backs the root-package Client's local
+// mode, so served and in-process frontiers are byte-identical.
+func ExecutePareto(ctx context.Context, st *store.Store, req ParetoRequest, progress func(done, total int)) (*ParetoJobResult, bool, error) {
+	plan, err := req.plan()
+	if err != nil {
+		return nil, false, err
+	}
+	fr, err := plan.run(ctx, st, sim.Shard{}, progress)
+	if err != nil {
+		return nil, false, err
+	}
+	out := &ParetoJobResult{Frontier: fr, Stats: fr.Stats}
+	return out, paretoCacheHit(fr.Stats), nil
+}
+
 // ---- job-creating handlers ----
 
 func decodeStrict(data []byte, v any) error {
@@ -501,7 +666,7 @@ func (s *Server) handlePostJob(w http.ResponseWriter, r *http.Request) {
 	}
 	kindRaw, ok := fields["kind"]
 	if !ok {
-		writeError(w, http.StatusBadRequest, "bad_request", `missing "kind" (want "synth" or "matrix")`)
+		writeError(w, http.StatusBadRequest, "bad_request", `missing "kind" (want "synth", "matrix" or "pareto")`)
 		return
 	}
 	var kind string
@@ -545,9 +710,34 @@ func (s *Server) handlePostJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.acceptMatrix(w, req, priority)
+	case "pareto":
+		var req ParetoRequest
+		if err := decodeStrict(rest, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "bad pareto request: %v", err)
+			return
+		}
+		s.acceptPareto(w, req, priority)
 	default:
-		writeError(w, http.StatusBadRequest, "bad_request", `unknown kind %q (want "synth" or "matrix")`, kind)
+		writeError(w, http.StatusBadRequest, "bad_request", `unknown kind %q (want "synth", "matrix" or "pareto")`, kind)
 	}
+}
+
+// handleParetoPost is POST /v1/pareto: a first-class single-kind
+// entrypoint (priority 0) over the unified job path.
+func (s *Server) handleParetoPost(w http.ResponseWriter, r *http.Request) {
+	if !s.allowClient(w, r) {
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req ParetoRequest
+	if err := decodeStrict(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "bad request body: %v", err)
+		return
+	}
+	s.acceptPareto(w, req, 0)
 }
 
 // handleSynthAlias keeps the pre-v1-jobs POST /v1/synth surface alive
@@ -656,6 +846,61 @@ func (s *Server) acceptMatrix(w http.ResponseWriter, req MatrixRequest, priority
 	v := s.view(j, false)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) acceptPareto(w http.ResponseWriter, req ParetoRequest, priority int) {
+	plan, err := req.plan()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	shards := req.Shards
+	if shards == 0 {
+		shards = s.cfg.ClusterShards
+	}
+	if shards > plan.points {
+		shards = plan.points // a lease owning zero sweep points is pure overhead
+	}
+	var run runFunc
+	if shards > 1 {
+		// Canonical re-marshal (not the client's raw bytes) so every
+		// worker decodes exactly the fields the coordinator validated.
+		reqJSON, merr := json.Marshal(req)
+		if merr != nil {
+			writeError(w, http.StatusInternalServerError, "internal", "%v", merr)
+			return
+		}
+		run = s.clusterParetoRun(plan, reqJSON, shards)
+	} else {
+		run = s.localParetoRun(plan)
+	}
+	j, qerr := s.enqueue("pareto", priority, run)
+	if qerr != nil {
+		writeAPIError(w, qerr)
+		return
+	}
+	s.setProgress(j, 0, plan.units())
+	s.mu.Lock()
+	v := s.view(j, false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+// localParetoRun executes the whole sweep in-process (the single-node
+// path).
+func (s *Server) localParetoRun(plan *paretoPlan) runFunc {
+	return func(ctx context.Context, j *job) (any, bool, error) {
+		start := time.Now()
+		fr, err := plan.run(ctx, s.cfg.Store, sim.Shard{}, func(done, total int) {
+			s.setProgress(j, done, total)
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		s.notePareto(fr, fr.Stats, time.Since(start))
+		out := ParetoJobResult{Frontier: fr, Stats: fr.Stats}
+		return out, paretoCacheHit(fr.Stats), nil
+	}
 }
 
 // localMatrixRun executes the whole matrix in-process (the

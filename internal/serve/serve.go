@@ -14,7 +14,8 @@
 //
 // The v1 job surface:
 //
-//	POST   /v1/jobs             tagged body {"kind":"synth"|"matrix",...}
+//	POST   /v1/jobs             tagged body {"kind":"synth"|"matrix"|"pareto",...}
+//	POST   /v1/pareto           Pareto-frontier sweep (first-class single-kind entrypoint)
 //	GET    /v1/jobs             list (pagination ?limit=&after=, ?state=)
 //	GET    /v1/jobs/{id}        poll one job
 //	DELETE /v1/jobs/{id}        cancel (stops a running matrix within a cell)
@@ -288,6 +289,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("POST /v1/pareto", s.handleParetoPost)
 	s.mux.HandleFunc("POST /v1/synth", s.handleSynthAlias)
 	s.mux.HandleFunc("POST /v1/matrix", s.handleMatrixAlias)
 	s.mux.HandleFunc("POST /v1/cluster/claim", s.handleClusterClaim)

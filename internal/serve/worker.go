@@ -148,18 +148,32 @@ func claimLease(ctx context.Context, cfg WorkerConfig, base string) (*Lease, err
 // context so simulation stops within one cell and nothing is
 // reported.
 func executeLease(ctx context.Context, cfg WorkerConfig, base string, lease *Lease, logf func(string, ...any)) {
-	var req MatrixRequest
+	var runShard shardRunner
 	var failMsg string
-	var plan *matrixPlan
-	if err := json.Unmarshal(lease.Request, &req); err != nil {
-		failMsg = fmt.Sprintf("decoding lease request: %v", err)
-	} else if p, err := req.plan(); err != nil {
-		// The coordinator validated this request; failing here means
-		// version skew. Deterministic, so report it (another worker
-		// would fail identically).
-		failMsg = fmt.Sprintf("planning lease request: %v", err)
-	} else {
-		plan = p
+	switch lease.Kind {
+	case "", "matrix": // empty Kind = pre-pareto coordinator
+		var req MatrixRequest
+		if err := json.Unmarshal(lease.Request, &req); err != nil {
+			failMsg = fmt.Sprintf("decoding lease request: %v", err)
+		} else if p, err := req.plan(); err != nil {
+			// The coordinator validated this request; failing here means
+			// version skew. Deterministic, so report it (another worker
+			// would fail identically).
+			failMsg = fmt.Sprintf("planning lease request: %v", err)
+		} else {
+			runShard = p.shardRunner()
+		}
+	case "pareto":
+		var req ParetoRequest
+		if err := json.Unmarshal(lease.Request, &req); err != nil {
+			failMsg = fmt.Sprintf("decoding lease request: %v", err)
+		} else if p, err := req.plan(); err != nil {
+			failMsg = fmt.Sprintf("planning lease request: %v", err)
+		} else {
+			runShard = p.shardRunner()
+		}
+	default:
+		failMsg = fmt.Sprintf("unknown lease kind %q (version skew?)", lease.Kind)
 	}
 	if failMsg != "" {
 		_, _ = postJSON(ctx, cfg.Client, base+"/v1/cluster/complete", CompleteRequest{
@@ -205,21 +219,21 @@ func executeLease(ctx context.Context, cfg WorkerConfig, base string, lease *Lea
 	}()
 
 	start := time.Now()
-	res, synthCached, err := plan.run(shardCtx, cfg.Store, sim.Shard{Index: lease.Shard, Count: lease.Of},
+	rep, err := runShard(shardCtx, cfg.Store, sim.Shard{Index: lease.Shard, Count: lease.Of},
 		func(done, total int) { doneCells.Store(int64(done)) })
-	stats, ok := shardOutcome(res, err)
 	comp := CompleteRequest{
 		JobID: lease.JobID, LeaseID: lease.LeaseID, Worker: cfg.Name,
 		ElapsedMS: time.Since(start).Milliseconds(),
 	}
 	switch {
-	case !ok && shardCtx.Err() != nil:
+	case rep == nil && shardCtx.Err() != nil:
 		return // lease lost or worker shutting down: stand down silently
-	case !ok:
+	case rep == nil:
 		comp.Error = err.Error()
 	default:
-		comp.Stats = stats
-		comp.SynthCached = synthCached
+		comp.Stats = rep.stats
+		comp.SynthCached = rep.synthCached
+		comp.PointsSynthesized = rep.pointsSynth
 	}
 	// Complete on the parent ctx: a lease-loss cancel must not block a
 	// legitimate report (shardCtx is only dead in the return above).
@@ -228,5 +242,5 @@ func executeLease(ctx context.Context, cfg WorkerConfig, base string, lease *Lea
 		return
 	}
 	logf("lease %s: shard %d/%d done (%d computed, %d cached)",
-		lease.LeaseID, lease.Shard, lease.Of, stats.Computed, stats.CacheHits)
+		lease.LeaseID, lease.Shard, lease.Of, comp.Stats.Computed, comp.Stats.CacheHits)
 }

@@ -1,6 +1,8 @@
 package synth
 
 import (
+	"encoding/json"
+
 	"netsmith/internal/layout"
 	"netsmith/internal/store"
 	"netsmith/internal/topo"
@@ -44,15 +46,19 @@ type synthPayload struct {
 	Generations int `json:"generations,omitempty"`
 }
 
-// cacheKey canonicalizes the config. ok is false when the run is not
-// cacheable (time-budgeted searches stop on the wall clock, so their
-// outcome is not a function of the config).
-func (c Config) cacheKey() (store.Key, bool) {
+// payload canonicalizes the config into its cache-key description. ok
+// is false when the run is not cacheable (time-budgeted searches stop
+// on the wall clock, so their outcome is not a function of the config).
+// The pareto sweep (exp.ParetoSweep) embeds the same payload — with the
+// swept weights zeroed — inside its own frontier key via CachePayload,
+// so the two key families cannot drift on what "the same base config"
+// means.
+func (c Config) payload() (synthPayload, bool) {
 	cfg, err := c.withDefaults()
 	if err != nil || cfg.TimeBudget > 0 {
-		return store.Key{}, false
+		return synthPayload{}, false
 	}
-	return store.NewKey("synth", synthPayload{
+	return synthPayload{
 		Rows: cfg.Grid.Rows, Cols: cfg.Grid.Cols, PitchMM: cfg.Grid.PitchMM,
 		Class:     cfg.Class.String(),
 		Objective: cfg.Objective.String(),
@@ -62,7 +68,17 @@ func (c Config) cacheKey() (store.Key, bool) {
 		RobustWeight: cfg.RobustWeight,
 		Seed:         cfg.Seed, Iterations: cfg.Iterations, Restarts: cfg.Restarts,
 		Population: cfg.Population, Generations: cfg.Generations,
-	}), true
+	}, true
+}
+
+// cacheKey canonicalizes the config into its store key; ok is false
+// for uncacheable (time-budgeted) runs.
+func (c Config) cacheKey() (store.Key, bool) {
+	p, ok := c.payload()
+	if !ok {
+		return store.Key{}, false
+	}
+	return store.NewKey("synth", p), true
 }
 
 // cachedResult is the stored form of a Result. Trace is deliberately
@@ -77,6 +93,62 @@ type cachedResult struct {
 	EnergyProxy   float64        `json:"energy_proxy"`
 	CriticalLinks int            `json:"critical_links"`
 	Fragility     int            `json:"fragility"`
+}
+
+// result rehydrates the stored form into a caller-facing Result (no
+// Trace: cached runs searched nothing).
+func (cr cachedResult) result() *Result {
+	return &Result{
+		Topology:  cr.Topology,
+		Objective: cr.Objective,
+		Bound:     cr.Bound,
+		Gap:       cr.Gap,
+		Optimal:   cr.Optimal, EnergyProxy: cr.EnergyProxy,
+		CriticalLinks: cr.CriticalLinks, Fragility: cr.Fragility,
+	}
+}
+
+// Normalized returns the config with package defaults applied — the
+// exact form the cache key hashes and Generate executes. Orchestrators
+// building derived artifacts (exp's pareto sweep) use it to read the
+// defaulted grid/class/objective/seed without re-deriving defaults.
+func (c Config) Normalized() (Config, error) {
+	return c.withDefaults()
+}
+
+// CachePayload returns the canonical cache-key description of the
+// config as marshaled JSON, for embedding in higher-level store keys
+// (the pareto frontier key wraps it). ok is false for uncacheable
+// (time-budgeted or invalid) configs.
+func (c Config) CachePayload() (json.RawMessage, bool) {
+	p, ok := c.payload()
+	if !ok {
+		return nil, false
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// Probe checks the store for an already-synthesized result without
+// ever searching. The pareto sweep uses it for sweep points owned by
+// other shards: present means that shard (or a prior run) finished the
+// point, absent means the frontier cannot be assembled yet.
+func Probe(st *store.Store, c Config) (*Result, bool) {
+	if st == nil {
+		return nil, false
+	}
+	key, ok := c.cacheKey()
+	if !ok {
+		return nil, false
+	}
+	var cached cachedResult
+	if hit, err := st.Get(key, &cached); err == nil && hit {
+		return cached.result(), true
+	}
+	return nil, false
 }
 
 // MatrixNSConfig is the fixed-budget LatOp config the matrix front
@@ -117,14 +189,7 @@ func CachedGenerate(st *store.Store, c Config) (*Result, bool, error) {
 	}
 	var cached cachedResult
 	if hit, err := st.Get(key, &cached); err == nil && hit {
-		return &Result{
-			Topology:  cached.Topology,
-			Objective: cached.Objective,
-			Bound:     cached.Bound,
-			Gap:       cached.Gap,
-			Optimal:   cached.Optimal, EnergyProxy: cached.EnergyProxy,
-			CriticalLinks: cached.CriticalLinks, Fragility: cached.Fragility,
-		}, true, nil
+		return cached.result(), true, nil
 	}
 	res, err := Generate(c)
 	if err != nil {

@@ -3,6 +3,7 @@ package netsmith
 import (
 	"time"
 
+	"netsmith/internal/exp"
 	"netsmith/internal/expert"
 	"netsmith/internal/fault"
 	"netsmith/internal/layout"
@@ -86,6 +87,29 @@ type (
 	// FaultFactory names a fault schedule and builds it per topology for
 	// a matrix's fault axis (MatrixConfig.Faults).
 	FaultFactory = sim.FaultFactory
+	// SynthConfig is the resolved solver configuration — the type of
+	// ParetoConfig.Base. Build one from the public surface with
+	// Options.SynthConfig.
+	SynthConfig = synth.Config
+	// ParetoConfig parameterizes a Pareto-frontier sweep (ParetoSweep):
+	// a base synthesis config plus the EnergyWeight/RobustWeight grids,
+	// the measured rate grid and the sim fidelity.
+	ParetoConfig = exp.ParetoConfig
+	// Frontier is a sweep's dominated-point-free artifact: surviving
+	// points in sweep order plus the fleet-level energy aggregate.
+	Frontier = exp.Frontier
+	// FrontierPoint is one surviving sweep point (synthesized topology +
+	// measured latency/saturation/power split).
+	FrontierPoint = exp.ParetoPoint
+	// FleetEnergy is the sweep-level PUE-style aggregate: idle vs.
+	// active power shares and mean energy per delivered flit.
+	FleetEnergy = exp.FleetEnergy
+	// ParetoStats reports what a sweep actually did (synthesized vs.
+	// cached points and cells; FrontierCached for a warm-frontier hit).
+	ParetoStats = exp.ParetoStats
+	// ParetoIncompleteError is returned by a sharded sweep whose owned
+	// points are persisted but whose frontier awaits other shards.
+	ParetoIncompleteError = exp.ParetoIncompleteError
 )
 
 // Link-length classes (small (1,1), medium (2,0), large (2,1)).
@@ -180,6 +204,15 @@ func (o Options) synthConfig() synth.Config {
 	}
 	return cfg
 }
+
+// SynthConfig resolves the Options into the solver configuration that
+// ParetoSweep expects as ParetoConfig.Base — the exact translation
+// Generate and GenerateCached use, so a sweep's per-point synthesis
+// cache entries are shared with direct GenerateCached calls. The
+// sweep requires a fixed budget (no TimeBudget) and zero
+// EnergyWeight/RobustWeight: the sweep grids set the weights per
+// point.
+func (o Options) SynthConfig() SynthConfig { return o.synthConfig() }
 
 // Generate discovers a topology for the given options.
 func Generate(o Options) (*Result, error) { return synth.Generate(o.synthConfig()) }
@@ -318,6 +351,15 @@ func ParseShard(arg string) (Shard, error) { return sim.ParseShard(arg) }
 func GenerateCached(st *Store, o Options) (*Result, bool, error) {
 	return synth.CachedGenerate(st, o.synthConfig())
 }
+
+// ParetoSweep runs a Pareto-frontier sweep: one cache-first synthesis
+// per (EnergyWeight, RobustWeight) grid point, a matrix measurement of
+// every distinct candidate, exact non-domination pruning, and
+// fleet-level energy aggregation. Deterministic — same config, same
+// frontier bytes, at any GOMAXPROCS, warm or cold store — and cached
+// wholesale under a canonical pareto key when c.Store is set. See
+// Client.Pareto for the served/remote form of the same sweep.
+func ParetoSweep(c ParetoConfig) (*Frontier, error) { return exp.ParetoSweep(c) }
 
 // Sweep runs a latency-vs-injection sweep for a prepared network under a
 // pattern. rates nil selects the standard grid; fast trades fidelity for
